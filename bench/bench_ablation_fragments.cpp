@@ -1,0 +1,78 @@
+// Ablation: how the Section-3 construction responds to its two main design
+// knobs — the fragment materialization cap (exhaustive vs sampled C(M, r))
+// and the fragment size k. Reports the quantities DESIGN.md calls out:
+// exact counts, instance sizes, verifier acceptance, and the cost of the
+// pivot's Lemma-2 check.
+#include <chrono>
+#include <iostream>
+
+#include "core/locald.h"
+
+using namespace locald;
+
+int main() {
+  std::cout << "=== Ablation: fragment policy and fragment size ===\n\n";
+  const tm::TuringMachine m = tm::halt_after(2, 0);
+
+  std::cout << "--- materialization cap (k = 3) ---\n";
+  TextTable caps({"cap", "|C| exact", "|C| used", "exhaustive", "|G|",
+                  "verify", "verify time(s)"});
+  for (std::size_t cap : {50ul, 200ul, 1000ul, 5000ul}) {
+    tm::FragmentPolicy policy;
+    policy.max_fragments = cap;
+    policy.seed = 5;
+    halting::GmrParams params{m, 1, 3, policy, false, 4096};
+    const auto inst = halting::build_gmr(params);
+    const auto verifier = halting::make_gmr_verifier(3, policy, false, 4096);
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = local::run_oblivious(*verifier, inst.graph).accepted;
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    caps.add_row({cat(cap), cat(inst.exact_fragment_count),
+                  cat(inst.fragment_count),
+                  inst.fragments_exhaustive ? "yes" : "no",
+                  cat(inst.graph.node_count()), ok ? "accept" : "REJECT",
+                  fixed(secs, 2)});
+  }
+  std::cout << caps.render() << "\n";
+  std::cout << "builder and verifier share the policy, so capped and "
+               "exhaustive collections both verify; the cap trades instance "
+               "size against fidelity to the paper's full C(M, r).\n\n";
+
+  std::cout << "--- fragment size k ---\n";
+  TextTable sizes({"k", "|C| exact", "row space C^k", "count time(s)"});
+  for (int k : {3, 4}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto exact = tm::count_fragments(m, k);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    double space = 1;
+    for (int i = 0; i < k; ++i) space *= m.cell_code_count();
+    sizes.add_row({cat(k), cat(exact), cat(static_cast<long long>(space)),
+                   fixed(secs, 3)});
+  }
+  std::cout << sizes.render() << "\n";
+  std::cout << "the count grows like |codes|^Theta(k^2): the explosion that "
+               "forces the cap at larger parameters.\n\n";
+
+  std::cout << "--- diagonalization vs candidate budget ---\n";
+  tm::FragmentPolicy policy;
+  policy.max_fragments = 150;
+  TextTable diag({"candidate budget b", "fooling machine", "R accepts",
+                  "misclassified"});
+  for (long long b : {1, 2, 4}) {
+    const auto candidate =
+        halting::candidate_bounded_simulation(3, policy, false, 4096, b);
+    const tm::TuringMachine fool = tm::halt_after(static_cast<int>(b) + 1, 1);
+    halting::GmrParams params{fool, 1, 3, policy, false, 4096};
+    const bool accepts = halting::separation_accepts(*candidate, params);
+    diag.add_row({cat(b), fool.name(), accepts ? "yes" : "no",
+                  accepts ? "yes (fooled)" : "no"});
+  }
+  std::cout << diag.render();
+  std::cout << "\nevery budget has a fooling machine one step beyond it — "
+               "the constructive face of Lemma 1.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Corollary 1 / Section 3.3: the randomized Id-oblivious decider
+// for P. Completeness is exact (p = 1); the measured rejection probability
+// on no-instances is compared against the paper's failure bound
+// (1 - 1/sqrt(n))^n -> 0.
+#include <iostream>
+
+#include "core/locald.h"
+
+using namespace locald;
+
+int main() {
+  std::cout << "=== Corollary 1: randomness replaces identifiers ===\n\n";
+  tm::FragmentPolicy policy;
+  policy.max_fragments = 60;
+  const auto decider =
+      halting::make_randomized_gmr_decider(3, policy, false, 4096);
+  Rng rng(31337);
+  const int trials = 40;
+
+  TextTable table({"instance", "n", "truth", "accepted/trials",
+                   "paper failure bound"});
+  // Yes-instance: perfect completeness.
+  {
+    halting::GmrParams params{tm::halt_after(2, 0), 1, 3, policy, false,
+                              4096};
+    const auto inst = halting::build_gmr(params).graph;
+    const auto est =
+        local::estimate_acceptance(*decider, inst, nullptr, trials, rng);
+    table.add_row({cat("G(", params.machine.name(), ")"),
+                   cat(inst.node_count()), "member",
+                   cat(est.accepted, "/", est.trials), "-"});
+  }
+  // No-instances of growing size: rejection w.h.p.; the bound decays in n.
+  for (int rounds : {1, 2, 3}) {
+    halting::GmrParams params{tm::zigzag_halt(rounds, 1), 1, 3, policy,
+                              false, 4096};
+    const auto inst = halting::build_gmr(params).graph;
+    const auto est =
+        local::estimate_acceptance(*decider, inst, nullptr, trials, rng);
+    table.add_row(
+        {cat("G(", params.machine.name(), ")"), cat(inst.node_count()),
+         "non-member", cat(est.accepted, "/", est.trials),
+         fixed(halting::corollary1_failure_bound(
+                   static_cast<double>(inst.node_count())), 6)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "analytic curve (1 - 1/sqrt(n))^n:\n";
+  TextTable curve({"n", "bound"});
+  for (double n = 16; n <= 1 << 16; n *= 4) {
+    curve.add_row({cat(static_cast<long long>(n)),
+                   fixed(halting::corollary1_failure_bound(n), 8)});
+  }
+  std::cout << curve.render();
+  std::cout << "\nmeasured acceptance of no-instances stays below the bound "
+               "(expected: 0 accepts at these sizes) and the bound is o(1).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Figure 1 / Section 2 quantitatively: the layered trees T_r,
+// the small-instance family H_r, the ball-coverage audit behind P ∉ LD*,
+// and the LD decider's verdicts.
+//
+// Expected shape: coverage 1.0 at r >= 3 (with the trapezoid-patch family;
+// the aligned-subtree reading stays strictly below 1 — the documented
+// reproduction finding), decider correct everywhere.
+#include <chrono>
+#include <iostream>
+
+#include "core/locald.h"
+
+using namespace locald;
+
+int main() {
+  std::cout << "=== Figure 1 / Section 2: T_r vs H_r ===\n\n";
+  TextTable table({"r", "R(r)", "|T_r|", "max|H+|", "audited", "coverage",
+                   "subtree-cover", "canon-checked", "mismatch",
+                   "LD decider", "time(s)"});
+  Rng rng(2024);
+  for (int r = 1; r <= 3; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    trees::TreeParams p;
+    p.r = r;
+    p.f = local::IdBound::linear_plus(1);
+    const auto R = p.capital_R();
+    const std::uint64_t n = (std::uint64_t{1} << (R + 1)) - 1;
+
+    // Audit: exhaustive for small T_r, large sample at r = 3.
+    const std::uint64_t sample = (r <= 2) ? 0 : 300'000;
+    const std::uint64_t canon = (r == 3) ? 200 : 50;
+    const auto audit = trees::audit_tree_coverage(p, sample, canon, rng);
+
+    // Decider correctness on representative instances (patches + T_r).
+    const auto decider = trees::make_P_decider(p);
+    const auto property = trees::property_P(p);
+    std::vector<local::LabeledGraph> instances;
+    instances.push_back(
+        trees::build_patch_instance(p, trees::subtree_patch(p, 0, 0)));
+    instances.push_back(trees::build_patch_instance(
+        p, trees::subtree_patch(p, 1, std::min<trees::Coord>(2, R - r))));
+    if (r <= 2) {
+      instances.push_back(trees::build_T(p));
+    }
+    const auto report = local::evaluate_decider(
+        *decider, *property, instances, local::bounded_policy(p.f), 2, rng);
+
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    table.add_row({cat(r), cat(R), cat(n),
+                   cat(p.yes_size_bound() - 1),
+                   cat(audit.nodes_audited),
+                   fixed(static_cast<double>(audit.patch_covered) /
+                             audit.nodes_audited, 4),
+                   fixed(audit.subtree_fraction(), 4),
+                   cat(audit.canonical_checked),
+                   cat(audit.canonical_mismatch),
+                   report.all_correct() ? "correct" : "WRONG",
+                   fixed(secs, 2)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "coverage = 1.0 certifies: any Id-oblivious horizon-1 "
+               "algorithm accepting all of H_r accepts T_r (P ∉ LD*).\n";
+  std::cout << "subtree-cover < 1.0: the aligned-subtree reading of the "
+               "paper's H <= r T_r misses alignment boundaries; the "
+               "trapezoid-patch family (implemented) restores the claim.\n";
+  return 0;
+}

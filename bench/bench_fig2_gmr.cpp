@@ -1,0 +1,71 @@
+// Reproduces Figure 2 / Section 3 quantitatively: the G(M, r) construction
+// across the machine zoo — table sizes, exact fragment counts (the
+// combinatorial explosion the paper sidesteps analytically), instance
+// sizes, verifier/decider verdicts, and the totality of the neighbourhood
+// generator B on diverging machines.
+#include <chrono>
+#include <iostream>
+
+#include "core/locald.h"
+
+using namespace locald;
+
+int main() {
+  std::cout << "=== Figure 2 / Section 3: G(M, r) construction ===\n\n";
+  tm::FragmentPolicy policy;
+  policy.max_fragments = 400;
+  policy.seed = 5;
+  const long long budget = 4096;
+
+  TextTable table({"machine", "halts", "s", "out", "|C| exact", "|C| used",
+                   "table", "|G|", "verify", "LD decide", "time(s)"});
+  const auto verifier = halting::make_gmr_verifier(3, policy, false, budget);
+  const auto decider = halting::make_gmr_decider(3, policy, false, budget);
+
+  for (const tm::ZooEntry& e : tm::small_zoo()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto exact = tm::count_fragments(e.machine, 3);
+    std::string verify = "-";
+    std::string decide = "-";
+    std::string g_size = "-";
+    std::string tbl = "-";
+    std::string used = "-";
+    if (e.halts) {
+      halting::GmrParams params{e.machine, 1, 3, policy, false, budget};
+      const auto inst = halting::build_gmr(params);
+      tbl = cat(inst.table_side, "x", inst.table_side);
+      g_size = cat(inst.graph.node_count());
+      used = cat(inst.fragment_count);
+      verify = local::run_oblivious(*verifier, inst.graph).accepted
+                   ? "accept"
+                   : "reject";
+      const auto ids = local::make_consecutive(inst.graph.node_count());
+      const bool acc = local::accepts(*decider, inst.graph, ids);
+      // Membership requires output 0.
+      const bool correct = acc == (e.output == 0);
+      decide = cat(acc ? "accept" : "reject", correct ? " (ok)" : " (BAD)");
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    table.add_row({e.machine.name(), e.halts ? "yes" : "no",
+                   e.halts ? cat(e.runtime) : "-",
+                   e.halts ? cat(e.output) : "-", cat(exact), used, tbl,
+                   g_size, verify, decide, fixed(secs, 2)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "neighbourhood generator B(N, 2) totality (property P3):\n";
+  TextTable gen({"machine", "behaviour", "mode", "host", "eligible balls"});
+  for (const tm::ZooEntry& e : tm::small_zoo()) {
+    halting::GmrParams params{e.machine, 1, 3, policy, false, budget};
+    const auto out = halting::neighborhood_generator(params, 2);
+    gen.add_row({e.machine.name(), e.halts ? "halts" : "diverges",
+                 out.exact ? "exact G(M,r)" : "prefix glue",
+                 cat(out.host.node_count()), cat(out.centers.size())});
+  }
+  std::cout << gen.render() << "\n";
+  std::cout << "B halts on every machine — including the diverging ones — "
+               "which is what makes the separation algorithm R total.\n";
+  return 0;
+}

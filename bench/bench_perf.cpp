@@ -1,0 +1,103 @@
+// Substrate micro-benchmarks (google-benchmark): ball extraction, canonical
+// forms, the message-passing engine, Turing-machine simulation, fragment
+// counting, and Section-2/3 construction costs.
+#include <benchmark/benchmark.h>
+
+#include "core/locald.h"
+
+using namespace locald;
+
+namespace {
+
+void BM_BallExtraction(benchmark::State& state) {
+  const int radius = static_cast<int>(state.range(0));
+  Rng rng(1);
+  local::LabeledGraph g(graph::make_random_connected(2000, 3000, rng));
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    g.set_label(v, local::Label{static_cast<std::int64_t>(rng.below(4))});
+  }
+  graph::NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::extract_ball(g, nullptr, v, radius));
+    v = (v + 37) % g.node_count();
+  }
+}
+BENCHMARK(BM_BallExtraction)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_CanonicalBall(benchmark::State& state) {
+  Rng rng(2);
+  local::LabeledGraph g(graph::make_random_connected(500, 800, rng));
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    g.set_label(v, local::Label{static_cast<std::int64_t>(rng.below(4))});
+  }
+  const auto ball = local::extract_ball(g, nullptr, 17, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ball.canonical_encoding());
+  }
+}
+BENCHMARK(BM_CanonicalBall);
+
+void BM_SyncEngineFullInfo(benchmark::State& state) {
+  local::LabeledGraph g =
+      local::LabeledGraph::uniform(graph::make_cycle(64), local::Label{1});
+  const auto ids = local::make_consecutive(64);
+  const auto alg = props::agreement_decider();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::run_via_message_passing(*alg, g, ids));
+  }
+}
+BENCHMARK(BM_SyncEngineFullInfo);
+
+void BM_TuringSimulation(benchmark::State& state) {
+  const tm::TuringMachine m = tm::zigzag_expander();
+  const long long steps = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm::run_machine(m, steps));
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_TuringSimulation)->Arg(1000)->Arg(10000);
+
+void BM_FragmentCountDP(benchmark::State& state) {
+  const tm::TuringMachine m = tm::halt_after(2, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm::count_fragments(m, 3));
+  }
+}
+BENCHMARK(BM_FragmentCountDP);
+
+void BM_BuildPatchInstance(benchmark::State& state) {
+  trees::TreeParams p;
+  p.r = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trees::build_patch_instance(p, trees::subtree_patch(p, 1, 2)));
+  }
+}
+BENCHMARK(BM_BuildPatchInstance)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_BuildGmr(benchmark::State& state) {
+  tm::FragmentPolicy policy;
+  policy.max_fragments = static_cast<std::size_t>(state.range(0));
+  halting::GmrParams params{tm::halt_after(1, 0), 1, 3, policy, false, 4096};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(halting::build_gmr(params));
+  }
+}
+BENCHMARK(BM_BuildGmr)->Arg(50)->Arg(200);
+
+void BM_Sec2Verifier(benchmark::State& state) {
+  trees::TreeParams p;
+  p.r = 2;
+  const auto verifier = trees::make_P_prime_verifier(p);
+  const auto g = trees::build_patch_instance(p, trees::subtree_patch(p, 1, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::run_oblivious(*verifier, g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.node_count());
+}
+BENCHMARK(BM_Sec2Verifier);
+
+}  // namespace
+
+BENCHMARK_MAIN();

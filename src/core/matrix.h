@@ -1,0 +1,29 @@
+// The paper's Section-1.1 table: LD* vs LD under the four combinations of
+// (B)/(¬B) and (C)/(¬C), evaluated empirically from the constructions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace locald::core {
+
+struct QuadrantResult {
+  std::string quadrant;   // e.g. "(B, C)"
+  bool separated = false; // LD* != LD demonstrated
+  bool equal = false;     // LD* = LD demonstrated (¬B, ¬C)
+  std::string witness;    // which construction/experiment supplied evidence
+  std::string evidence;   // one-line measured summary
+};
+
+// Runs the four quadrant experiments at laptop scale:
+//  (B, ¬C)  — the Section-2 layered-tree construction;
+//  (B, C)   — same witness (a fortiori);
+//  (¬B, C)  — the Section-3 G(M, r) construction + diagonalization;
+//  (¬B, ¬C) — the Id-oblivious simulation A* reproduces an id-reading
+//             decider exactly.
+std::vector<QuadrantResult> evaluate_separation_matrix(std::uint64_t seed);
+
+// Rendered like the paper's table.
+std::string render_matrix(const std::vector<QuadrantResult>& results);
+
+}  // namespace locald::core

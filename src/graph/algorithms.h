@@ -1,0 +1,47 @@
+// Classic traversals and structure queries on `Graph`.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace locald::graph {
+
+constexpr int kUnreached = -1;
+
+// BFS distances from src; kUnreached for nodes farther than `max_dist`
+// (or unreachable). max_dist < 0 means unbounded.
+std::vector<int> bfs_distances(const Graph& g, NodeId src, int max_dist = -1);
+
+// Nodes within distance `radius` of src, in BFS (distance, id) order.
+std::vector<NodeId> nodes_within(const Graph& g, NodeId src, int radius);
+
+bool is_connected(const Graph& g);
+
+// Component id per node (0-based, in order of discovery) and the count.
+std::vector<int> connected_components(const Graph& g, int* component_count);
+
+// Max distance from v to any node; kUnreached if g is disconnected.
+int eccentricity(const Graph& g, NodeId v);
+
+// Exact diameter by all-sources BFS; kUnreached if disconnected.
+// Intended for small graphs (balls, fragments).
+int diameter(const Graph& g);
+
+bool is_bipartite(const Graph& g);
+
+// One shortest path src -> dst (inclusive); nullopt if unreachable.
+std::optional<std::vector<NodeId>> shortest_path(const Graph& g, NodeId src,
+                                                 NodeId dst);
+
+// True if the graph is a single cycle of length >= 3.
+bool is_cycle_graph(const Graph& g);
+
+// True if the graph is a simple path (possibly a single node).
+bool is_path_graph(const Graph& g);
+
+// True if the graph is connected and acyclic.
+bool is_tree(const Graph& g);
+
+}  // namespace locald::graph

@@ -1,0 +1,176 @@
+#include "graph/generators.h"
+
+#include <bit>
+
+namespace locald::graph {
+
+Graph make_path(NodeId n) {
+  LOCALD_CHECK(n >= 1, "path needs at least one node");
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1);
+  }
+  return g;
+}
+
+Graph make_cycle(NodeId n) {
+  LOCALD_CHECK(n >= 3, "cycle needs at least three nodes");
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, (v + 1) % n);
+  }
+  return g;
+}
+
+Graph make_complete(NodeId n) {
+  LOCALD_CHECK(n >= 1, "complete graph needs at least one node");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph make_star(NodeId leaves) {
+  LOCALD_CHECK(leaves >= 0, "negative leaf count");
+  Graph g(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) {
+    g.add_edge(0, v);
+  }
+  return g;
+}
+
+Graph make_grid(NodeId width, NodeId height) {
+  LOCALD_CHECK(width >= 1 && height >= 1, "grid dimensions must be positive");
+  Graph g(width * height);
+  auto id = [width](NodeId x, NodeId y) { return y * width + x; };
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      if (x + 1 < width) {
+        g.add_edge(id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < height) {
+        g.add_edge(id(x, y), id(x, y + 1));
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_torus(NodeId width, NodeId height) {
+  LOCALD_CHECK(width >= 3 && height >= 3,
+               "torus needs both dimensions >= 3 to stay simple");
+  Graph g(width * height);
+  auto id = [width](NodeId x, NodeId y) { return y * width + x; };
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      g.add_edge_if_absent(id(x, y), id((x + 1) % width, y));
+      g.add_edge_if_absent(id(x, y), id(x, (y + 1) % height));
+    }
+  }
+  return g;
+}
+
+Graph make_complete_binary_tree(int depth) {
+  LOCALD_CHECK(depth >= 0 && depth <= 29, "tree depth out of supported range");
+  const NodeId n = static_cast<NodeId>((1LL << (depth + 1)) - 1);
+  Graph g(n);
+  for (NodeId v = 0; 2 * v + 2 < n; ++v) {
+    g.add_edge(v, 2 * v + 1);
+    g.add_edge(v, 2 * v + 2);
+  }
+  return g;
+}
+
+Graph make_layered_tree(int depth) {
+  Graph g = make_complete_binary_tree(depth);
+  // Connect consecutive nodes on each level: level y spans
+  // [2^y - 1, 2^(y+1) - 2] in heap order, which is the natural left-to-right
+  // order of the level.
+  for (int y = 1; y <= depth; ++y) {
+    const NodeId first = static_cast<NodeId>((1LL << y) - 1);
+    const NodeId last = static_cast<NodeId>((1LL << (y + 1)) - 2);
+    for (NodeId v = first; v < last; ++v) {
+      g.add_edge(v, v + 1);
+    }
+  }
+  return g;
+}
+
+Graph make_hypercube(int dims) {
+  LOCALD_CHECK(dims >= 0 && dims <= 24, "hypercube dimension out of range");
+  const NodeId n = static_cast<NodeId>(1LL << dims);
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int b = 0; b < dims; ++b) {
+      const NodeId w = v ^ (1 << b);
+      if (v < w) {
+        g.add_edge(v, w);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_random_gnp(NodeId n, double p, Rng& rng) {
+  LOCALD_CHECK(n >= 0, "negative node count");
+  LOCALD_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_random_tree(NodeId n, Rng& rng) {
+  LOCALD_CHECK(n >= 1, "tree needs at least one node");
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent = static_cast<NodeId>(rng.below(v));
+    g.add_edge(parent, v);
+  }
+  return g;
+}
+
+Graph make_random_connected(NodeId n, NodeId extra_edges, Rng& rng) {
+  Graph g = make_random_tree(n, rng);
+  const std::size_t max_edges =
+      static_cast<std::size_t>(n) * (n - 1) / 2;
+  NodeId added = 0;
+  std::size_t attempts = 0;
+  while (added < extra_edges && g.edge_count() < max_edges &&
+         attempts < 64 * static_cast<std::size_t>(extra_edges) + 64) {
+    ++attempts;
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u != v && g.add_edge_if_absent(u, v)) {
+      ++added;
+    }
+  }
+  return g;
+}
+
+int TreeIndex::level(NodeId v) {
+  LOCALD_CHECK(v >= 0, "negative heap id");
+  return std::bit_width(static_cast<std::uint64_t>(v) + 1) - 1;
+}
+
+std::int64_t TreeIndex::offset(NodeId v) {
+  const int y = level(v);
+  return static_cast<std::int64_t>(v) - ((1LL << y) - 1);
+}
+
+NodeId TreeIndex::id(int level, std::int64_t offset) {
+  LOCALD_CHECK(level >= 0 && level < 31, "level out of range");
+  LOCALD_CHECK(offset >= 0 && offset < (1LL << level),
+               "offset outside the level");
+  return static_cast<NodeId>((1LL << level) - 1 + offset);
+}
+
+}  // namespace locald::graph

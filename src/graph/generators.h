@@ -1,0 +1,57 @@
+// Deterministic graph family generators.
+//
+// These back the instance families of the paper's experiments: cycles for
+// the promise problems, grids for Turing-machine execution tables, complete
+// binary / layered trees for the Section-2 construction, plus generic
+// families used by tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace locald::graph {
+
+Graph make_path(NodeId n);
+Graph make_cycle(NodeId n);        // n >= 3
+Graph make_complete(NodeId n);
+Graph make_star(NodeId leaves);    // node 0 is the hub
+
+// width x height grid; node (x, y) has id y * width + x.
+Graph make_grid(NodeId width, NodeId height);
+
+// Same, with wraparound edges in both dimensions (requires dim >= 3).
+Graph make_torus(NodeId width, NodeId height);
+
+// Complete binary tree of `depth` levels below the root
+// (2^(depth+1) - 1 nodes). Heap indexing: children of v are 2v+1, 2v+2.
+Graph make_complete_binary_tree(int depth);
+
+// Complete binary tree of given depth where consecutive nodes of each level
+// are additionally joined by a path — the "layered tree" of Section 2
+// (Figure 1). Heap indexing as above: level y spans ids [2^y - 1, 2^(y+1) - 2].
+Graph make_layered_tree(int depth);
+
+// d-dimensional hypercube (2^d nodes).
+Graph make_hypercube(int dims);
+
+// Erdős–Rényi G(n, p).
+Graph make_random_gnp(NodeId n, double p, Rng& rng);
+
+// Uniform random labelled tree via a Prüfer-like attachment.
+Graph make_random_tree(NodeId n, Rng& rng);
+
+// Connected random graph: random tree plus `extra_edges` random chords.
+Graph make_random_connected(NodeId n, NodeId extra_edges, Rng& rng);
+
+// Position helpers for heap-indexed complete binary trees.
+struct TreeIndex {
+  // Level (root = 0) and offset within the level of heap node id v.
+  static int level(NodeId v);
+  static std::int64_t offset(NodeId v);
+  // Heap id of the node at (level, offset).
+  static NodeId id(int level, std::int64_t offset);
+};
+
+}  // namespace locald::graph

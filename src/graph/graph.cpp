@@ -1,0 +1,66 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace locald::graph {
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size()) - 1;
+}
+
+void Graph::resize(NodeId n) {
+  LOCALD_CHECK(n >= node_count(), "Graph::resize never shrinks");
+  adj_.resize(static_cast<std::size_t>(n));
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  const bool inserted = add_edge_if_absent(u, v);
+  LOCALD_CHECK(inserted, "duplicate edge");
+}
+
+bool Graph::add_edge_if_absent(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  LOCALD_CHECK(u != v, "self-loops are not allowed in a simple graph");
+  auto& au = adj_[u];
+  auto it = std::lower_bound(au.begin(), au.end(), v);
+  if (it != au.end() && *it == v) {
+    return false;
+  }
+  au.insert(it, v);
+  auto& av = adj_[v];
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& au = adj_[u];
+  return std::binary_search(au.begin(), au.end(), v);
+}
+
+NodeId Graph::max_degree() const {
+  NodeId best = 0;
+  for (const auto& a : adj_) {
+    best = std::max(best, static_cast<NodeId>(a.size()));
+  }
+  return best;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (NodeId v : adj_[u]) {
+      if (u < v) {
+        out.emplace_back(u, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace locald::graph

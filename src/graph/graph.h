@@ -1,0 +1,68 @@
+// Simple undirected graph with validated construction.
+//
+// `Graph` is the topological substrate for everything in locald: networks in
+// the LOCAL model, Turing-machine execution tables, quadtree pyramids, and
+// the extracted radius-t balls all reuse it. Nodes are dense integers
+// [0, node_count()); adjacency lists are kept sorted so neighbourhood
+// queries, edge lookups and deterministic iteration are cheap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace locald::graph {
+
+using NodeId = std::int32_t;
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId n) { resize(n); }
+
+  NodeId node_count() const { return static_cast<NodeId>(adj_.size()); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  // Appends an isolated node and returns its id.
+  NodeId add_node();
+
+  // Grows the graph to n nodes (never shrinks).
+  void resize(NodeId n);
+
+  // Inserts the undirected edge {u, v}. Rejects loops and duplicates.
+  void add_edge(NodeId u, NodeId v);
+
+  // Inserts {u, v} unless it is already present. Returns true if inserted.
+  bool add_edge_if_absent(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  NodeId degree(NodeId v) const {
+    check_node(v);
+    return static_cast<NodeId>(adj_[v].size());
+  }
+
+  // Sorted ascending.
+  const std::vector<NodeId>& neighbors(NodeId v) const {
+    check_node(v);
+    return adj_[v];
+  }
+
+  NodeId max_degree() const;
+
+  // Deterministic edge list (u < v, lexicographic).
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  bool operator==(const Graph& other) const { return adj_ == other.adj_; }
+
+ private:
+  void check_node(NodeId v) const {
+    LOCALD_CHECK(v >= 0 && v < node_count(), "node id out of range");
+  }
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace locald::graph

@@ -1,0 +1,28 @@
+// Induced subgraphs with bidirectional node maps.
+//
+// Ball extraction (local/ball.h) and the Section-2/3 instance builders all
+// cut induced subgraphs out of a host graph and need to translate node ids
+// in both directions.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace locald::graph {
+
+struct InducedSubgraph {
+  Graph graph;
+  // to_parent[i] = host id of subgraph node i.
+  std::vector<NodeId> to_parent;
+  // host id -> subgraph id (only nodes that were kept).
+  std::unordered_map<NodeId, NodeId> from_parent;
+};
+
+// Induced subgraph on `nodes` (must be distinct). Subgraph node i corresponds
+// to nodes[i], preserving the caller's ordering.
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<NodeId>& nodes);
+
+}  // namespace locald::graph

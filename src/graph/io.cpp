@@ -1,0 +1,60 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace locald::graph {
+
+std::string to_dot(const Graph& g, const std::vector<std::string>& node_labels,
+                   const std::string& name) {
+  LOCALD_CHECK(node_labels.empty() ||
+                   node_labels.size() ==
+                       static_cast<std::size_t>(g.node_count()),
+               "label count must match node count");
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v;
+    if (!node_labels.empty()) {
+      os << " [label=\"" << node_labels[static_cast<std::size_t>(v)] << "\"]";
+    }
+    os << ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    os << "  n" << u << " -- n" << v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  return to_dot(g, {}, name);
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  for (const auto& [u, v] : g.edges()) {
+    os << u << " " << v << "\n";
+  }
+  return os.str();
+}
+
+Graph from_edge_list(const std::string& text, NodeId min_nodes) {
+  std::istringstream is(text);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId max_id = min_nodes - 1;
+  NodeId u = 0;
+  NodeId v = 0;
+  while (is >> u >> v) {
+    LOCALD_CHECK(u >= 0 && v >= 0, "edge list ids must be non-negative");
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  Graph g(max_id + 1);
+  for (const auto& [a, b] : edges) {
+    g.add_edge_if_absent(a, b);
+  }
+  return g;
+}
+
+}  // namespace locald::graph

@@ -1,0 +1,216 @@
+#include "graph/isomorphism.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/hash.h"
+
+namespace locald::graph {
+
+namespace {
+
+// Colours are dense ranks; a partition is stable ("equitable") when no two
+// equally coloured nodes see different multisets of neighbour colours.
+using Coloring = std::vector<int>;
+
+// Refine until stable. Rank order of the new colours is derived from
+// (old colour, sorted neighbour colours), which is isomorphism-invariant.
+void refine(const Graph& g, Coloring& color) {
+  const std::size_t n = color.size();
+  if (n == 0) {
+    return;
+  }
+  for (;;) {
+    using Key = std::pair<int, std::vector<int>>;
+    std::vector<Key> keys(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::vector<int> around;
+      around.reserve(g.neighbors(static_cast<NodeId>(v)).size());
+      for (NodeId w : g.neighbors(static_cast<NodeId>(v))) {
+        around.push_back(color[static_cast<std::size_t>(w)]);
+      }
+      std::sort(around.begin(), around.end());
+      keys[v] = {color[v], std::move(around)};
+    }
+    std::map<Key, int> rank;
+    for (const Key& k : keys) {
+      rank.emplace(k, 0);
+    }
+    int next = 0;
+    for (auto& [k, r] : rank) {
+      r = next++;
+    }
+    bool changed = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      const int c = rank[keys[v]];
+      if (c != color[v]) {
+        changed = true;
+      }
+      color[v] = c;
+    }
+    if (!changed) {
+      return;
+    }
+  }
+}
+
+// First colour class with more than one member, as a sorted node list;
+// empty when the colouring is discrete.
+std::vector<NodeId> first_non_singleton_class(const Coloring& color) {
+  std::map<int, std::vector<NodeId>> classes;
+  for (std::size_t v = 0; v < color.size(); ++v) {
+    classes[color[v]].push_back(static_cast<NodeId>(v));
+  }
+  for (const auto& [c, members] : classes) {
+    if (members.size() > 1) {
+      return members;
+    }
+  }
+  return {};
+}
+
+std::string encode_discrete(const Graph& g,
+                            const std::vector<std::string>& payloads,
+                            const Coloring& color,
+                            std::vector<NodeId>* order_out) {
+  const std::size_t n = color.size();
+  std::vector<NodeId> order(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    order[static_cast<std::size_t>(color[v])] = static_cast<NodeId>(v);
+  }
+  std::vector<int> position(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  std::string enc;
+  enc += "n=";
+  enc += std::to_string(n);
+  enc += ";";
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    const std::string& p = payloads[static_cast<std::size_t>(v)];
+    enc += "L";
+    enc += std::to_string(p.size());
+    enc += ":";
+    enc += p;
+    enc += "|A";
+    std::vector<int> around;
+    for (NodeId w : g.neighbors(v)) {
+      const int pw = position[static_cast<std::size_t>(w)];
+      if (pw < static_cast<int>(i)) {  // each edge recorded once
+        around.push_back(pw);
+      }
+    }
+    std::sort(around.begin(), around.end());
+    for (int a : around) {
+      enc += std::to_string(a);
+      enc += ",";
+    }
+    enc += ";";
+  }
+  if (order_out != nullptr) {
+    *order_out = std::move(order);
+  }
+  return enc;
+}
+
+struct SearchState {
+  const Graph* g = nullptr;
+  const std::vector<std::string>* payloads = nullptr;
+  std::size_t max_leaves = 0;
+  std::size_t leaves = 0;
+  std::string best;
+  std::vector<NodeId> best_order;
+  bool has_best = false;
+};
+
+// Individualization–refinement over the first non-singleton class. Taking the
+// minimum over *all* branches keeps the result isomorphism-invariant.
+void search(SearchState& st, Coloring color) {
+  refine(*st.g, color);
+  const std::vector<NodeId> cell = first_non_singleton_class(color);
+  if (cell.empty()) {
+    LOCALD_CHECK(++st.leaves <= st.max_leaves,
+                 "canonical_form: too many automorphism branches");
+    std::vector<NodeId> order;
+    std::string enc = encode_discrete(*st.g, *st.payloads, color, &order);
+    if (!st.has_best || enc < st.best) {
+      st.best = std::move(enc);
+      st.best_order = std::move(order);
+      st.has_best = true;
+    }
+    return;
+  }
+  for (NodeId v : cell) {
+    // Split {v} out of its class below the rest: double every colour, then
+    // lower v's. Refinement re-normalizes the ranks.
+    Coloring child = color;
+    for (int& c : child) {
+      c *= 2;
+    }
+    child[static_cast<std::size_t>(v)] -= 1;
+    search(st, std::move(child));
+  }
+}
+
+}  // namespace
+
+CanonicalForm canonical_form(const Graph& g,
+                             const std::vector<std::string>& payloads,
+                             std::size_t max_leaves) {
+  LOCALD_CHECK(payloads.size() == static_cast<std::size_t>(g.node_count()),
+               "one payload required per node");
+  // Initial colouring groups nodes by payload.
+  std::map<std::string, int> payload_rank;
+  for (const auto& p : payloads) {
+    payload_rank.emplace(p, 0);
+  }
+  int next = 0;
+  for (auto& [p, r] : payload_rank) {
+    r = next++;
+  }
+  Coloring color(payloads.size());
+  for (std::size_t v = 0; v < payloads.size(); ++v) {
+    color[v] = payload_rank[payloads[v]];
+  }
+
+  SearchState st;
+  st.g = &g;
+  st.payloads = &payloads;
+  st.max_leaves = max_leaves;
+  search(st, std::move(color));
+  LOCALD_ASSERT(st.has_best || g.node_count() == 0,
+                "canonical search produced no leaf");
+  if (g.node_count() == 0) {
+    st.best = "n=0;";
+  }
+
+  CanonicalForm out;
+  out.order = std::move(st.best_order);
+  out.encoding = std::move(st.best);
+  out.fingerprint = hash_string(out.encoding);
+  return out;
+}
+
+CanonicalForm canonical_form(const Graph& g, std::size_t max_leaves) {
+  return canonical_form(
+      g, std::vector<std::string>(static_cast<std::size_t>(g.node_count())),
+      max_leaves);
+}
+
+bool isomorphic(const Graph& a, const std::vector<std::string>& payload_a,
+                const Graph& b, const std::vector<std::string>& payload_b) {
+  if (a.node_count() != b.node_count() || a.edge_count() != b.edge_count()) {
+    return false;
+  }
+  return canonical_form(a, payload_a).encoding ==
+         canonical_form(b, payload_b).encoding;
+}
+
+bool isomorphic(const Graph& a, const Graph& b) {
+  return isomorphic(
+      a, std::vector<std::string>(static_cast<std::size_t>(a.node_count())),
+      b, std::vector<std::string>(static_cast<std::size_t>(b.node_count())));
+}
+
+}  // namespace locald::graph

@@ -1,0 +1,50 @@
+// Canonical forms for vertex-labelled graphs.
+//
+// The indistinguishability arguments of the paper compare radius-t balls up
+// to label-preserving isomorphism: an Id-oblivious algorithm is exactly a
+// function of the ball's isomorphism class. `canonical_form` computes a
+// complete invariant — two labelled graphs have equal encodings if and only
+// if they are isomorphic by a label-preserving bijection — via colour
+// refinement (1-WL) plus individualization–refinement search over the first
+// non-singleton colour class, taking the lexicographically least leaf
+// encoding.
+//
+// Intended for the small graphs this project compares (balls, fragments,
+// instances up to a few thousand nodes). Labels carried as opaque byte
+// payloads are embedded verbatim in the encoding, so no hash collisions can
+// merge distinct labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace locald::graph {
+
+struct CanonicalForm {
+  // order[i] = original node placed at canonical position i.
+  std::vector<NodeId> order;
+  // Complete invariant: equal encoding <=> label-preserving isomorphic.
+  std::string encoding;
+  // FNV-1a of `encoding`; convenient hash-map key.
+  std::uint64_t fingerprint = 0;
+};
+
+// `payloads[v]` is the label of node v as opaque bytes (may be empty).
+// Throws locald::Error if the search would exceed `max_leaves` discrete
+// orderings (pathologically symmetric inputs).
+CanonicalForm canonical_form(const Graph& g,
+                             const std::vector<std::string>& payloads,
+                             std::size_t max_leaves = 1 << 20);
+
+// Convenience: all payloads empty (pure topology).
+CanonicalForm canonical_form(const Graph& g, std::size_t max_leaves = 1 << 20);
+
+bool isomorphic(const Graph& a, const std::vector<std::string>& payload_a,
+                const Graph& b, const std::vector<std::string>& payload_b);
+
+bool isomorphic(const Graph& a, const Graph& b);
+
+}  // namespace locald::graph

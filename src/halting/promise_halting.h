@@ -1,0 +1,42 @@
+// The Section-3 warm-up promise problem R on machine-labelled cycles.
+//
+// Instances are cycles whose constant label encodes a machine M; the
+// promise guarantees n >= s whenever M halts in s steps. Yes iff M runs
+// forever. With identifiers: a node simulates M for Id(v) + 1 steps; since
+// ids are one-to-one, some node simulates at least n >= s steps and catches
+// the halt. Without identifiers a decider would solve the halting problem;
+// the bounded-budget candidates below are fooled by machines outlasting
+// their budget.
+#pragma once
+
+#include <memory>
+
+#include "local/algorithm.h"
+#include "local/labeled_graph.h"
+#include "local/property.h"
+#include "tm/machine.h"
+
+namespace locald::halting {
+
+inline constexpr std::int64_t kPromiseHaltTag = 11;
+
+// Cycle of the given length with every node labelled
+// [kPromiseHaltTag, M-encoding...].
+local::LabeledGraph build_promise_halting_instance(
+    const tm::TuringMachine& machine, graph::NodeId cycle_length);
+
+// yes iff the decoded machine does NOT halt within `oracle_budget` steps —
+// the computable stand-in for "runs forever" (documented substitution; the
+// experiment machines' ground truths are known).
+std::unique_ptr<local::Property> promise_halting_property(
+    long long oracle_budget);
+
+// Id-aware horizon-0 decider: simulate for Id(v) + 1 steps (capped).
+std::unique_ptr<local::LocalAlgorithm> make_promise_halting_decider(
+    long long sim_cap = 1'000'000);
+
+// Id-oblivious candidate with a fixed simulation budget.
+std::unique_ptr<local::LocalAlgorithm> promise_halting_candidate(
+    long long sim_budget);
+
+}  // namespace locald::halting

@@ -1,0 +1,121 @@
+#include "halting/pyramid.h"
+
+#include <functional>
+
+#include "graph/isomorphism.h"
+
+namespace locald::halting {
+
+PyramidIndexer::PyramidIndexer(int h) : h_(h) {
+  LOCALD_CHECK(h >= 0 && h <= 12, "pyramid height out of supported range");
+  level_offset_.resize(static_cast<std::size_t>(h_) + 1);
+  graph::NodeId offset = 0;
+  for (int z = 0; z <= h_; ++z) {
+    level_offset_[static_cast<std::size_t>(z)] = offset;
+    const graph::NodeId s = static_cast<graph::NodeId>(side(z));
+    offset += s * s;
+  }
+  total_ = offset;
+}
+
+graph::NodeId PyramidIndexer::id(int x, int y, int z) const {
+  const int s = side(z);
+  LOCALD_CHECK(x >= 0 && x < s && y >= 0 && y < s,
+               "pyramid coordinate out of range");
+  return level_offset_[static_cast<std::size_t>(z)] +
+         static_cast<graph::NodeId>(y) * s + x;
+}
+
+PyramidIndexer::Position PyramidIndexer::position(graph::NodeId v) const {
+  LOCALD_CHECK(v >= 0 && v < total_, "pyramid node out of range");
+  int z = h_;
+  while (level_offset_[static_cast<std::size_t>(z)] > v) {
+    --z;
+  }
+  const graph::NodeId rel = v - level_offset_[static_cast<std::size_t>(z)];
+  const int s = side(z);
+  return Position{static_cast<int>(rel) % s, static_cast<int>(rel) / s, z};
+}
+
+graph::Graph build_pyramid(const PyramidIndexer& indexer) {
+  graph::Graph g(indexer.node_count());
+  for (int z = 0; z <= indexer.height(); ++z) {
+    const int s = indexer.side(z);
+    for (int y = 0; y < s; ++y) {
+      for (int x = 0; x < s; ++x) {
+        const graph::NodeId v = indexer.id(x, y, z);
+        if (x + 1 < s) {
+          g.add_edge(v, indexer.id(x + 1, y, z));
+        }
+        if (y + 1 < s) {
+          g.add_edge(v, indexer.id(x, y + 1, z));
+        }
+        if (z < indexer.height()) {
+          g.add_edge(v, indexer.id(x / 2, y / 2, z + 1));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+graph::NodeId attach_pyramid(
+    graph::Graph& g, const PyramidIndexer& indexer,
+    const std::function<graph::NodeId(int, int)>& base) {
+  const graph::NodeId first = g.node_count();
+  // Ids of upper-level nodes, allocated level by level.
+  std::vector<std::vector<graph::NodeId>> level_ids(
+      static_cast<std::size_t>(indexer.height()) + 1);
+  for (int z = 1; z <= indexer.height(); ++z) {
+    const int s = indexer.side(z);
+    auto& ids = level_ids[static_cast<std::size_t>(z)];
+    ids.resize(static_cast<std::size_t>(s) * s);
+    for (int y = 0; y < s; ++y) {
+      for (int x = 0; x < s; ++x) {
+        ids[static_cast<std::size_t>(y) * s + x] = g.add_node();
+      }
+    }
+  }
+  auto node_at = [&](int x, int y, int z) {
+    if (z == 0) {
+      return base(x, y);
+    }
+    const int s = indexer.side(z);
+    return level_ids[static_cast<std::size_t>(z)]
+                    [static_cast<std::size_t>(y) * s + x];
+  };
+  for (int z = 1; z <= indexer.height(); ++z) {
+    const int s = indexer.side(z);
+    for (int y = 0; y < s; ++y) {
+      for (int x = 0; x < s; ++x) {
+        const graph::NodeId v = node_at(x, y, z);
+        if (x + 1 < s) {
+          g.add_edge(v, node_at(x + 1, y, z));
+        }
+        if (y + 1 < s) {
+          g.add_edge(v, node_at(x, y + 1, z));
+        }
+      }
+    }
+  }
+  // Parent edges for every level including 0.
+  for (int z = 0; z < indexer.height(); ++z) {
+    const int s = indexer.side(z);
+    for (int y = 0; y < s; ++y) {
+      for (int x = 0; x < s; ++x) {
+        g.add_edge(node_at(x, y, z), node_at(x / 2, y / 2, z + 1));
+      }
+    }
+  }
+  return first;
+}
+
+bool is_pyramid(const graph::Graph& g, int h) {
+  const PyramidIndexer indexer(h);
+  if (g.node_count() != indexer.node_count()) {
+    return false;
+  }
+  return graph::isomorphic(g, build_pyramid(indexer));
+}
+
+}  // namespace locald::halting

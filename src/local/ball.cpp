@@ -1,0 +1,79 @@
+#include "local/ball.h"
+
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "graph/induced.h"
+#include "graph/isomorphism.h"
+#include "support/hash.h"
+
+namespace locald::local {
+
+Ball Ball::without_ids() const {
+  Ball out = *this;
+  out.ids.reset();
+  return out;
+}
+
+Ball Ball::with_ids(std::vector<Id> new_ids) const {
+  LOCALD_CHECK(new_ids.size() == static_cast<std::size_t>(g.node_count()),
+               "one id per ball node");
+  std::unordered_set<Id> seen;
+  for (Id id : new_ids) {
+    LOCALD_CHECK(seen.insert(id).second, "ball ids must be one-to-one");
+  }
+  Ball out = *this;
+  out.ids = std::move(new_ids);
+  return out;
+}
+
+std::string Ball::canonical_encoding() const {
+  std::vector<std::string> payloads;
+  payloads.reserve(static_cast<std::size_t>(g.node_count()));
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    std::string p = (v == center) ? "C" : "N";
+    p += labels[static_cast<std::size_t>(v)].payload();
+    if (ids.has_value()) {
+      p += "#";
+      p += std::to_string((*ids)[static_cast<std::size_t>(v)]);
+    }
+    payloads.push_back(std::move(p));
+  }
+  std::string enc = "r=" + std::to_string(radius) + ";";
+  enc += graph::canonical_form(g, payloads).encoding;
+  return enc;
+}
+
+std::uint64_t Ball::canonical_fingerprint() const {
+  return hash_string(canonical_encoding());
+}
+
+Ball extract_ball(const LabeledGraph& g, const IdAssignment* ids,
+                  graph::NodeId v, int radius) {
+  if (ids != nullptr) {
+    LOCALD_CHECK(ids->node_count() == g.node_count(),
+                 "identifier assignment size mismatch");
+  }
+  const auto members = graph::nodes_within(g.graph(), v, radius);
+  auto sub = graph::induced_subgraph(g.graph(), members);
+  Ball ball;
+  ball.g = std::move(sub.graph);
+  ball.to_host = std::move(sub.to_parent);
+  ball.center = sub.from_parent.at(v);
+  ball.radius = radius;
+  ball.labels.reserve(members.size());
+  for (graph::NodeId host : ball.to_host) {
+    ball.labels.push_back(g.label(host));
+  }
+  if (ids != nullptr) {
+    std::vector<Id> ball_ids;
+    ball_ids.reserve(members.size());
+    for (graph::NodeId host : ball.to_host) {
+      ball_ids.push_back(ids->of(host));
+    }
+    ball.ids = std::move(ball_ids);
+  }
+  return ball;
+}
+
+}  // namespace locald::local

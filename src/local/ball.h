@@ -1,0 +1,73 @@
+// Radius-t balls (G, x, Id) |` B(v, t) — the entire input of a local
+// algorithm.
+//
+// A `Ball` is the induced substructure on the nodes within distance t of the
+// centre, carrying labels and (optionally) identifiers. Everything a local
+// algorithm may legally depend on is in here; the simulator passes nothing
+// else. An Id-oblivious algorithm receives a ball with the identifiers
+// stripped, which makes obliviousness a property enforced by the framework
+// rather than a promise of the algorithm author.
+//
+// `canonical_encoding` is a complete isomorphism invariant of the ball
+// (centre distinguished, labels exact, ids exact when present): two balls
+// get equal encodings iff a centre-, label- and id-preserving isomorphism
+// exists. Id-oblivious indistinguishability arguments compare encodings of
+// stripped balls.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "local/identifiers.h"
+#include "local/label.h"
+#include "local/labeled_graph.h"
+
+namespace locald::local {
+
+struct Ball {
+  graph::Graph g;
+  std::vector<Label> labels;
+  // Present iff the receiving algorithm may read identifiers.
+  std::optional<std::vector<Id>> ids;
+  graph::NodeId center = 0;
+  int radius = 0;
+  // Host node behind each ball node (diagnostics; not visible to algorithms
+  // through the canonical encoding).
+  std::vector<graph::NodeId> to_host;
+
+  graph::NodeId node_count() const { return g.node_count(); }
+  bool has_ids() const { return ids.has_value(); }
+
+  const Label& label(graph::NodeId v) const {
+    LOCALD_CHECK(v >= 0 && v < g.node_count(), "ball node out of range");
+    return labels[static_cast<std::size_t>(v)];
+  }
+
+  Id id_of(graph::NodeId v) const {
+    LOCALD_CHECK(has_ids(), "ball carries no identifiers");
+    LOCALD_CHECK(v >= 0 && v < g.node_count(), "ball node out of range");
+    return (*ids)[static_cast<std::size_t>(v)];
+  }
+
+  Id center_id() const { return id_of(center); }
+  const Label& center_label() const { return label(center); }
+
+  // Same ball with identifiers removed.
+  Ball without_ids() const;
+
+  // Replace identifiers (used by the Id-oblivious simulation A* to test
+  // alternative assignments). Sizes must match; values must be one-to-one.
+  Ball with_ids(std::vector<Id> new_ids) const;
+
+  // Complete invariant; see file comment.
+  std::string canonical_encoding() const;
+  std::uint64_t canonical_fingerprint() const;
+};
+
+// Extract (G, x) |` B(v, radius); pass `ids` to include identifiers.
+Ball extract_ball(const LabeledGraph& g, const IdAssignment* ids,
+                  graph::NodeId v, int radius);
+
+}  // namespace locald::local

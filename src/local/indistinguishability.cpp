@@ -1,0 +1,61 @@
+#include "local/indistinguishability.h"
+
+#include "local/simulator.h"
+
+namespace locald::local {
+
+void BallProfile::add_graph(const LabeledGraph& g) {
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const Ball ball = extract_ball(g, nullptr, v, radius_);
+    add_ball(ball);
+  }
+}
+
+void BallProfile::add_ball(const Ball& ball) {
+  LOCALD_CHECK(!ball.has_ids(),
+               "ball profiles aggregate Id-oblivious (stripped) balls");
+  LOCALD_CHECK(ball.radius == radius_, "ball radius mismatch");
+  fingerprints_.insert(ball.canonical_fingerprint());
+  ++balls_seen_;
+}
+
+bool BallProfile::contains(const Ball& ball) const {
+  LOCALD_CHECK(!ball.has_ids(), "profile queries use stripped balls");
+  return contains(ball.canonical_fingerprint());
+}
+
+BallProfile BallProfile::of_graph(const LabeledGraph& g, int radius) {
+  BallProfile profile(radius);
+  profile.add_graph(g);
+  return profile;
+}
+
+AuditResult audit_indistinguishability(const LabeledGraph& no_instance,
+                                       const BallProfile& yes_profile,
+                                       std::size_t max_witnesses) {
+  AuditResult result;
+  result.radius = yes_profile.radius();
+  std::unordered_set<std::uint64_t> seen;
+  for (graph::NodeId v = 0; v < no_instance.node_count(); ++v) {
+    const Ball ball =
+        extract_ball(no_instance, nullptr, v, yes_profile.radius());
+    const std::uint64_t fp = ball.canonical_fingerprint();
+    ++result.nodes_audited;
+    seen.insert(fp);
+    if (!yes_profile.contains(fp)) {
+      ++result.missing;
+      if (result.missing_witnesses.size() < max_witnesses) {
+        result.missing_witnesses.push_back(v);
+      }
+    }
+  }
+  result.distinct_balls = seen.size();
+  return result;
+}
+
+bool oblivious_accepts(const LocalAlgorithm& alg,
+                       const LabeledGraph& instance) {
+  return run_oblivious(alg, instance).accepted;
+}
+
+}  // namespace locald::local

@@ -1,0 +1,82 @@
+// Ball profiles and the indistinguishability auditor.
+//
+// An Id-oblivious algorithm with horizon t is a function of the canonical
+// class of the stripped ball. Hence, if every radius-t ball of a no-instance
+// N already occurs in some yes-instance, then any Id-oblivious t-algorithm
+// that accepts all those yes-instances must also accept N: each node of N
+// sees a ball on which the algorithm is forced to answer yes. This is the
+// engine behind both of the paper's lower bounds (Section 2 directly;
+// Section 3 via the neighbourhood generator).
+//
+// `BallProfile` aggregates canonical fingerprints of stripped balls over an
+// instance family, built incrementally so that families too large to hold in
+// memory (e.g. all of H_r) can be streamed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "local/algorithm.h"
+#include "local/labeled_graph.h"
+
+namespace locald::local {
+
+class BallProfile {
+ public:
+  explicit BallProfile(int radius) : radius_(radius) {
+    LOCALD_CHECK(radius >= 0, "radius must be non-negative");
+  }
+
+  int radius() const { return radius_; }
+
+  // Adds the stripped ball of every node of `g`.
+  void add_graph(const LabeledGraph& g);
+
+  // Adds one ball (must be stripped and of matching radius).
+  void add_ball(const Ball& ball);
+
+  bool contains(std::uint64_t fingerprint) const {
+    return fingerprints_.contains(fingerprint);
+  }
+
+  bool contains(const Ball& ball) const;
+
+  std::size_t distinct_balls() const { return fingerprints_.size(); }
+  std::size_t balls_seen() const { return balls_seen_; }
+
+  static BallProfile of_graph(const LabeledGraph& g, int radius);
+
+ private:
+  int radius_;
+  std::unordered_set<std::uint64_t> fingerprints_;
+  std::size_t balls_seen_ = 0;
+};
+
+struct AuditResult {
+  int radius = 0;
+  std::size_t nodes_audited = 0;
+  std::size_t distinct_balls = 0;
+  std::size_t missing = 0;  // balls of the no-instance absent from the profile
+  std::vector<graph::NodeId> missing_witnesses;  // up to a few host nodes
+
+  // True certifies: no Id-oblivious algorithm with this horizon can both
+  // accept every instance contributing to the profile and reject the
+  // audited no-instance.
+  bool indistinguishable() const { return missing == 0; }
+};
+
+// Checks whether every radius-(profile.radius()) ball of `no_instance`
+// occurs in `yes_profile`.
+AuditResult audit_indistinguishability(const LabeledGraph& no_instance,
+                                       const BallProfile& yes_profile,
+                                       std::size_t max_witnesses = 5);
+
+// Runs the oblivious algorithm on the no-instance and reports whether it
+// (incorrectly, given a successful audit) accepts. Convenience for
+// experiments that pair the audit with a concrete candidate decider.
+bool oblivious_accepts(const LocalAlgorithm& alg,
+                       const LabeledGraph& instance);
+
+}  // namespace locald::local

@@ -1,0 +1,74 @@
+// A labelled graph (G, x): the paper's instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/isomorphism.h"
+#include "local/label.h"
+
+namespace locald::local {
+
+class LabeledGraph {
+ public:
+  LabeledGraph() = default;
+
+  // All labels default-initialized to the empty label.
+  explicit LabeledGraph(graph::Graph g)
+      : g_(std::move(g)),
+        labels_(static_cast<std::size_t>(g_.node_count())) {}
+
+  LabeledGraph(graph::Graph g, std::vector<Label> labels)
+      : g_(std::move(g)), labels_(std::move(labels)) {
+    LOCALD_CHECK(labels_.size() == static_cast<std::size_t>(g_.node_count()),
+                 "one label required per node");
+  }
+
+  // Every node labelled `l`.
+  static LabeledGraph uniform(graph::Graph g, const Label& l) {
+    LabeledGraph out(std::move(g));
+    for (auto& lab : out.labels_) {
+      lab = l;
+    }
+    return out;
+  }
+
+  const graph::Graph& graph() const { return g_; }
+  graph::Graph& mutable_graph() { return g_; }
+  graph::NodeId node_count() const { return g_.node_count(); }
+
+  const Label& label(graph::NodeId v) const {
+    LOCALD_CHECK(v >= 0 && v < g_.node_count(), "node out of range");
+    return labels_[static_cast<std::size_t>(v)];
+  }
+
+  void set_label(graph::NodeId v, Label l) {
+    LOCALD_CHECK(v >= 0 && v < g_.node_count(), "node out of range");
+    labels_[static_cast<std::size_t>(v)] = std::move(l);
+  }
+
+  const std::vector<Label>& labels() const { return labels_; }
+
+  std::vector<std::string> label_payloads() const {
+    std::vector<std::string> out;
+    out.reserve(labels_.size());
+    for (const auto& l : labels_) {
+      out.push_back(l.payload());
+    }
+    return out;
+  }
+
+  // Label-preserving isomorphism — the equivalence defining labelled graph
+  // properties in Section 1.2.
+  friend bool isomorphic(const LabeledGraph& a, const LabeledGraph& b) {
+    return graph::isomorphic(a.g_, a.label_payloads(), b.g_,
+                             b.label_payloads());
+  }
+
+ private:
+  graph::Graph g_;
+  std::vector<Label> labels_;
+};
+
+}  // namespace locald::local

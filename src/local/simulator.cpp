@@ -1,0 +1,110 @@
+#include "local/simulator.h"
+
+namespace locald::local {
+
+namespace {
+
+RunResult run_impl(const LocalAlgorithm& alg, const LabeledGraph& g,
+                   const IdAssignment* ids) {
+  RunResult result;
+  result.outputs.reserve(static_cast<std::size_t>(g.node_count()));
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    Ball ball = extract_ball(g, ids, v, alg.horizon());
+    if (alg.id_oblivious() && ball.has_ids()) {
+      ball = ball.without_ids();
+    }
+    const Verdict out = alg.evaluate(ball);
+    result.outputs.push_back(out);
+    if (out == Verdict::no && result.accepted) {
+      result.accepted = false;
+      result.first_rejecting = v;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+RunResult run_local_algorithm(const LocalAlgorithm& alg, const LabeledGraph& g,
+                              const IdAssignment& ids) {
+  LOCALD_CHECK(ids.node_count() == g.node_count(),
+               "identifier assignment size mismatch");
+  return run_impl(alg, g, &ids);
+}
+
+RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g) {
+  LOCALD_CHECK(alg.id_oblivious(),
+               "run_oblivious requires an Id-oblivious algorithm");
+  return run_impl(alg, g, nullptr);
+}
+
+bool accepts(const LocalAlgorithm& alg, const LabeledGraph& g,
+             const IdAssignment& ids) {
+  return run_local_algorithm(alg, g, ids).accepted;
+}
+
+IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
+                                      const LabeledGraph& g, Id universe,
+                                      int trials, Rng& rng) {
+  LOCALD_CHECK(trials >= 2, "need at least two assignments to compare");
+  IdDependenceProbe probe;
+  probe.trials = trials;
+  std::optional<RunResult> reference;
+  for (int i = 0; i < trials; ++i) {
+    const IdAssignment ids =
+        make_random_unbounded(g.node_count(), universe, rng);
+    RunResult run = run_local_algorithm(alg, g, ids);
+    if (!reference.has_value()) {
+      reference = std::move(run);
+      continue;
+    }
+    if (run.accepted != reference->accepted) {
+      probe.global_verdict_changed = true;
+    }
+    if (run.outputs != reference->outputs) {
+      probe.some_node_output_changed = true;
+    }
+  }
+  return probe;
+}
+
+RandomizedRun run_randomized_once(const RandomizedLocalAlgorithm& alg,
+                                  const LabeledGraph& g,
+                                  const IdAssignment* ids, Rng& rng) {
+  if (!alg.id_oblivious()) {
+    LOCALD_CHECK(ids != nullptr,
+                 "id-aware randomized algorithm needs identifiers");
+  }
+  RandomizedRun run;
+  run.outputs.reserve(static_cast<std::size_t>(g.node_count()));
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    Ball ball = extract_ball(g, ids, v, alg.horizon());
+    if (alg.id_oblivious() && ball.has_ids()) {
+      ball = ball.without_ids();
+    }
+    Rng node_coin = rng.split();
+    const Verdict out = alg.evaluate(ball, node_coin);
+    run.outputs.push_back(out);
+    if (out == Verdict::no) {
+      run.accepted = false;
+    }
+  }
+  return run;
+}
+
+AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
+                                       const LabeledGraph& g,
+                                       const IdAssignment* ids, int trials,
+                                       Rng& rng) {
+  LOCALD_CHECK(trials > 0, "need at least one trial");
+  AcceptanceEstimate est;
+  est.trials = trials;
+  for (int i = 0; i < trials; ++i) {
+    if (run_randomized_once(alg, g, ids, rng).accepted) {
+      ++est.accepted;
+    }
+  }
+  return est;
+}
+
+}  // namespace locald::local

@@ -1,0 +1,71 @@
+// Running a local algorithm on an input (G, x, Id).
+//
+// Global acceptance follows the paper's local-decision rule: accept iff
+// every node outputs yes; a single no rejects.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "local/algorithm.h"
+#include "local/labeled_graph.h"
+
+namespace locald::local {
+
+struct RunResult {
+  std::vector<Verdict> outputs;
+  bool accepted = true;
+  std::optional<graph::NodeId> first_rejecting;
+};
+
+// Evaluates the algorithm on every node. If the algorithm declares itself
+// Id-oblivious, identifiers are stripped from every ball before evaluation.
+RunResult run_local_algorithm(const LocalAlgorithm& alg, const LabeledGraph& g,
+                              const IdAssignment& ids);
+
+// Runs an Id-oblivious algorithm without any identifier assignment.
+RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g);
+
+// Global verdict only.
+bool accepts(const LocalAlgorithm& alg, const LabeledGraph& g,
+             const IdAssignment& ids);
+
+// Empirical probe of assumption-dependence: evaluates the algorithm under
+// `trials` random id assignments drawn from [0, universe) and reports
+// whether any PER-NODE output differed between two assignments. A truly
+// Id-oblivious algorithm never differs; the Section-2/3 deciders must.
+struct IdDependenceProbe {
+  bool global_verdict_changed = false;
+  bool some_node_output_changed = false;
+  int trials = 0;
+};
+
+IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
+                                      const LabeledGraph& g, Id universe,
+                                      int trials, Rng& rng);
+
+// Randomized algorithms: one independent RNG stream per node per trial.
+struct RandomizedRun {
+  std::vector<Verdict> outputs;
+  bool accepted = true;
+};
+
+RandomizedRun run_randomized_once(const RandomizedLocalAlgorithm& alg,
+                                  const LabeledGraph& g,
+                                  const IdAssignment* ids, Rng& rng);
+
+// Monte-Carlo estimate of Pr[accept].
+struct AcceptanceEstimate {
+  int trials = 0;
+  int accepted = 0;
+  double probability() const {
+    return trials == 0 ? 0.0 : static_cast<double>(accepted) / trials;
+  }
+};
+
+AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
+                                       const LabeledGraph& g,
+                                       const IdAssignment* ids, int trials,
+                                       Rng& rng);
+
+}  // namespace locald::local

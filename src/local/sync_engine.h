@@ -1,0 +1,103 @@
+// Synchronous message-passing view of the LOCAL model.
+//
+// Section 1.2 notes that a local algorithm with horizon t is equivalent to a
+// distributed algorithm running t (± 1) synchronous rounds: nodes exchange
+// unbounded messages with neighbours, then output. This module provides
+// that networked-state-machine view and the bridge in both directions:
+//
+//  - `MessagePassingAlgorithm`: write an algorithm as init/message/update/
+//    output; the engine runs the rounds.
+//  - `FullInfoGather`: the canonical t-round algorithm that floods
+//    (id, label, adjacency) knowledge, reconstructs (G, x, Id) |` B(v, t)
+//    exactly, and delegates to any `LocalAlgorithm`. Tests assert it
+//    reproduces direct ball evaluation verbatim — the equivalence the paper
+//    appeals to.
+//
+// The engine uses identifiers as transport addresses during flooding. For an
+// Id-oblivious inner algorithm the reconstructed ball is stripped before
+// evaluation, so obliviousness remains framework-enforced.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "local/algorithm.h"
+#include "local/labeled_graph.h"
+
+namespace locald::local {
+
+struct NodeView {
+  Label label;
+  std::optional<Id> id;
+  int degree = 0;
+};
+
+class MessagePassingAlgorithm {
+ public:
+  virtual ~MessagePassingAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+  virtual int rounds() const = 0;
+
+  virtual std::string init(const NodeView& view) const = 0;
+  // Message broadcast to all neighbours this round (LOCAL: unbounded size).
+  virtual std::string message(const std::string& state, int round) const = 0;
+  // Inbox is ordered by neighbour port (ascending node index) — the engine
+  // hides raw indices from the algorithm otherwise.
+  virtual std::string update(const std::string& state,
+                             const std::vector<std::string>& inbox,
+                             int round) const = 0;
+  virtual Verdict output(const std::string& state) const = 0;
+};
+
+// Runs `rounds()` synchronous rounds; `ids` may be null for anonymous runs.
+std::vector<Verdict> run_message_passing(const MessagePassingAlgorithm& alg,
+                                         const LabeledGraph& g,
+                                         const IdAssignment* ids);
+
+// What one node knows about another after flooding.
+struct KnownNode {
+  Id id = 0;
+  Label label;
+  std::vector<Id> adj;  // full adjacency, as ids (may mention unknown nodes)
+
+  bool operator==(const KnownNode&) const = default;
+};
+
+using Knowledge = std::map<Id, KnownNode>;
+
+// Serialization used as message payload (exercised directly by tests).
+std::string encode_knowledge(Id self, const Knowledge& k);
+std::pair<Id, Knowledge> decode_knowledge(const std::string& payload);
+
+// Rebuilds the induced radius-t ball around `self` from flooded knowledge.
+// Only information actually contained in the knowledge map is used.
+Ball ball_from_knowledge(Id self, const Knowledge& k, int radius);
+
+// Full-information algorithm wrapping an inner `LocalAlgorithm`.
+class FullInfoGather final : public MessagePassingAlgorithm {
+ public:
+  explicit FullInfoGather(const LocalAlgorithm& inner) : inner_(&inner) {}
+
+  std::string name() const override;
+  int rounds() const override { return inner_->horizon(); }
+  std::string init(const NodeView& view) const override;
+  std::string message(const std::string& state, int round) const override;
+  std::string update(const std::string& state,
+                     const std::vector<std::string>& inbox,
+                     int round) const override;
+  Verdict output(const std::string& state) const override;
+
+ private:
+  const LocalAlgorithm* inner_;
+};
+
+// Convenience: run `alg` through the message-passing engine. Produces the
+// same outputs as run_local_algorithm (tested equivalence).
+std::vector<Verdict> run_via_message_passing(const LocalAlgorithm& alg,
+                                             const LabeledGraph& g,
+                                             const IdAssignment& ids);
+
+}  // namespace locald::local

@@ -1,0 +1,108 @@
+#include "oblivious/simulation.h"
+
+#include <algorithm>
+
+#include "support/format.h"
+#include "support/rng.h"
+
+namespace locald::oblivious {
+
+namespace {
+
+using local::Ball;
+using local::Id;
+using local::Verdict;
+
+// Number of injections from b slots into u ids, saturating at `cap`.
+std::size_t injection_count(Id u, int b, std::size_t cap) {
+  std::size_t total = 1;
+  for (int i = 0; i < b; ++i) {
+    const Id factor = u - static_cast<Id>(i);
+    if (factor == 0) {
+      return 0;
+    }
+    if (total > cap / factor) {
+      return cap + 1;  // saturated
+    }
+    total *= static_cast<std::size_t>(factor);
+  }
+  return total;
+}
+
+// Recursively enumerates all injections; returns true if a rejecting
+// assignment was found.
+bool search_exhaustive(const local::LocalAlgorithm& inner, const Ball& ball,
+                       std::vector<Id>& chosen, std::vector<bool>& used,
+                       Id universe, std::size_t& tried) {
+  const std::size_t slot = chosen.size();
+  if (slot == static_cast<std::size_t>(ball.node_count())) {
+    ++tried;
+    return inner.evaluate(ball.with_ids(chosen)) == Verdict::no;
+  }
+  for (Id id = 0; id < universe; ++id) {
+    if (used[static_cast<std::size_t>(id)]) {
+      continue;
+    }
+    used[static_cast<std::size_t>(id)] = true;
+    chosen.push_back(id);
+    if (search_exhaustive(inner, ball, chosen, used, universe, tried)) {
+      return true;
+    }
+    chosen.pop_back();
+    used[static_cast<std::size_t>(id)] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+ObliviousSimulation::ObliviousSimulation(
+    std::shared_ptr<const local::LocalAlgorithm> inner,
+    SimulationOptions options)
+    : inner_(std::move(inner)), options_(options) {
+  LOCALD_CHECK(inner_ != nullptr, "inner algorithm required");
+  LOCALD_CHECK(!inner_->id_oblivious(),
+               "simulating an already Id-oblivious algorithm is a no-op");
+  LOCALD_CHECK(options_.id_universe >= 1, "empty id universe");
+}
+
+std::string ObliviousSimulation::name() const {
+  return cat("A*(", inner_->name(), ")");
+}
+
+Verdict ObliviousSimulation::evaluate(const Ball& ball) const {
+  const int b = ball.node_count();
+  LOCALD_CHECK(static_cast<Id>(b) <= options_.id_universe,
+               "id universe smaller than the ball");
+  stats_ = {};
+  const std::size_t total =
+      injection_count(options_.id_universe, b, options_.max_assignments);
+  if (total <= options_.max_assignments) {
+    stats_.exhaustive = true;
+    std::vector<Id> chosen;
+    std::vector<bool> used(static_cast<std::size_t>(options_.id_universe));
+    const bool rejected = search_exhaustive(*inner_, ball, chosen, used,
+                                            options_.id_universe,
+                                            stats_.assignments_tried);
+    return rejected ? Verdict::no : Verdict::yes;
+  }
+  // Sampled search: the computable stand-in for the infinite enumeration.
+  Rng rng(options_.seed ^ ball.canonical_fingerprint());
+  for (std::size_t i = 0; i < options_.max_assignments; ++i) {
+    const auto ids = rng.sample_distinct(options_.id_universe,
+                                         static_cast<std::size_t>(b));
+    ++stats_.assignments_tried;
+    if (inner_->evaluate(ball.with_ids(ids)) == Verdict::no) {
+      return Verdict::no;
+    }
+  }
+  return Verdict::yes;
+}
+
+std::unique_ptr<ObliviousSimulation> make_oblivious_simulation(
+    std::shared_ptr<const local::LocalAlgorithm> inner,
+    SimulationOptions options) {
+  return std::make_unique<ObliviousSimulation>(std::move(inner), options);
+}
+
+}  // namespace locald::oblivious

@@ -1,0 +1,58 @@
+// The Id-oblivious simulation A* from the paper's introduction.
+//
+// Given a local algorithm A, the simulation outputs no on a ball iff SOME
+// one-to-one identifier assignment makes A output no. Under (¬B, ¬C) this
+// decides the same property as A — the paper's proof that identifiers are
+// unnecessary when both assumptions are dropped. Under (B) the simulation
+// breaks (it explores assignments that the bounded-id promise rules out),
+// and under (C) it may fail to terminate (the search is over an infinite
+// domain): both failure modes are demonstrated in the experiments.
+//
+// Substitution (documented in DESIGN.md): the infinite search is realized
+// as exhaustive enumeration when the injection count fits the budget and
+// as seeded random sampling otherwise; `id_universe` is the finite stand-in
+// for N.
+#pragma once
+
+#include <memory>
+
+#include "local/algorithm.h"
+
+namespace locald::oblivious {
+
+struct SimulationOptions {
+  local::Id id_universe = 1 << 20;     // ids searched in [0, id_universe)
+  std::size_t max_assignments = 20'000;  // enumeration/sampling budget
+  std::uint64_t seed = 1;
+};
+
+// Statistics of the most recent evaluation (exposed for the experiments).
+struct SimulationStats {
+  bool exhaustive = false;          // full injection enumeration used
+  std::size_t assignments_tried = 0;
+};
+
+class ObliviousSimulation final : public local::LocalAlgorithm {
+ public:
+  ObliviousSimulation(std::shared_ptr<const local::LocalAlgorithm> inner,
+                      SimulationOptions options);
+
+  std::string name() const override;
+  int horizon() const override { return inner_->horizon(); }
+  bool id_oblivious() const override { return true; }
+
+  local::Verdict evaluate(const local::Ball& ball) const override;
+
+  const SimulationStats& last_stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<const local::LocalAlgorithm> inner_;
+  SimulationOptions options_;
+  mutable SimulationStats stats_;
+};
+
+std::unique_ptr<ObliviousSimulation> make_oblivious_simulation(
+    std::shared_ptr<const local::LocalAlgorithm> inner,
+    SimulationOptions options = {});
+
+}  // namespace locald::oblivious

@@ -1,0 +1,72 @@
+// Checked-error primitives shared by every locald module.
+//
+// The library distinguishes two failure kinds:
+//  - `Error`: a violated runtime precondition or malformed input; recoverable
+//    by the caller, reported with context.
+//  - `BugError`: an internal invariant broke; indicates a defect in locald
+//    itself rather than in the caller's input.
+//
+// Both carry the source location of the failed check so that test failures
+// and example output point at the violated condition directly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace locald {
+
+// Violated caller-facing precondition (bad argument, malformed instance...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Violated internal invariant; a locald bug, not a usage error.
+class BugError : public std::logic_error {
+ public:
+  explicit BugError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::string out;
+  out += kind;
+  out += " failed: ";
+  out += expr;
+  out += " at ";
+  out += file;
+  out += ":";
+  out += std::to_string(line);
+  if (!msg.empty()) {
+    out += " — ";
+    out += msg;
+  }
+  if (kind[0] == 'L') {  // LOCALD_CHECK → caller error
+    throw Error(out);
+  }
+  throw BugError(out);
+}
+
+}  // namespace detail
+}  // namespace locald
+
+// Precondition on caller input. Throws locald::Error when violated.
+#define LOCALD_CHECK(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::locald::detail::throw_check_failure("LOCALD_CHECK", #cond, __FILE__, \
+                                            __LINE__, (msg));                \
+    }                                                                        \
+  } while (false)
+
+// Internal invariant. Throws locald::BugError when violated.
+#define LOCALD_ASSERT(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::locald::detail::throw_check_failure("ASSERT", #cond, __FILE__,    \
+                                            __LINE__, (msg));             \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,67 @@
+#include "support/format.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "support/check.h"
+
+namespace locald {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LOCALD_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  LOCALD_CHECK(cells.size() == header_.size(),
+               "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+}  // namespace locald

@@ -1,0 +1,49 @@
+// Text formatting used by examples and benchmark binaries.
+//
+// The paper-reproduction benches print aligned tables ("the same rows the
+// paper reports"); `TextTable` renders those without dragging in a formatting
+// dependency. `cat(...)` is the project-wide string builder.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace locald {
+
+// Concatenate streamable values into a string.
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Fixed-point rendering with `digits` decimals (no locale surprises).
+std::string fixed(double value, int digits);
+
+// A minimal aligned-column table renderer.
+//
+//   TextTable t({"r", "|T_r|", "audit"});
+//   t.add_row({"1", "31", "1.000"});
+//   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Render with a header rule, columns padded to the widest cell.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace locald

@@ -1,0 +1,42 @@
+// Hashing helpers used for canonical-form fingerprints and hash maps keyed
+// by composite values (labels, balls, fragments).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locald {
+
+// FNV-1a over raw bytes; stable across platforms and runs, which matters
+// because canonical fingerprints are compared between independently built
+// graphs.
+inline std::uint64_t fnv1a(const void* data, std::size_t len,
+                           std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t hash_string(const std::string& s) {
+  return fnv1a(s.data(), s.size());
+}
+
+inline void hash_combine(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+inline std::uint64_t hash_i64_vector(const std::vector<std::int64_t>& v) {
+  std::uint64_t h = 0x84222325cbf29ce4ULL;
+  for (std::int64_t x : v) {
+    hash_combine(h, static_cast<std::uint64_t>(x));
+  }
+  hash_combine(h, v.size());
+  return h;
+}
+
+}  // namespace locald

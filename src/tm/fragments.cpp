@@ -1,0 +1,420 @@
+#include "tm/fragments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace locald::tm {
+
+std::vector<std::pair<int, int>> Fragment::glued_border_cells() const {
+  std::set<std::pair<int, int>> cells_set;
+  for (int x = 0; x < width; ++x) {
+    cells_set.emplace(x, 0);  // top row always glued
+    if (glue_bottom) {
+      cells_set.emplace(x, height - 1);
+    }
+  }
+  for (int y = 0; y < height; ++y) {
+    if (glue_left) {
+      cells_set.emplace(0, y);
+    }
+    if (glue_right) {
+      cells_set.emplace(width - 1, y);
+    }
+  }
+  // Row-major order.
+  std::vector<std::pair<int, int>> out(cells_set.begin(), cells_set.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::pair(a.second, a.first) < std::pair(b.second, b.first);
+  });
+  return out;
+}
+
+bool Fragment::glued_borders_connected() const {
+  // Glued sides always include the top row; the set is disconnected exactly
+  // when the bottom row is glued but neither side column is.
+  if (glue_bottom && !glue_left && !glue_right && height > 2) {
+    return false;
+  }
+  return true;
+}
+
+std::string Fragment::key() const {
+  std::string k = std::to_string(width) + "x" + std::to_string(height) + ":";
+  for (int c : cells) {
+    k += std::to_string(c);
+    k += ",";
+  }
+  k += glue_left ? "L" : "-";
+  k += glue_right ? "R" : "-";
+  k += glue_bottom ? "B" : "-";
+  return k;
+}
+
+void classify_borders(const LocalRules& rules, Fragment& f) {
+  const TuringMachine& m = rules.machine();
+  f.left_natural = true;
+  f.right_natural = true;
+  for (int y = 0; y + 1 < f.height; ++y) {
+    if (rules.head_crosses_left_boundary(f.cell(0, y), f.cell(1, y),
+                                         f.cell(0, y + 1))) {
+      f.left_natural = false;
+    }
+    if (rules.head_crosses_right_boundary(f.cell(f.width - 2, y),
+                                          f.cell(f.width - 1, y),
+                                          f.cell(f.width - 1, y + 1))) {
+      f.right_natural = false;
+    }
+  }
+  f.bottom_natural = true;
+  for (int x = 0; x < f.width; ++x) {
+    const int c = f.cell(x, f.height - 1);
+    if (m.cell_has_head(c) && !m.is_halting(m.cell_state(c))) {
+      f.bottom_natural = false;
+    }
+  }
+  f.glue_left = !f.left_natural;
+  f.glue_right = !f.right_natural;
+  f.glue_bottom = !f.bottom_natural;
+}
+
+std::vector<Fragment> apply_connectivity_fix(Fragment f) {
+  if (!f.glued_borders_connected()) {
+    Fragment left_variant = f;
+    left_variant.glue_left = true;
+    Fragment right_variant = std::move(f);
+    right_variant.glue_right = true;
+    LOCALD_ASSERT(left_variant.glued_borders_connected() &&
+                      right_variant.glued_borders_connected(),
+                  "connectivity fix failed");
+    return {std::move(left_variant), std::move(right_variant)};
+  }
+  return {std::move(f)};
+}
+
+std::vector<std::vector<int>> successor_rows(const LocalRules& rules,
+                                             const std::vector<int>& top) {
+  const int w = static_cast<int>(top.size());
+  LOCALD_CHECK(w >= 3, "fragment width must be at least 3");
+  // Interior cells are forced; a contradiction kills the whole row.
+  std::vector<int> interior(static_cast<std::size_t>(w), -1);
+  for (int x = 1; x + 1 < w; ++x) {
+    const auto cell = rules.next_cell(top[static_cast<std::size_t>(x - 1)],
+                                      top[static_cast<std::size_t>(x)],
+                                      top[static_cast<std::size_t>(x + 1)]);
+    if (!cell.has_value()) {
+      return {};
+    }
+    interior[static_cast<std::size_t>(x)] = *cell;
+  }
+  const std::vector<int> lefts = rules.allowed_left_boundary(top[0], top[1]);
+  const std::vector<int> rights = rules.allowed_right_boundary(
+      top[static_cast<std::size_t>(w - 2)], top[static_cast<std::size_t>(w - 1)]);
+  std::vector<std::vector<int>> out;
+  out.reserve(lefts.size() * rights.size());
+  for (int l : lefts) {
+    for (int r : rights) {
+      std::vector<int> row = interior;
+      row[0] = l;
+      row[static_cast<std::size_t>(w - 1)] = r;
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Dense encoding of a row as an integer key (base C).
+std::uint64_t row_key(const std::vector<int>& row, int code_count) {
+  std::uint64_t k = 0;
+  for (int c : row) {
+    k = k * static_cast<std::uint64_t>(code_count) +
+        static_cast<std::uint64_t>(c);
+  }
+  return k;
+}
+
+std::vector<std::vector<int>> all_rows(int width, int code_count) {
+  const double total = std::pow(static_cast<double>(code_count), width);
+  LOCALD_CHECK(total <= 4e6,
+               "row space too large to enumerate; use a smaller machine or "
+               "fragment size");
+  std::vector<std::vector<int>> rows;
+  rows.reserve(static_cast<std::size_t>(total));
+  std::vector<int> row(static_cast<std::size_t>(width), 0);
+  for (;;) {
+    rows.push_back(row);
+    int x = width - 1;
+    while (x >= 0 && row[static_cast<std::size_t>(x)] == code_count - 1) {
+      row[static_cast<std::size_t>(x)] = 0;
+      --x;
+    }
+    if (x < 0) {
+      break;
+    }
+    ++row[static_cast<std::size_t>(x)];
+  }
+  return rows;
+}
+
+}  // namespace
+
+unsigned long long count_fragments(const TuringMachine& m, int k) {
+  LOCALD_CHECK(k >= 3, "fragment size must be at least 3");
+  const LocalRules rules(m);
+  const int codes = m.cell_code_count();
+  const auto rows = all_rows(k, codes);
+  std::unordered_map<std::uint64_t, unsigned long long> cur;
+  cur.reserve(rows.size());
+  for (const auto& row : rows) {
+    cur[row_key(row, codes)] = 1;
+  }
+  // Rebuild row vectors from keys lazily via a lookup table.
+  std::unordered_map<std::uint64_t, const std::vector<int>*> by_key;
+  by_key.reserve(rows.size());
+  for (const auto& row : rows) {
+    by_key[row_key(row, codes)] = &row;
+  }
+  for (int level = 1; level < k; ++level) {
+    std::unordered_map<std::uint64_t, unsigned long long> next;
+    for (const auto& [key, count] : cur) {
+      const auto succ = successor_rows(rules, *by_key.at(key));
+      for (const auto& s : succ) {
+        next[row_key(s, codes)] += count;
+      }
+    }
+    cur = std::move(next);
+  }
+  unsigned long long total = 0;
+  for (const auto& [key, count] : cur) {
+    total += count;
+  }
+  return total;
+}
+
+namespace {
+
+void materialize_dfs(const LocalRules& rules, int k,
+                     std::vector<std::vector<int>>& stack,
+                     std::vector<Fragment>& out, std::size_t cap,
+                     bool& truncated) {
+  if (out.size() >= cap) {
+    truncated = true;
+    return;
+  }
+  if (static_cast<int>(stack.size()) == k) {
+    Fragment f;
+    f.width = k;
+    f.height = k;
+    f.cells.reserve(static_cast<std::size_t>(k) * k);
+    for (const auto& row : stack) {
+      f.cells.insert(f.cells.end(), row.begin(), row.end());
+    }
+    out.push_back(std::move(f));
+    return;
+  }
+  for (auto& s : successor_rows(rules, stack.back())) {
+    stack.push_back(std::move(s));
+    materialize_dfs(rules, k, stack, out, cap, truncated);
+    stack.pop_back();
+    if (truncated && out.size() >= cap) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+FragmentCollection build_fragment_collection(
+    const TuringMachine& m, int k, const FragmentPolicy& policy,
+    const std::vector<const ExecutionTable*>& must_include) {
+  LOCALD_CHECK(k >= 3, "fragment size must be at least 3");
+  const LocalRules rules(m);
+  FragmentCollection col;
+  col.size = k;
+  col.exact_count = count_fragments(m, k);
+
+  auto tops = all_rows(k, m.cell_code_count());
+  Rng rng(policy.seed);
+  rng.shuffle(tops);
+
+  std::vector<Fragment> grids;
+  bool truncated = false;
+  for (const auto& top : tops) {
+    if (grids.size() >= policy.max_fragments) {
+      truncated = true;
+      break;
+    }
+    std::vector<std::vector<int>> stack{top};
+    materialize_dfs(rules, k, stack, grids, policy.max_fragments, truncated);
+  }
+  col.exhaustive = !truncated &&
+                   grids.size() == static_cast<std::size_t>(col.exact_count);
+
+  std::unordered_set<std::string> seen;
+  auto add = [&](Fragment f) {
+    classify_borders(rules, f);
+    for (Fragment& variant : apply_connectivity_fix(std::move(f))) {
+      const std::string key = variant.key();
+      if (seen.insert(key).second) {
+        col.fragments.push_back(std::move(variant));
+      }
+    }
+  };
+  for (Fragment& f : grids) {
+    add(std::move(f));
+  }
+  // The fooling property for the machines under test: every window of each
+  // provided real table belongs to the collection.
+  for (const ExecutionTable* t : must_include) {
+    for (Fragment& w : windows_of_table(*t, k)) {
+      Fragment plain;
+      plain.width = w.width;
+      plain.height = w.height;
+      plain.cells = w.cells;
+      add(std::move(plain));
+    }
+  }
+  return col;
+}
+
+std::vector<Fragment> windows_of_table(const ExecutionTable& t, int k) {
+  LOCALD_CHECK(k >= 3, "fragment size must be at least 3");
+  LOCALD_CHECK(t.width() >= k && t.height() >= k,
+               "table smaller than the window");
+  const LocalRules rules(t.machine());
+  std::vector<Fragment> out;
+  std::unordered_set<std::string> seen;
+  for (int y = 0; y + k <= t.height(); ++y) {
+    for (int x = 0; x + k <= t.width(); ++x) {
+      Fragment f;
+      f.width = k;
+      f.height = k;
+      f.cells.reserve(static_cast<std::size_t>(k) * k);
+      for (int dy = 0; dy < k; ++dy) {
+        for (int dx = 0; dx < k; ++dx) {
+          f.cells.push_back(t.cell(x + dx, y + dy));
+        }
+      }
+      classify_borders(rules, f);
+      for (Fragment& variant : apply_connectivity_fix(std::move(f))) {
+        if (seen.insert(variant.key()).second) {
+          out.push_back(std::move(variant));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<Fragment> reconstruct_fragment(
+    const LocalRules& rules, int width, int height,
+    const std::vector<int>& top_row,
+    const std::optional<std::vector<int>>& left_col,
+    const std::optional<std::vector<int>>& right_col,
+    const std::optional<std::vector<int>>& bottom_row) {
+  LOCALD_CHECK(width >= 3 && height >= 2, "fragment too small");
+  LOCALD_CHECK(static_cast<int>(top_row.size()) == width,
+               "top row width mismatch");
+  if (left_col.has_value()) {
+    LOCALD_CHECK(static_cast<int>(left_col->size()) == height,
+                 "left column height mismatch");
+    if ((*left_col)[0] != top_row[0]) {
+      return std::nullopt;  // corner disagreement
+    }
+  }
+  if (right_col.has_value()) {
+    LOCALD_CHECK(static_cast<int>(right_col->size()) == height,
+                 "right column height mismatch");
+    if ((*right_col)[0] != top_row[static_cast<std::size_t>(width - 1)]) {
+      return std::nullopt;
+    }
+  }
+  if (bottom_row.has_value()) {
+    LOCALD_CHECK(static_cast<int>(bottom_row->size()) == width,
+                 "bottom row width mismatch");
+  }
+
+  Fragment f;
+  f.width = width;
+  f.height = height;
+  f.cells.assign(static_cast<std::size_t>(width) * height, -1);
+  for (int x = 0; x < width; ++x) {
+    f.cells[static_cast<std::size_t>(x)] = top_row[static_cast<std::size_t>(x)];
+  }
+  for (int y = 0; y + 1 < height; ++y) {
+    auto cell_at = [&](int x) { return f.cell(x, y); };
+    // Column 0.
+    int c0;
+    if (left_col.has_value()) {
+      c0 = (*left_col)[static_cast<std::size_t>(y + 1)];
+      const auto allowed = rules.allowed_left_boundary(cell_at(0), cell_at(1));
+      if (!std::binary_search(allowed.begin(), allowed.end(), c0)) {
+        return std::nullopt;
+      }
+    } else {
+      // Natural side: no head ever crosses — identical to a tape wall.
+      const auto cell = rules.next_cell_at_wall(cell_at(0), cell_at(1));
+      if (!cell.has_value()) {
+        return std::nullopt;
+      }
+      c0 = *cell;
+    }
+    f.cells[static_cast<std::size_t>(y + 1) * width] = c0;
+    // Interior.
+    for (int x = 1; x + 1 < width; ++x) {
+      const auto cell = rules.next_cell(cell_at(x - 1), cell_at(x), cell_at(x + 1));
+      if (!cell.has_value()) {
+        return std::nullopt;
+      }
+      f.cells[static_cast<std::size_t>(y + 1) * width + x] = *cell;
+    }
+    // Last column.
+    int cl;
+    if (right_col.has_value()) {
+      cl = (*right_col)[static_cast<std::size_t>(y + 1)];
+      const auto allowed =
+          rules.allowed_right_boundary(cell_at(width - 2), cell_at(width - 1));
+      if (!std::binary_search(allowed.begin(), allowed.end(), cl)) {
+        return std::nullopt;
+      }
+    } else {
+      // Natural right side: mirror of the wall rule.
+      const auto cell =
+          rules.next_cell_natural_right(cell_at(width - 2), cell_at(width - 1));
+      if (!cell.has_value()) {
+        return std::nullopt;
+      }
+      cl = *cell;
+    }
+    f.cells[static_cast<std::size_t>(y + 1) * width + (width - 1)] = cl;
+  }
+  if (bottom_row.has_value()) {
+    for (int x = 0; x < width; ++x) {
+      if (f.cell(x, height - 1) != (*bottom_row)[static_cast<std::size_t>(x)]) {
+        return std::nullopt;
+      }
+    }
+  }
+  classify_borders(rules, f);
+  // Absent sides must indeed be natural, otherwise the caller was missing a
+  // border the gluing should have exposed.
+  if (!left_col.has_value() && !f.left_natural) {
+    return std::nullopt;
+  }
+  if (!right_col.has_value() && !f.right_natural) {
+    return std::nullopt;
+  }
+  if (!bottom_row.has_value() && !f.bottom_natural) {
+    return std::nullopt;
+  }
+  f.glue_left = left_col.has_value();
+  f.glue_right = right_col.has_value();
+  f.glue_bottom = bottom_row.has_value();
+  return f;
+}
+
+}  // namespace locald::tm

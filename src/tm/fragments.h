@@ -1,0 +1,115 @@
+// The fragment collection C(M, r) of Section 3.2.
+//
+// A fragment is a k x k grid labelled in any way that satisfies the local
+// window rules ("all syntactically possible execution table fragments").
+// This module provides:
+//
+//  - exact counting of the collection by row-level dynamic programming
+//    (the count explodes combinatorially — the explosion itself is one of
+//    the quantities reported in the Figure-2 bench);
+//  - materialization: exhaustive when the count fits the policy cap,
+//    otherwise a deterministic seeded prefix, ALWAYS united with every
+//    window of caller-supplied real tables (so the fooling property "every
+//    neighbourhood of T occurs in C" holds for the machines under test);
+//  - natural-border classification (which borders could, in principle, be
+//    table boundaries) and the paper's border-connectivity fix;
+//  - the Border property: unique reconstruction of a fragment from its
+//    glued borders, used by the Appendix-A verifier's pivot check.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "tm/rules.h"
+
+namespace locald::tm {
+
+struct Fragment {
+  int width = 0;
+  int height = 0;
+  std::vector<int> cells;  // row-major cell codes
+
+  // Intrinsic classification (Section 3.2: the top row is never natural).
+  bool left_natural = false;
+  bool right_natural = false;
+  bool bottom_natural = false;
+
+  // Effective gluing: a side is glued to the pivot iff non-natural OR forced
+  // by the connectivity fix. The top row is always glued.
+  bool glue_left = false;
+  bool glue_right = false;
+  bool glue_bottom = false;
+
+  int cell(int x, int y) const {
+    LOCALD_CHECK(x >= 0 && x < width && y >= 0 && y < height,
+                 "fragment coordinate out of range");
+    return cells[static_cast<std::size_t>(y) * width + x];
+  }
+
+  // Grid positions glued to the pivot, deduplicated, row-major order.
+  std::vector<std::pair<int, int>> glued_border_cells() const;
+
+  // Are the glued borders connected in the fragment's border graph?
+  // (The connectivity fix exists to make this always true.)
+  bool glued_borders_connected() const;
+
+  // Dedup key: dimensions + cells + gluing flags.
+  std::string key() const;
+};
+
+struct FragmentPolicy {
+  // Materialize at most this many distinct cell-grids (before the
+  // connectivity fix possibly doubles some of them).
+  std::size_t max_fragments = 20'000;
+  // Exploration order when capped (deterministic given the seed).
+  std::uint64_t seed = 1;
+
+  bool operator==(const FragmentPolicy&) const = default;
+};
+
+struct FragmentCollection {
+  int size = 0;                         // k
+  unsigned long long exact_count = 0;   // DP count of consistent cell-grids
+  bool exhaustive = false;              // fragments cover every grid
+  std::vector<Fragment> fragments;      // after classification + fix
+};
+
+// Exact number of locally consistent k x k grids (row DP). k >= 3.
+unsigned long long count_fragments(const TuringMachine& m, int k);
+
+// Every consistent "next row" under a given row (boundary columns get the
+// existential fragment semantics). Exposed for tests and for the DP.
+std::vector<std::vector<int>> successor_rows(const LocalRules& rules,
+                                             const std::vector<int>& top);
+
+// Build C(M, k). See file comment for the policy semantics.
+FragmentCollection build_fragment_collection(
+    const TuringMachine& m, int k, const FragmentPolicy& policy,
+    const std::vector<const ExecutionTable*>& must_include = {});
+
+// All k x k windows of a real table, classified and fixed like enumerated
+// fragments. Windows are genuine members of C (tested).
+std::vector<Fragment> windows_of_table(const ExecutionTable& t, int k);
+
+// Border property (Section 3.2): the unique consistent completion of the
+// given glued borders; natural (absent) sides evolve like tape walls with
+// no head crossing. Returns nullopt if the borders admit no completion or
+// the completion's natural-side classification contradicts the gluing.
+std::optional<Fragment> reconstruct_fragment(
+    const LocalRules& rules, int width, int height,
+    const std::vector<int>& top_row,
+    const std::optional<std::vector<int>>& left_col,
+    const std::optional<std::vector<int>>& right_col,
+    const std::optional<std::vector<int>>& bottom_row);
+
+// Classify natural borders and set default gluing (no connectivity fix).
+void classify_borders(const LocalRules& rules, Fragment& f);
+
+// The paper's fix: a fragment whose glued borders are exactly {top, bottom}
+// is replaced by two variants gluing additionally the left (resp. right)
+// column. Other fragments pass through unchanged.
+std::vector<Fragment> apply_connectivity_fix(Fragment f);
+
+}  // namespace locald::tm

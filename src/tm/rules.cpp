@@ -1,0 +1,250 @@
+#include "tm/rules.h"
+
+#include <algorithm>
+#include <set>
+
+namespace locald::tm {
+
+LocalRules::LocalRules(const TuringMachine& m) : m_(&m) {
+  m.validate();
+  std::set<int> left;
+  std::set<int> right;
+  for (int q = 0; q < m.working_state_count(); ++q) {
+    for (int s = 0; s < m.alphabet_size(); ++s) {
+      const Transition& t = m.delta(q, s);
+      if (t.move == Move::right) {
+        left.insert(t.next_state);
+      } else {
+        right.insert(t.next_state);
+      }
+    }
+  }
+  enter_left_.assign(left.begin(), left.end());
+  enter_right_.assign(right.begin(), right.end());
+}
+
+std::optional<int> LocalRules::arrival_from_left(int top_left) const {
+  if (!m_->cell_has_head(top_left)) {
+    return std::nullopt;
+  }
+  const int q = m_->cell_state(top_left);
+  if (m_->is_halting(q)) {
+    return std::nullopt;  // frozen head never moves
+  }
+  const Transition& t = m_->delta(q, m_->cell_symbol(top_left));
+  if (t.move == Move::right) {
+    return t.next_state;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> LocalRules::arrival_from_right(int top_right) const {
+  if (!m_->cell_has_head(top_right)) {
+    return std::nullopt;
+  }
+  const int q = m_->cell_state(top_right);
+  if (m_->is_halting(q)) {
+    return std::nullopt;
+  }
+  const Transition& t = m_->delta(q, m_->cell_symbol(top_right));
+  if (t.move == Move::left) {
+    return t.next_state;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> LocalRules::resolve(int top_mid, const Incoming& in) const {
+  const bool mid_head = m_->cell_has_head(top_mid);
+  if (mid_head && m_->is_halting(m_->cell_state(top_mid))) {
+    // Frozen halting cell: persists verbatim; a second head arriving is a
+    // contradiction.
+    if (in.from_left || in.from_right) {
+      return std::nullopt;
+    }
+    return top_mid;
+  }
+  int base_symbol;
+  if (mid_head) {
+    const Transition& t =
+        m_->delta(m_->cell_state(top_mid), m_->cell_symbol(top_mid));
+    base_symbol = t.write;
+  } else {
+    base_symbol = m_->cell_symbol(top_mid);
+  }
+  if (in.from_left && in.from_right) {
+    return std::nullopt;  // head collision
+  }
+  if (in.from_left) {
+    return m_->head_cell(in.left_state, base_symbol);
+  }
+  if (in.from_right) {
+    return m_->head_cell(in.right_state, base_symbol);
+  }
+  return m_->plain_cell(base_symbol);
+}
+
+std::optional<int> LocalRules::next_cell(int top_left, int top_mid,
+                                         int top_right) const {
+  Incoming in;
+  if (const auto q = arrival_from_left(top_left)) {
+    in.from_left = true;
+    in.left_state = *q;
+  }
+  if (const auto q = arrival_from_right(top_right)) {
+    in.from_right = true;
+    in.right_state = *q;
+  }
+  return resolve(top_mid, in);
+}
+
+std::optional<int> LocalRules::next_cell_at_wall(int top_mid,
+                                                 int top_right) const {
+  // A head in the wall column moving left falls off the tape: no valid
+  // continuation.
+  if (m_->cell_has_head(top_mid) &&
+      !m_->is_halting(m_->cell_state(top_mid))) {
+    const Transition& t =
+        m_->delta(m_->cell_state(top_mid), m_->cell_symbol(top_mid));
+    if (t.move == Move::left) {
+      return std::nullopt;
+    }
+  }
+  Incoming in;
+  if (const auto q = arrival_from_right(top_right)) {
+    in.from_right = true;
+    in.right_state = *q;
+  }
+  return resolve(top_mid, in);
+}
+
+std::vector<int> LocalRules::allowed_left_boundary(int top_mid,
+                                                   int top_right) const {
+  Incoming base;
+  if (const auto q = arrival_from_right(top_right)) {
+    base.from_right = true;
+    base.right_state = *q;
+  }
+  std::set<int> allowed;
+  // Unseen left column contributes either nothing...
+  if (const auto cell = resolve(top_mid, base)) {
+    allowed.insert(*cell);
+  }
+  // ...or a head arriving rightwards in any syntactically reachable state.
+  for (int q : enter_left_) {
+    Incoming in = base;
+    in.from_left = true;
+    in.left_state = q;
+    if (const auto cell = resolve(top_mid, in)) {
+      allowed.insert(*cell);
+    }
+  }
+  return {allowed.begin(), allowed.end()};
+}
+
+std::vector<int> LocalRules::allowed_right_boundary(int top_left,
+                                                    int top_mid) const {
+  Incoming base;
+  if (const auto q = arrival_from_left(top_left)) {
+    base.from_left = true;
+    base.left_state = *q;
+  }
+  std::set<int> allowed;
+  if (const auto cell = resolve(top_mid, base)) {
+    allowed.insert(*cell);
+  }
+  for (int q : enter_right_) {
+    Incoming in = base;
+    in.from_right = true;
+    in.right_state = q;
+    if (const auto cell = resolve(top_mid, in)) {
+      allowed.insert(*cell);
+    }
+  }
+  return {allowed.begin(), allowed.end()};
+}
+
+bool LocalRules::head_crosses_left_boundary(int top0, int top1,
+                                            int bottom0) const {
+  // Crossing out: the column-x head moves left.
+  if (m_->cell_has_head(top0) && !m_->is_halting(m_->cell_state(top0))) {
+    if (m_->delta(m_->cell_state(top0), m_->cell_symbol(top0)).move ==
+        Move::left) {
+      return true;
+    }
+  }
+  // Crossing in: column x gains a head that no in-fragment source explains.
+  if (m_->cell_has_head(bottom0)) {
+    const bool frozen_here =
+        m_->cell_has_head(top0) && m_->is_halting(m_->cell_state(top0));
+    const bool from_right = arrival_from_right(top1).has_value();
+    if (!frozen_here && !from_right) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<int> LocalRules::next_cell_natural_right(int top_prev,
+                                                       int top_last) const {
+  if (m_->cell_has_head(top_last) && !m_->is_halting(m_->cell_state(top_last))) {
+    if (m_->delta(m_->cell_state(top_last), m_->cell_symbol(top_last)).move ==
+        Move::right) {
+      return std::nullopt;
+    }
+  }
+  return next_cell(top_prev, top_last, m_->plain_cell(0));
+}
+
+bool LocalRules::head_crosses_right_boundary(int top_prev, int top_last,
+                                             int bottom_last) const {
+  if (m_->cell_has_head(top_last) && !m_->is_halting(m_->cell_state(top_last))) {
+    if (m_->delta(m_->cell_state(top_last), m_->cell_symbol(top_last)).move ==
+        Move::right) {
+      return true;
+    }
+  }
+  if (m_->cell_has_head(bottom_last)) {
+    const bool frozen_here =
+        m_->cell_has_head(top_last) && m_->is_halting(m_->cell_state(top_last));
+    const bool from_left = arrival_from_left(top_prev).has_value();
+    if (!frozen_here && !from_left) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::pair<int, int>> LocalRules::find_violation(
+    const ExecutionTable& t) const {
+  // Row 0: blank initial configuration with the head on cell 0.
+  if (t.cell(0, 0) != m_->head_cell(TuringMachine::kStartState, 0)) {
+    return std::pair{0, 0};
+  }
+  for (int x = 1; x < t.width(); ++x) {
+    if (t.cell(x, 0) != m_->plain_cell(0)) {
+      return std::pair{x, 0};
+    }
+  }
+  for (int y = 0; y + 1 < t.height(); ++y) {
+    for (int x = 0; x < t.width(); ++x) {
+      std::optional<int> expected;
+      if (x == 0) {
+        expected = next_cell_at_wall(t.cell(0, y),
+                                     t.width() > 1 ? t.cell(1, y)
+                                                   : m_->plain_cell(0));
+      } else if (x == t.width() - 1) {
+        // Beyond the right edge the tape is blank (the head cannot be there:
+        // it moves one cell per step and started at column 0).
+        expected = next_cell(t.cell(x - 1, y), t.cell(x, y), m_->plain_cell(0));
+      } else {
+        expected = next_cell(t.cell(x - 1, y), t.cell(x, y), t.cell(x + 1, y));
+      }
+      if (!expected.has_value() || *expected != t.cell(x, y + 1)) {
+        return std::pair{x, y + 1};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace locald::tm

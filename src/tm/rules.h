@@ -1,0 +1,95 @@
+// Local consistency rules of execution tables.
+//
+// The Section-3 construction needs table validity to be checkable from
+// constant-radius windows. We use 2-row x 3-column windows: the bottom
+// middle cell is determined by the top triple (the head moves at most one
+// cell per step), with frozen halting cells and "two heads collide" treated
+// as contradictions. Fragment boundaries where a neighbour column lies
+// outside the fragment get existential semantics — a cell is allowed iff
+// SOME value of the unseen column makes the window consistent — which is
+// exactly the paper's "no limitations on how the boundary nodes are
+// labelled" rule.
+//
+// The same rules drive four consumers: validating real tables, enumerating
+// the fragment collection C(M, r), classifying natural borders, and the
+// Appendix-A local verifier.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tm/table.h"
+
+namespace locald::tm {
+
+class LocalRules {
+ public:
+  explicit LocalRules(const TuringMachine& m);
+
+  const TuringMachine& machine() const { return *m_; }
+
+  // Bottom-middle cell under a fully known top triple; nullopt = window
+  // contradictory (head collision, arrival at a frozen cell).
+  std::optional<int> next_cell(int top_left, int top_mid, int top_right) const;
+
+  // Column 0 of a real table: nothing ever exists to the left. nullopt also
+  // covers the head stepping off the tape.
+  std::optional<int> next_cell_at_wall(int top_mid, int top_right) const;
+
+  // Fragment-boundary semantics (see file comment). Sorted, duplicate-free.
+  std::vector<int> allowed_left_boundary(int top_mid, int top_right) const;
+  std::vector<int> allowed_right_boundary(int top_left, int top_mid) const;
+
+  // Natural right column (no head ever crosses the right boundary): the
+  // unseen right side contributes nothing; nullopt if the head exits right.
+  // The wall rule `next_cell_at_wall` is the left mirror image.
+  std::optional<int> next_cell_natural_right(int top_prev, int top_last) const;
+
+  // States the head can be in just after crossing a column boundary
+  // rightwards (enter-from-left) / leftwards (enter-from-right).
+  const std::vector<int>& enter_from_left_states() const {
+    return enter_left_;
+  }
+  const std::vector<int>& enter_from_right_states() const {
+    return enter_right_;
+  }
+
+  // Does the head cross the boundary between column x-1 and column x between
+  // this row and the next? `top0`/`top1` are row-y cells at columns x, x+1;
+  // `bottom0` is the row-(y+1) cell at column x. Used to classify natural
+  // left borders (mirrored for right borders by the caller).
+  bool head_crosses_left_boundary(int top0, int top1, int bottom0) const;
+
+  // Mirror image: crossing between the last fragment column and the column
+  // right of it. `top_last`/`top_prev` are row-y cells at columns x, x-1;
+  // `bottom_last` is the row-(y+1) cell at column x.
+  bool head_crosses_right_boundary(int top_prev, int top_last,
+                                   int bottom_last) const;
+
+  // Validates a real table against the rules: row 0 is the blank initial
+  // configuration, every inner window matches, walls respected. Returns the
+  // first violation as (x, y) of the inconsistent bottom cell.
+  std::optional<std::pair<int, int>> find_violation(
+      const ExecutionTable& t) const;
+
+ private:
+  struct Incoming {
+    bool from_left = false;
+    int left_state = 0;
+    bool from_right = false;
+    int right_state = 0;
+  };
+
+  // Core resolution given explicit knowledge of arriving heads.
+  std::optional<int> resolve(int top_mid, const Incoming& in) const;
+
+  // Head arriving INTO the middle from this top-left cell?
+  std::optional<int> arrival_from_left(int top_left) const;
+  std::optional<int> arrival_from_right(int top_right) const;
+
+  const TuringMachine* m_;
+  std::vector<int> enter_left_;
+  std::vector<int> enter_right_;
+};
+
+}  // namespace locald::tm

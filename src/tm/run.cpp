@@ -1,0 +1,54 @@
+#include "tm/run.h"
+
+namespace locald::tm {
+
+bool step(const TuringMachine& m, Configuration& c) {
+  if (m.is_halting(c.state)) {
+    return false;
+  }
+  if (c.head >= static_cast<int>(c.tape.size())) {
+    c.tape.resize(static_cast<std::size_t>(c.head) + 1, 0);
+  }
+  const Transition& t = m.delta(c.state, c.tape[static_cast<std::size_t>(c.head)]);
+  c.tape[static_cast<std::size_t>(c.head)] = t.write;
+  c.state = t.next_state;
+  if (t.move == Move::left) {
+    LOCALD_CHECK(c.head > 0,
+                 "machine '" + m.name() + "' fell off the left tape end");
+    --c.head;
+  } else {
+    ++c.head;
+  }
+  return true;
+}
+
+RunOutcome run_machine(const TuringMachine& m, long long max_steps) {
+  LOCALD_CHECK(max_steps >= 0, "step budget must be non-negative");
+  Configuration c;
+  RunOutcome out;
+  while (out.steps < max_steps && step(m, c)) {
+    ++out.steps;
+  }
+  if (m.is_halting(c.state)) {
+    out.halted = true;
+    out.output = m.halt_output(c.state);
+  }
+  return out;
+}
+
+std::vector<Configuration> trace_machine(const TuringMachine& m,
+                                         long long max_steps) {
+  LOCALD_CHECK(max_steps >= 0, "step budget must be non-negative");
+  std::vector<Configuration> out;
+  Configuration c;
+  out.push_back(c);
+  for (long long i = 0; i < max_steps; ++i) {
+    if (!step(m, c)) {
+      break;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace locald::tm

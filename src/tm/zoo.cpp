@@ -1,0 +1,157 @@
+#include "tm/zoo.h"
+
+#include "support/format.h"
+#include "tm/run.h"
+
+namespace locald::tm {
+
+namespace {
+
+// Right-moving no-op used to complete transition tables on unreachable
+// (state, symbol) pairs; moving right keeps any accidental execution on the
+// tape.
+Transition dummy(int self_state) {
+  return Transition{self_state, 0, Move::right};
+}
+
+}  // namespace
+
+TuringMachine halt_after(int k, int output) {
+  LOCALD_CHECK(k >= 1, "runtime must be at least one step");
+  LOCALD_CHECK(output == 0 || output == 1, "output must be 0 or 1");
+  TuringMachine m(cat("halt_after(", k, ",", output, ")"), k + 2, 2);
+  const int halt = output == 0 ? m.halt0() : m.halt1();
+  for (int i = 0; i < k; ++i) {
+    const int next = (i + 1 < k) ? i + 1 : halt;
+    m.set_transition(i, 0, Transition{next, 1, Move::right});
+    m.set_transition(i, 1, Transition{next, 1, Move::right});
+  }
+  m.validate();
+  return m;
+}
+
+TuringMachine bouncer() {
+  TuringMachine m("bouncer", 4, 2);
+  m.set_transition(0, 0, Transition{1, 1, Move::right});
+  m.set_transition(0, 1, Transition{1, 1, Move::right});
+  m.set_transition(1, 0, Transition{0, 1, Move::left});
+  m.set_transition(1, 1, Transition{0, 1, Move::left});
+  m.validate();
+  return m;
+}
+
+TuringMachine right_drifter() {
+  TuringMachine m("right_drifter", 3, 2);
+  m.set_transition(0, 0, Transition{0, 1, Move::right});
+  m.set_transition(0, 1, Transition{0, 1, Move::right});
+  m.validate();
+  return m;
+}
+
+TuringMachine crawler() {
+  TuringMachine m("crawler", 4, 2);
+  m.set_transition(0, 0, Transition{1, 1, Move::right});
+  m.set_transition(0, 1, Transition{1, 1, Move::right});
+  m.set_transition(1, 0, Transition{0, 1, Move::left});
+  m.set_transition(1, 1, Transition{0, 0, Move::right});
+  m.validate();
+  return m;
+}
+
+namespace {
+
+// Shared sweep logic: states are
+//   mark = 0, and per round i (1-based): right_i, left_i.
+// zigzag_expander reuses a single (right, left) pair; zigzag_halt chains
+// `rounds` pairs and halts when the last round returns to the marker.
+constexpr int kBlank = 0;
+constexpr int kOne = 1;
+constexpr int kMark = 2;
+
+}  // namespace
+
+TuringMachine zigzag_expander() {
+  // states: 0 = mark, 1 = right, 2 = left (+2 halting, unreachable).
+  TuringMachine m("zigzag_expander", 5, 3);
+  m.set_transition(0, kBlank, Transition{1, kMark, Move::right});
+  m.set_transition(0, kOne, dummy(0));
+  m.set_transition(0, kMark, dummy(0));
+  m.set_transition(1, kBlank, Transition{2, kOne, Move::left});
+  m.set_transition(1, kOne, Transition{1, kOne, Move::right});
+  m.set_transition(1, kMark, dummy(1));
+  m.set_transition(2, kOne, Transition{2, kOne, Move::left});
+  m.set_transition(2, kMark, Transition{1, kMark, Move::right});
+  m.set_transition(2, kBlank, dummy(2));
+  m.validate();
+  return m;
+}
+
+TuringMachine zigzag_halt(int rounds, int output) {
+  LOCALD_CHECK(rounds >= 1, "need at least one round");
+  LOCALD_CHECK(output == 0 || output == 1, "output must be 0 or 1");
+  // states: 0 = mark; right_i = 1 + 2*(i-1); left_i = 2 + 2*(i-1).
+  const int work = 1 + 2 * rounds;
+  TuringMachine m(cat("zigzag_halt(", rounds, ",", output, ")"), work + 2, 3);
+  const int halt = output == 0 ? m.halt0() : m.halt1();
+  m.set_transition(0, kBlank, Transition{1, kMark, Move::right});
+  m.set_transition(0, kOne, dummy(0));
+  m.set_transition(0, kMark, dummy(0));
+  for (int i = 1; i <= rounds; ++i) {
+    const int right = 1 + 2 * (i - 1);
+    const int left = 2 + 2 * (i - 1);
+    const int next_right = (i < rounds) ? 1 + 2 * i : halt;
+    m.set_transition(right, kBlank, Transition{left, kOne, Move::left});
+    m.set_transition(right, kOne, Transition{right, kOne, Move::right});
+    m.set_transition(right, kMark, dummy(right));
+    m.set_transition(left, kOne, Transition{left, kOne, Move::left});
+    m.set_transition(left, kMark, Transition{next_right, kMark, Move::right});
+    m.set_transition(left, kBlank, dummy(left));
+  }
+  m.validate();
+  return m;
+}
+
+namespace {
+
+ZooEntry halting_entry(TuringMachine m) {
+  const RunOutcome out = run_machine(m, 1'000'000);
+  LOCALD_ASSERT(out.halted, "zoo entry expected to halt");
+  ZooEntry e{std::move(m), true, out.steps, out.output};
+  return e;
+}
+
+ZooEntry diverging_entry(TuringMachine m) {
+  return ZooEntry{std::move(m), false, -1, -1};
+}
+
+}  // namespace
+
+std::vector<ZooEntry> small_zoo() {
+  std::vector<ZooEntry> zoo;
+  zoo.push_back(halting_entry(halt_after(1, 0)));
+  zoo.push_back(halting_entry(halt_after(1, 1)));
+  zoo.push_back(halting_entry(halt_after(2, 0)));
+  zoo.push_back(halting_entry(halt_after(2, 1)));
+  zoo.push_back(halting_entry(halt_after(3, 0)));
+  zoo.push_back(halting_entry(halt_after(3, 1)));
+  zoo.push_back(diverging_entry(bouncer()));
+  zoo.push_back(diverging_entry(right_drifter()));
+  zoo.push_back(diverging_entry(crawler()));
+  return zoo;
+}
+
+std::vector<ZooEntry> full_zoo() {
+  std::vector<ZooEntry> zoo = small_zoo();
+  zoo.push_back(halting_entry(halt_after(6, 0)));
+  zoo.push_back(halting_entry(halt_after(6, 1)));
+  zoo.push_back(halting_entry(halt_after(10, 0)));
+  zoo.push_back(halting_entry(halt_after(10, 1)));
+  zoo.push_back(halting_entry(zigzag_halt(1, 0)));
+  zoo.push_back(halting_entry(zigzag_halt(2, 1)));
+  zoo.push_back(halting_entry(zigzag_halt(3, 0)));
+  zoo.push_back(halting_entry(zigzag_halt(4, 1)));
+  zoo.push_back(diverging_entry(zigzag_expander()));
+  return zoo;
+}
+
+}  // namespace locald::tm

@@ -1,0 +1,62 @@
+// A zoo of small Turing machines used throughout the Section-3 experiments.
+//
+// The Section-3 construction multiplies the machine's cell alphabet into the
+// fragment-collection size, so the zoo favours machines with very few states
+// whose behaviours still cover the cases the paper cares about:
+//
+//  - members of L0 / L1 (halt with output 0 / 1) with tunable runtimes;
+//  - non-halting machines of three flavours: bounded-space oscillation,
+//    steady right drift, and ever-growing zigzag excursions — the inputs on
+//    which the neighbourhood generator B(N, r) must still halt;
+//  - chain machines halt_after(k, out) whose runtime is exactly k, used by
+//    the diagonalization harness to outlast any budget-k candidate decider.
+//
+// All machines run on a one-way tape and never fall off the left end.
+#pragma once
+
+#include <vector>
+
+#include "tm/machine.h"
+
+namespace locald::tm {
+
+// Halts after exactly k steps (k >= 1) in halt0/halt1 per `output`.
+// Uses k working states: a pure state-chain drifting right.
+TuringMachine halt_after(int k, int output);
+
+// Two working states, alphabet {0,1}: oscillates between cells 0 and 1
+// forever. Bounded-space non-halting.
+TuringMachine bouncer();
+
+// One working state: drifts right forever writing 1s. Non-halting with
+// linearly growing support.
+TuringMachine right_drifter();
+
+// Two working states: drifts right two cells every four steps, moving both
+// directions along the way. Non-halting.
+TuringMachine crawler();
+
+// Marks cell 0, then sweeps right to the first blank and back, excursions
+// growing by one cell per round, forever. Three working states, alphabet
+// {blank, 1, marker}. Non-halting with unbounded excursions.
+TuringMachine zigzag_expander();
+
+// Same sweep, but counts `rounds` round trips in its state and then halts
+// with `output`. Runtime grows quadratically in `rounds`.
+TuringMachine zigzag_halt(int rounds, int output);
+
+// Convenience catalogue entry: machine plus its ground truth.
+struct ZooEntry {
+  TuringMachine machine;
+  bool halts = false;
+  long long runtime = -1;  // meaningful when halts
+  int output = -1;         // meaningful when halts
+};
+
+// Small machines (few states) suitable for fragment-heavy experiments.
+std::vector<ZooEntry> small_zoo();
+
+// Wider catalogue including slower halting machines.
+std::vector<ZooEntry> full_zoo();
+
+}  // namespace locald::tm

@@ -1,0 +1,66 @@
+#include "trees/promise_cycle.h"
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "local/labeled_graph.h"
+#include "support/format.h"
+
+namespace locald::trees {
+
+namespace {
+
+local::LabeledGraph build_cycle(int r, local::Id length) {
+  LOCALD_CHECK(length >= 3, "cycle needs length >= 3");
+  LOCALD_CHECK(length <= (local::Id{1} << 24), "cycle too large");
+  return local::LabeledGraph::uniform(
+      graph::make_cycle(static_cast<graph::NodeId>(length)),
+      local::Label{kCycleTag, r});
+}
+
+}  // namespace
+
+local::LabeledGraph build_yes_cycle(const PromiseCycleParams& p) {
+  return build_cycle(p.r, static_cast<local::Id>(p.r));
+}
+
+local::LabeledGraph build_no_cycle(const PromiseCycleParams& p) {
+  return build_cycle(p.r, p.no_length());
+}
+
+std::unique_ptr<local::Property> promise_cycle_property(
+    const PromiseCycleParams& p) {
+  return std::make_unique<local::LambdaProperty>(
+      cat("promise-cycle(r=", p.r, ",f=", p.f.name(), ")"),
+      [p](const local::LabeledGraph& g) {
+        if (g.node_count() != p.r ||
+            !graph::is_cycle_graph(g.graph())) {
+          return false;
+        }
+        for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+          if (g.label(v) != local::Label{kCycleTag, p.r}) {
+            return false;
+          }
+        }
+        return true;
+      });
+}
+
+std::unique_ptr<local::LocalAlgorithm> make_promise_cycle_decider(
+    const PromiseCycleParams& p) {
+  const local::Id threshold = p.f(static_cast<local::Id>(p.r));
+  return local::make_id_aware(
+      cat("decide-promise-cycle(r=", p.r, ")"), 1,
+      [p, threshold](const local::Ball& ball) {
+        // Structural sanity any decider should do: right label, degree 2.
+        if (ball.center_label() != local::Label{kCycleTag, p.r} ||
+            ball.g.degree(ball.center) != 2) {
+          return local::Verdict::no;
+        }
+        // The identifier leak: id >= f(r) cannot happen in an r-cycle
+        // under (B).
+        return ball.center_id() >= threshold ? local::Verdict::no
+                                             : local::Verdict::yes;
+      });
+}
+
+}  // namespace locald::trees

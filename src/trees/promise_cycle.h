@@ -1,0 +1,51 @@
+// The Section-2 warm-up promise problem on cycles.
+//
+// Instances are labelled cycles (G, r) with the constant label r; under the
+// promise the cycle length is either r (yes) or a larger no-length derived
+// from f. The id-based decider rejects any node whose identifier is >= f(r)
+// — impossible in an r-cycle under assumption (B), guaranteed to occur in
+// the no-instance.
+//
+// Deviation from the paper (documented in DESIGN.md): the paper takes the
+// no-length to be exactly f(r), but with 0-based one-to-one identifiers the
+// assignment {0, ..., f(r)-1} on an f(r)-cycle stays below f(r) and the
+// pigeonhole argument misses by one. We use no-length f(r) + 1, which
+// forces max id >= f(r) under every assignment and keeps the instances
+// just as locally indistinguishable.
+#pragma once
+
+#include <memory>
+
+#include "local/algorithm.h"
+#include "local/property.h"
+
+namespace locald::local {
+class LabeledGraph;
+}
+
+namespace locald::trees {
+
+struct PromiseCycleParams {
+  int r = 6;
+  local::IdBound f = local::IdBound::quadratic();
+
+  local::Id no_length() const { return f(static_cast<local::Id>(r)) + 1; }
+};
+
+// Label schema: every node carries (kCycleTag, r).
+inline constexpr std::int64_t kCycleTag = 3;
+
+local::LabeledGraph build_yes_cycle(const PromiseCycleParams& p);
+local::LabeledGraph build_no_cycle(const PromiseCycleParams& p);
+
+// yes iff the instance is an r-cycle with the right labels. (The promise —
+// cycle of length r or no_length — is the caller's responsibility.)
+std::unique_ptr<local::Property> promise_cycle_property(
+    const PromiseCycleParams& p);
+
+// Id-aware decider: reject iff own id >= f(r). Correct under the promise
+// and assumption (B).
+std::unique_ptr<local::LocalAlgorithm> make_promise_cycle_decider(
+    const PromiseCycleParams& p);
+
+}  // namespace locald::trees

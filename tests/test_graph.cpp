@@ -1,0 +1,333 @@
+// Unit and property tests for the graph substrate: construction invariants,
+// traversals, generator families, induced subgraphs, IO round trips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/induced.h"
+#include "graph/io.h"
+#include "support/rng.h"
+
+namespace locald::graph {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, AddNodeGrowsSequentially) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0);
+  EXPECT_EQ(g.add_node(), 1);
+  EXPECT_EQ(g.node_count(), 2);
+}
+
+TEST(Graph, AddEdgeIsSymmetric) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const std::vector<NodeId> expected{0, 3, 4};
+  EXPECT_EQ(g.neighbors(2), expected);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), Error);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), Error);
+  EXPECT_FALSE(g.add_edge_if_absent(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, RejectsOutOfRangeNode) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), Error);
+  EXPECT_THROW(g.degree(-1), Error);
+}
+
+TEST(Graph, ResizeNeverShrinks) {
+  Graph g(3);
+  EXPECT_THROW(g.resize(2), Error);
+  g.resize(5);
+  EXPECT_EQ(g.node_count(), 5);
+}
+
+TEST(Graph, EdgesDeterministicOrder) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  const std::vector<std::pair<NodeId, NodeId>> expected{
+      {0, 1}, {0, 2}, {1, 3}};
+  EXPECT_EQ(g.edges(), expected);
+}
+
+TEST(Algorithms, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto d = bfs_distances(g, 0);
+  const std::vector<int> expected{0, 1, 2, 3, 4};
+  EXPECT_EQ(d, expected);
+}
+
+TEST(Algorithms, BfsRespectsMaxDist) {
+  const Graph g = make_path(6);
+  const auto d = bfs_distances(g, 0, 2);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], kUnreached);
+}
+
+TEST(Algorithms, NodesWithinMatchesBfs) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = make_random_connected(40, 20, rng);
+    const NodeId src = static_cast<NodeId>(rng.below(40));
+    const int radius = static_cast<int>(rng.below(4));
+    const auto ball = nodes_within(g, src, radius);
+    const auto dist = bfs_distances(g, src, radius);
+    std::set<NodeId> from_ball(ball.begin(), ball.end());
+    std::set<NodeId> from_bfs;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (dist[v] != kUnreached && dist[v] <= radius) {
+        from_bfs.insert(v);
+      }
+    }
+    EXPECT_EQ(from_ball, from_bfs);
+    EXPECT_EQ(ball.size(), from_ball.size()) << "no duplicates";
+  }
+}
+
+TEST(Algorithms, ConnectivityAndComponents) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  int count = 0;
+  const auto comp = connected_components(g, &count);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+}
+
+TEST(Algorithms, DiameterOfCycleAndPath) {
+  EXPECT_EQ(diameter(make_cycle(8)), 4);
+  EXPECT_EQ(diameter(make_cycle(9)), 4);
+  EXPECT_EQ(diameter(make_path(7)), 6);
+  EXPECT_EQ(diameter(make_complete(5)), 1);
+}
+
+TEST(Algorithms, BipartiteFamilies) {
+  EXPECT_TRUE(is_bipartite(make_cycle(10)));
+  EXPECT_FALSE(is_bipartite(make_cycle(9)));
+  EXPECT_TRUE(is_bipartite(make_grid(4, 5)));
+  EXPECT_TRUE(is_bipartite(make_path(6)));
+  EXPECT_FALSE(is_bipartite(make_complete(3)));
+  // The layered tree contains triangles (parent + adjacent siblings).
+  EXPECT_FALSE(is_bipartite(make_layered_tree(2)));
+}
+
+TEST(Algorithms, ShortestPathEndpointsAndLength) {
+  const Graph g = make_grid(5, 5);
+  const auto p = shortest_path(g, 0, 24);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->front(), 0);
+  EXPECT_EQ(p->back(), 24);
+  EXPECT_EQ(p->size(), 9u);  // 8 hops manhattan distance
+  for (std::size_t i = 0; i + 1 < p->size(); ++i) {
+    EXPECT_TRUE(g.has_edge((*p)[i], (*p)[i + 1]));
+  }
+}
+
+TEST(Algorithms, ShortestPathUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(shortest_path(g, 0, 2).has_value());
+}
+
+TEST(Algorithms, TopologyRecognizers) {
+  EXPECT_TRUE(is_cycle_graph(make_cycle(5)));
+  EXPECT_FALSE(is_cycle_graph(make_path(5)));
+  EXPECT_TRUE(is_path_graph(make_path(5)));
+  EXPECT_FALSE(is_path_graph(make_cycle(5)));
+  EXPECT_TRUE(is_tree(make_random_tree(20, *std::make_unique<Rng>(3))));
+  EXPECT_FALSE(is_tree(make_cycle(4)));
+}
+
+TEST(Generators, PathCycleSizes) {
+  EXPECT_EQ(make_path(1).node_count(), 1);
+  EXPECT_EQ(make_path(4).edge_count(), 3u);
+  EXPECT_EQ(make_cycle(7).edge_count(), 7u);
+  EXPECT_THROW(make_cycle(2), Error);
+}
+
+TEST(Generators, GridStructure) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12);
+  EXPECT_EQ(g.edge_count(), 2u * 4 + 3u * 3);  // vertical 3*3, horizontal 2*4
+  EXPECT_EQ(g.degree(0), 2);                   // corner
+  EXPECT_EQ(g.degree(4), 4);                   // interior (1,1)
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = make_torus(4, 5);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(g.degree(v), 4);
+  }
+  EXPECT_THROW(make_torus(2, 5), Error);
+}
+
+TEST(Generators, CompleteBinaryTreeShape) {
+  const Graph g = make_complete_binary_tree(3);
+  EXPECT_EQ(g.node_count(), 15);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Generators, LayeredTreeShape) {
+  // Depth 2: 7 nodes, 6 tree edges + 1 (level 1) + 3 (level 2) path edges.
+  const Graph g = make_layered_tree(2);
+  EXPECT_EQ(g.node_count(), 7);
+  EXPECT_EQ(g.edge_count(), 10u);
+  EXPECT_TRUE(is_connected(g));
+  // Level paths: node 1 and 2 adjacent, 3-4-5-6 chained.
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_TRUE(g.has_edge(4, 5));
+  EXPECT_TRUE(g.has_edge(5, 6));
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+TEST(Generators, HypercubeRegularity) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.node_count(), 16);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(g.degree(v), 4);
+  }
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(77);
+  for (NodeId n : {1, 2, 10, 100}) {
+    EXPECT_TRUE(is_tree(make_random_tree(n, rng)));
+  }
+}
+
+TEST(Generators, RandomConnectedStaysConnected) {
+  Rng rng(78);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = make_random_connected(30, 15, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_GE(g.edge_count(), 29u);
+  }
+}
+
+TEST(Generators, GnpEdgeCountConcentrates) {
+  Rng rng(79);
+  const Graph g = make_random_gnp(60, 0.3, rng);
+  const double expected = 0.3 * 60 * 59 / 2;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.35);
+}
+
+TEST(Generators, TreeIndexRoundTrip) {
+  for (NodeId v = 0; v < 200; ++v) {
+    const int y = TreeIndex::level(v);
+    const std::int64_t x = TreeIndex::offset(v);
+    EXPECT_EQ(TreeIndex::id(y, x), v);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 1LL << y);
+  }
+  EXPECT_EQ(TreeIndex::level(0), 0);
+  EXPECT_EQ(TreeIndex::level(1), 1);
+  EXPECT_EQ(TreeIndex::level(2), 1);
+  EXPECT_EQ(TreeIndex::level(3), 2);
+}
+
+TEST(Induced, SubgraphKeepsInternalEdgesOnly) {
+  const Graph g = make_cycle(6);
+  const auto sub = induced_subgraph(g, {0, 1, 2, 4});
+  EXPECT_EQ(sub.graph.node_count(), 4);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));  // cycle edge 0-1
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));  // cycle edge 1-2
+  EXPECT_FALSE(sub.graph.has_edge(2, 3)); // host 2 and 4 not adjacent
+  EXPECT_EQ(sub.graph.edge_count(), 2u);
+  EXPECT_EQ(sub.to_parent[3], 4);
+  EXPECT_EQ(sub.from_parent.at(4), 3);
+}
+
+TEST(Induced, RejectsDuplicates) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(induced_subgraph(g, {0, 0}), Error);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  Rng rng(123);
+  const Graph g = make_random_connected(25, 12, rng);
+  const Graph h = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(g, h);
+}
+
+TEST(Io, DotContainsNodesAndEdges) {
+  const Graph g = make_path(3);
+  const std::string dot = to_dot(g, {"a", "b", "c"});
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"b\""), std::string::npos);
+}
+
+// Parameterized sweep: generator families keep their defining invariants
+// across sizes.
+class CycleSweep : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(CycleSweep, CycleInvariants) {
+  const NodeId n = GetParam();
+  const Graph g = make_cycle(n);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(is_cycle_graph(g));
+  EXPECT_EQ(diameter(g), n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CycleSweep,
+                         ::testing::Values(3, 4, 5, 8, 13, 21, 34, 100));
+
+class LayeredTreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayeredTreeSweep, NodeAndEdgeCounts) {
+  const int depth = GetParam();
+  const Graph g = make_layered_tree(depth);
+  const NodeId n = static_cast<NodeId>((1LL << (depth + 1)) - 1);
+  EXPECT_EQ(g.node_count(), n);
+  // Tree edges: n - 1. Level-path edges at level y: 2^y - 1 for y=1..depth.
+  std::size_t path_edges = 0;
+  for (int y = 1; y <= depth; ++y) {
+    path_edges += (1ULL << y) - 1;
+  }
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(n - 1) + path_edges);
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, LayeredTreeSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace locald::graph

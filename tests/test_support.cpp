@@ -1,0 +1,198 @@
+// Unit tests for the support module: checked errors, RNG determinism and
+// distribution sanity, hashing stability, text formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "support/check.h"
+#include "support/format.h"
+#include "support/hash.h"
+#include "support/rng.h"
+
+namespace locald {
+namespace {
+
+TEST(Check, CheckThrowsError) {
+  EXPECT_THROW(LOCALD_CHECK(false, "bad input"), Error);
+  EXPECT_NO_THROW(LOCALD_CHECK(true, "fine"));
+}
+
+TEST(Check, AssertThrowsBugError) {
+  EXPECT_THROW(LOCALD_ASSERT(false, "broken invariant"), BugError);
+  EXPECT_NO_THROW(LOCALD_ASSERT(true, "fine"));
+}
+
+TEST(Check, MessageCarriesLocationAndText) {
+  try {
+    LOCALD_CHECK(1 == 2, "custom context");
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a.next_u64() == b.next_u64());
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.03);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    hits += rng.bernoulli(0.25);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricCoinMeanIsTwo) {
+  Rng rng(17);
+  long long total = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const int t = rng.coin_tosses_until_head();
+    ASSERT_GE(t, 1);
+    total += t;
+  }
+  EXPECT_NEAR(static_cast<double>(total) / trials, 2.0, 0.1);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValues) {
+  Rng rng(19);
+  for (std::size_t k : {0UL, 1UL, 5UL, 50UL, 100UL}) {
+    const auto s = rng.sample_distinct(100, k);
+    EXPECT_EQ(s.size(), k);
+    const std::set<std::uint64_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (auto v : s) {
+      EXPECT_LT(v, 100u);
+    }
+  }
+}
+
+TEST(Rng, SampleDistinctRejectsOversample) {
+  Rng rng(23);
+  EXPECT_THROW(rng.sample_distinct(3, 4), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng parent(31);
+  Rng c1 = parent.split();
+  Rng c2 = parent.split();
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Hash, Fnv1aStableKnownValue) {
+  // Regression anchor: canonical fingerprints must be stable across builds.
+  const std::uint64_t h = fnv1a("abc", 3);
+  EXPECT_EQ(h, fnv1a("abc", 3));
+  EXPECT_NE(h, fnv1a("abd", 3));
+}
+
+TEST(Hash, VectorHashingDistinguishesLengthAndOrder) {
+  EXPECT_NE(hash_i64_vector({1, 2}), hash_i64_vector({2, 1}));
+  EXPECT_NE(hash_i64_vector({1}), hash_i64_vector({1, 0}));
+  EXPECT_EQ(hash_i64_vector({5, 6, 7}), hash_i64_vector({5, 6, 7}));
+}
+
+TEST(Format, CatConcatenatesMixedTypes) {
+  EXPECT_EQ(cat("r=", 3, ", p=", 1.5), "r=3, p=1.5");
+}
+
+TEST(Format, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(Format, FixedDigits) {
+  EXPECT_EQ(fixed(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(fixed(2.0, 1), "2.0");
+}
+
+TEST(Format, TextTableAlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Format, TextTableRejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+}  // namespace
+}  // namespace locald
