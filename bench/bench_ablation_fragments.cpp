@@ -1,6 +1,6 @@
 // Ablation: how the Section-3 construction responds to its two main design
 // knobs — the fragment materialization cap (exhaustive vs sampled C(M, r))
-// and the fragment size k. Reports the quantities DESIGN.md calls out:
+// and the fragment size k. Reports the quantities docs/ARCHITECTURE.md calls out:
 // exact counts, instance sizes, verifier acceptance, and the cost of the
 // pivot's Lemma-2 check.
 #include <chrono>

@@ -64,6 +64,6 @@ int main() {
             << audit.canonical_mismatch << " mismatches\n";
   std::cout << "aligned-subtree reading covers only "
             << fixed(100.0 * audit.subtree_fraction(), 1)
-            << "% (the reproduction finding documented in DESIGN.md)\n";
+            << "% (the reproduction finding documented in docs/ARCHITECTURE.md)\n";
   return 0;
 }

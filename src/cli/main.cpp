@@ -1,0 +1,193 @@
+// Entry point of the `locald` scenario runner.
+//
+//   locald list [--format text|csv]
+//   locald run <scenario>... [--seed N] [--size N] [--trials N]
+//              [--format text|csv]
+//   locald run --all [options]
+//   locald help [scenario]
+//
+// Exit status: 0 when every executed scenario reproduced the paper's
+// prediction, 1 when any scenario reported a mismatch, 2 on usage errors.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli/scenario.h"
+
+namespace locald::cli {
+namespace {
+
+int usage(std::ostream& out, int status) {
+  out << "locald — scenario runner for the PODC 2013 reproduction\n"
+         "\n"
+         "usage:\n"
+         "  locald list [--format text|csv]      enumerate paper scenarios\n"
+         "  locald run <scenario>... [options]   run named scenarios\n"
+         "  locald run --all [options]           run the whole registry\n"
+         "  locald help [scenario]               describe a scenario\n"
+         "\n"
+         "options:\n"
+         "  --seed N        RNG seed (default 42)\n"
+         "  --size N        scenario scale knob (scenario-specific; see "
+         "`locald help <scenario>`)\n"
+         "  --trials N      sample count for randomized scenarios\n"
+         "  --format F      text (default) or csv\n";
+  return status;
+}
+
+std::optional<long long> parse_int(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(text, &used);
+    if (used != text.size()) return std::nullopt;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+int list_scenarios(const ScenarioOptions& opts) {
+  TextTable table({"scenario", "paper", "summary"});
+  for (const Scenario& s : scenario_registry()) {
+    table.add_row({s.name, s.paper_ref, s.summary});
+  }
+  if (opts.format == OutputFormat::csv) {
+    std::cout << table.render_csv();
+  } else {
+    std::cout << table.render();
+  }
+  return 0;
+}
+
+int help_scenario(const std::string& name) {
+  const Scenario* s = find_scenario(name);
+  if (s == nullptr) {
+    std::cerr << "unknown scenario: " << name << " (see `locald list`)\n";
+    return 2;
+  }
+  std::cout << s->name << " — " << s->paper_ref << "\n  " << s->summary
+            << "\n  --size: "
+            << (s->size_help.empty() ? "unused" : s->size_help) << "\n";
+  return 0;
+}
+
+int run_scenarios(const std::vector<std::string>& names,
+                  const ScenarioOptions& opts) {
+  bool all_ok = true;
+  for (const std::string& name : names) {
+    const Scenario* s = find_scenario(name);
+    if (s == nullptr) {
+      std::cerr << "unknown scenario: " << name << " (see `locald list`)\n";
+      return 2;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (opts.format == OutputFormat::text) {
+      std::cout << "=== " << s->name << " (" << s->paper_ref << ") ===\n\n";
+    }
+    // A throwing scenario counts as a mismatch but must not take down the
+    // rest of a --all run.
+    bool ok = false;
+    try {
+      ok = s->run(opts, std::cout);
+    } catch (const std::exception& e) {
+      std::cerr << "[" << s->name << "] error: " << e.what() << "\n";
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (opts.format == OutputFormat::text) {
+      std::cout << "[" << s->name << "] "
+                << (ok ? "reproduced" : "MISMATCH with the paper") << " in "
+                << fixed(secs, 2) << "s\n\n";
+    } else {
+      std::cout << "# [" << s->name << "] " << (ok ? "reproduced" : "MISMATCH")
+                << "\n";
+    }
+    all_ok = all_ok && ok;
+  }
+  return all_ok ? 0 : 1;
+}
+
+int main_impl(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    return usage(std::cerr, 2);
+  }
+  const std::string command = args.front();
+  args.erase(args.begin());
+
+  ScenarioOptions opts;
+  std::vector<std::string> positional;
+  bool run_all = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto take_value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    if (arg == "--all") {
+      run_all = true;
+    } else if (arg == "--seed" || arg == "--size" || arg == "--trials") {
+      const auto value = take_value();
+      const auto parsed = value ? parse_int(*value) : std::nullopt;
+      if (!parsed || *parsed < 0) {
+        std::cerr << arg << " needs a non-negative integer\n";
+        return 2;
+      }
+      if (arg == "--seed") {
+        opts.seed = static_cast<std::uint64_t>(*parsed);
+      } else if (arg == "--size") {
+        opts.size = static_cast<int>(*parsed);
+      } else {
+        opts.trials = static_cast<int>(*parsed);
+      }
+    } else if (arg == "--format") {
+      const auto value = take_value();
+      if (!value || (*value != "text" && *value != "csv")) {
+        std::cerr << "--format needs `text` or `csv`\n";
+        return 2;
+      }
+      opts.format = *value == "csv" ? OutputFormat::csv : OutputFormat::text;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (command == "list") {
+    return list_scenarios(opts);
+  }
+  if (command == "help" || command == "--help" || command == "-h") {
+    if (positional.empty()) {
+      return usage(std::cout, 0);
+    }
+    return help_scenario(positional.front());
+  }
+  if (command == "run") {
+    std::vector<std::string> names = positional;
+    if (run_all) {
+      for (const Scenario& s : scenario_registry()) {
+        if (std::find(names.begin(), names.end(), s.name) == names.end()) {
+          names.push_back(s.name);
+        }
+      }
+    }
+    if (names.empty()) {
+      std::cerr << "run needs scenario names or --all\n";
+      return 2;
+    }
+    return run_scenarios(names, opts);
+  }
+  std::cerr << "unknown command: " << command << "\n";
+  return usage(std::cerr, 2);
+}
+
+}  // namespace
+}  // namespace locald::cli
+
+int main(int argc, char** argv) { return locald::cli::main_impl(argc, argv); }

@@ -1,0 +1,46 @@
+#include "cli/scenario.h"
+
+#include "cli/scenarios.h"
+
+namespace locald::cli {
+
+const std::vector<Scenario>& scenario_registry() {
+  static const std::vector<Scenario> registry = [] {
+    std::vector<Scenario> all;
+    for (auto* section : {&matrix_scenarios, &tree_scenarios,
+                          &halting_scenarios}) {
+      auto scenarios = (*section)();
+      all.insert(all.end(), std::make_move_iterator(scenarios.begin()),
+                 std::make_move_iterator(scenarios.end()));
+    }
+    return all;
+  }();
+  return registry;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : scenario_registry()) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+void emit_table(std::ostream& out, const ScenarioOptions& opts,
+                const std::string& title, const TextTable& table) {
+  if (opts.format == OutputFormat::csv) {
+    out << "# " << title << '\n' << table.render_csv();
+  } else {
+    out << title << '\n' << table.render() << '\n';
+  }
+}
+
+void emit_note(std::ostream& out, const ScenarioOptions& opts,
+               const std::string& text) {
+  if (opts.format == OutputFormat::text) {
+    out << text << '\n';
+  }
+}
+
+}  // namespace locald::cli

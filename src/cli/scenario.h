@@ -1,0 +1,60 @@
+// The scenario registry behind the `locald` command-line driver.
+//
+// Every paper artifact the benches and examples reproduce — the Section-1.1
+// separation matrix, the Figure-1 layered trees, the Figure-2 G(M, r)
+// construction, the Figure-3 pyramids, the Corollary-1 randomized decider,
+// and the two warm-up promise problems — is registered here under a stable
+// name. `locald list` enumerates the registry; `locald run <name>` executes
+// one scenario end to end with selectable sizes, seeds, and text/CSV output,
+// so the eight ad-hoc bench main()s share a single parameterized harness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/format.h"
+
+namespace locald::cli {
+
+enum class OutputFormat { text, csv };
+
+// Knobs shared by every scenario. `size` is the scenario's principal scale
+// parameter (documented per scenario in `Scenario::size_help`); 0 means
+// "use the scenario default", matching the bench binaries.
+struct ScenarioOptions {
+  std::uint64_t seed = 42;
+  int size = 0;
+  int trials = 0;
+  OutputFormat format = OutputFormat::text;
+};
+
+// A named, runnable paper artifact.
+struct Scenario {
+  std::string name;       // stable CLI name, e.g. "fig1-layered-trees"
+  std::string paper_ref;  // where it lives in the paper, e.g. "Fig. 1, Sec. 2"
+  std::string summary;    // one line for `locald list`
+  std::string size_help;  // what --size means here (empty: unused)
+  // Runs the scenario, writing tables to `out`. Returns true when every
+  // reproduced verdict matched the paper's prediction.
+  std::function<bool(const ScenarioOptions&, std::ostream&)> run;
+};
+
+// The full registry, in paper order.
+const std::vector<Scenario>& scenario_registry();
+
+// Lookup by CLI name; nullptr when unknown.
+const Scenario* find_scenario(const std::string& name);
+
+// Shared table emission: a titled aligned table in text mode, a
+// `# title`-prefixed RFC-4180 block in CSV mode.
+void emit_table(std::ostream& out, const ScenarioOptions& opts,
+                const std::string& title, const TextTable& table);
+
+// A plain narrative line; suppressed in CSV mode so output stays parseable.
+void emit_note(std::ostream& out, const ScenarioOptions& opts,
+               const std::string& text);
+
+}  // namespace locald::cli

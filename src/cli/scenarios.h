@@ -1,0 +1,16 @@
+// Internal to src/cli: per-section scenario constructors assembled by
+// scenario_registry(). Grouped by the part of the paper they reproduce so
+// each translation unit pulls in only one subsystem cluster.
+#pragma once
+
+#include <vector>
+
+#include "cli/scenario.h"
+
+namespace locald::cli {
+
+std::vector<Scenario> matrix_scenarios();   // Section 1.1 (Table 1)
+std::vector<Scenario> tree_scenarios();     // Section 2 (Fig. 1, promise cycles)
+std::vector<Scenario> halting_scenarios();  // Section 3 + Appendix A
+
+}  // namespace locald::cli

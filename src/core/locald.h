@@ -2,7 +2,8 @@
 //
 // locald reproduces "What can be decided locally without identifiers?"
 // (Fraigniaud, Göös, Korman, Suomela; PODC 2013). See README.md for the
-// architecture overview and DESIGN.md for the experiment index.
+// build/test quickstart and subsystem map, and docs/ARCHITECTURE.md for the
+// simulation pipeline and the scenario registry.
 #pragma once
 
 // Substrates

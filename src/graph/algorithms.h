@@ -1,4 +1,13 @@
 // Classic traversals and structure queries on `Graph`.
+//
+// These are the primitives the paper's local-model machinery is built from:
+// `nodes_within` delimits the radius-t ball B(v, t) that a local algorithm
+// sees (Section 1.2), the shape predicates (`is_cycle_graph`, `is_tree`,
+// `is_path_graph`) back the warm-up promise problems and tree families, and
+// `diameter`/`eccentricity` are used by tests to certify that constructed
+// instances have the claimed locality structure. Everything here is exact
+// and intended for the small graphs of the reproduction (balls, fragments,
+// instances up to a few hundred thousand nodes), not for streaming scale.
 #pragma once
 
 #include <optional>

@@ -1,4 +1,10 @@
 // Graph serialization: Graphviz DOT for inspection, edge lists for tests.
+//
+// DOT output exists to eyeball the paper's constructions (layered trees,
+// G(M, r) grids, pyramids) in a viewer; the edge-list round-trip
+// (`to_edge_list`/`from_edge_list`) gives tests a canonical, diffable text
+// form — lines are "u v" with u < v, sorted — so golden files and equality
+// assertions do not depend on adjacency-list ordering.
 #pragma once
 
 #include <string>

@@ -8,7 +8,7 @@
 // cell code, or a pyramid node (Appendix A mode).
 //
 // Two documented deviations from the paper, chosen for tractability and
-// recorded in DESIGN.md:
+// recorded in docs/ARCHITECTURE.md:
 //  - fragments are glued with orientation offset (0, 0) instead of all nine
 //    (mod 3) offset variants; the offsets carry no information about M's
 //    execution, and builder, verifier and neighbourhood generator share the
@@ -87,7 +87,7 @@ GmrInstance assemble_gmr(const tm::TuringMachine& m, int r,
 // structural parameters (k, policy, pyramidal). The oracle decodes M from
 // the labels, rebuilds the expected instance, and compares size, label
 // multiset, edge count — a reconstruction oracle adequate for the
-// controlled experiment families (documented in DESIGN.md).
+// controlled experiment families (documented in docs/ARCHITECTURE.md).
 std::unique_ptr<local::Property> property_gmr_outputs0(
     int fragment_size, tm::FragmentPolicy policy, bool pyramidal,
     long long step_budget);

@@ -8,7 +8,7 @@
 // and under (C) it may fail to terminate (the search is over an infinite
 // domain): both failure modes are demonstrated in the experiments.
 //
-// Substitution (documented in DESIGN.md): the infinite search is realized
+// Substitution (documented in docs/ARCHITECTURE.md): the infinite search is realized
 // as exhaustive enumeration when the injection count fits the budget and
 // as seeded random sampling otherwise; `id_universe` is the finite stand-in
 // for N.

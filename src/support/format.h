@@ -39,6 +39,10 @@ class TextTable {
   // Render with a header rule, columns padded to the widest cell.
   std::string render() const;
 
+  // Render as RFC-4180 CSV (header row first); cells containing commas,
+  // quotes, or newlines are quoted. Used by the CLI's --format csv mode.
+  std::string render_csv() const;
+
   std::size_t row_count() const { return rows_.size(); }
 
  private:

@@ -12,7 +12,7 @@
 // The audit also reports how many nodes admit an ALIGNED-SUBTREE witness:
 // under the literal reading of the paper's H <= r T_r this is strictly less
 // than all of them (alignment boundaries fail), which is the reproduction
-// finding documented in DESIGN.md.
+// finding documented in docs/ARCHITECTURE.md.
 #pragma once
 
 #include "support/rng.h"

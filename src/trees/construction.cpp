@@ -287,7 +287,7 @@ ParsedLabels parse_labels(const TreeParams& p, const local::LabeledGraph& g,
 
 // Do the graph's edges agree exactly with coordinate adjacency (plus the
 // given pivot adjacency)?
-bool edges_match(const local::LabeledGraph& g, const ParsedLabels& parsed,
+bool edges_match(const local::LabeledGraph& g,
                  const std::set<std::pair<graph::NodeId, graph::NodeId>>&
                      pivot_edges,
                  Coord R, std::size_t expected_adjacent_pairs) {
@@ -341,7 +341,7 @@ bool is_T(const TreeParams& p, const local::LabeledGraph& g) {
   }
   // Coordinates form the full tree by counting: distinct, in range, and
   // exactly 2^{R+1} - 1 of them.
-  return edges_match(g, parsed, {}, R,
+  return edges_match(g, {}, R,
                      count_adjacent_pairs(parsed.tree_nodes, R));
 }
 
@@ -410,7 +410,7 @@ bool is_patch_instance(const TreeParams& p, const local::LabeledGraph& g) {
   if (pivot_coords != std::set<CoordPair>(border.begin(), border.end())) {
     return false;
   }
-  return edges_match(g, parsed, pivot_edges, R,
+  return edges_match(g, pivot_edges, R,
                      count_adjacent_pairs(parsed.tree_nodes, R));
 }
 

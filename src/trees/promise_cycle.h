@@ -6,7 +6,7 @@
 // — impossible in an r-cycle under assumption (B), guaranteed to occur in
 // the no-instance.
 //
-// Deviation from the paper (documented in DESIGN.md): the paper takes the
+// Deviation from the paper (documented in docs/ARCHITECTURE.md): the paper takes the
 // no-length to be exactly f(r), but with 0-based one-to-one identifiers the
 // assignment {0, ..., f(r)-1} on an f(r)-cycle stays below f(r) and the
 // pigeonhole argument misses by one. We use no-length f(r) + 1, which

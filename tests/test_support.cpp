@@ -194,5 +194,21 @@ TEST(Format, TextTableRejectsRaggedRows) {
   EXPECT_THROW(t.add_row({"only-one"}), Error);
 }
 
+TEST(Format, TextTableRendersCsv) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  EXPECT_EQ(t.render_csv(), "name,value\nalpha,1\nb,22222\n");
+}
+
+TEST(Format, TextTableCsvQuotesSpecialCharacters) {
+  TextTable t({"cell"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  t.add_row({"has\nnewline"});
+  EXPECT_EQ(t.render_csv(),
+            "cell\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
 }  // namespace
 }  // namespace locald
