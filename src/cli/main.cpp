@@ -2,8 +2,10 @@
 //
 //   locald list [--format text|csv]
 //   locald run <scenario>... [--seed N] [--size N] [--trials N]
-//              [--format text|csv]
+//              [--threads N] [--format text|csv]
 //   locald run --all [options]
+//   locald sweep <scenario> [--sizes a,b,c] [--trials N] [--seed N]
+//                [--threads N] [--timing] [--format json]
 //   locald help [scenario]
 //
 // Exit status: 0 when every executed scenario reproduced the paper's
@@ -16,6 +18,8 @@
 #include <vector>
 
 #include "cli/scenario.h"
+#include "cli/sweep.h"
+#include "exec/context.h"
 
 namespace locald::cli {
 namespace {
@@ -27,14 +31,24 @@ int usage(std::ostream& out, int status) {
          "  locald list [--format text|csv]      enumerate paper scenarios\n"
          "  locald run <scenario>... [options]   run named scenarios\n"
          "  locald run --all [options]           run the whole registry\n"
+         "  locald sweep <scenario> [options]    fan one scenario across a\n"
+         "                                       size grid; JSON on stdout\n"
          "  locald help [scenario]               describe a scenario\n"
          "\n"
          "options:\n"
          "  --seed N        RNG seed (default 42)\n"
          "  --size N        scenario scale knob (scenario-specific; see "
          "`locald help <scenario>`)\n"
+         "  --sizes a,b,c   sweep only: the --size grid (default: scenario "
+         "default size)\n"
          "  --trials N      sample count for randomized scenarios\n"
-         "  --format F      text (default) or csv\n";
+         "  --threads N     execution-engine threads (0 = all hardware "
+         "threads; default 1);\n"
+         "                  results are bit-identical at every thread count\n"
+         "  --timing        sweep only: include wall-time and cache-hit "
+         "fields in the JSON\n"
+         "                  (scheduling-dependent, so off by default)\n"
+         "  --format F      run/list: text (default) or csv; sweep: json\n";
   return status;
 }
 
@@ -75,7 +89,11 @@ int help_scenario(const std::string& name) {
 }
 
 int run_scenarios(const std::vector<std::string>& names,
-                  const ScenarioOptions& opts) {
+                  const ScenarioOptions& base_opts, int threads) {
+  std::optional<exec::ThreadPool> pool;
+  if (threads != 1) {
+    pool.emplace(threads);
+  }
   bool all_ok = true;
   for (const std::string& name : names) {
     const Scenario* s = find_scenario(name);
@@ -83,6 +101,13 @@ int run_scenarios(const std::vector<std::string>& names,
       std::cerr << "unknown scenario: " << name << " (see `locald list`)\n";
       return 2;
     }
+    // Fresh cache per scenario: memoized verdicts are keyed by algorithm
+    // name, so scoping the cache to one scenario run keeps name reuse
+    // across scenarios harmless.
+    exec::VerdictCache cache;
+    ScenarioOptions opts = base_opts;
+    opts.exec.pool = pool ? &*pool : nullptr;
+    opts.exec.cache = &cache;
     const auto t0 = std::chrono::steady_clock::now();
     if (opts.format == OutputFormat::text) {
       std::cout << "=== " << s->name << " (" << s->paper_ref << ") ===\n\n";
@@ -121,7 +146,11 @@ int main_impl(int argc, char** argv) {
 
   ScenarioOptions opts;
   std::vector<std::string> positional;
+  std::vector<int> sizes;
+  std::string format;
+  int threads = 1;
   bool run_all = false;
+  bool timing = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto take_value = [&]() -> std::optional<std::string> {
@@ -130,7 +159,10 @@ int main_impl(int argc, char** argv) {
     };
     if (arg == "--all") {
       run_all = true;
-    } else if (arg == "--seed" || arg == "--size" || arg == "--trials") {
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--seed" || arg == "--size" || arg == "--trials" ||
+               arg == "--threads") {
       const auto value = take_value();
       const auto parsed = value ? parse_int(*value) : std::nullopt;
       if (!parsed || *parsed < 0) {
@@ -141,15 +173,51 @@ int main_impl(int argc, char** argv) {
         opts.seed = static_cast<std::uint64_t>(*parsed);
       } else if (arg == "--size") {
         opts.size = static_cast<int>(*parsed);
+      } else if (arg == "--threads") {
+        // 0 means "all hardware threads"; anything far beyond the machine
+        // is a typo, not a request for a thousand OS threads. The floor of
+        // 32 keeps cross-thread-count determinism checks runnable on small
+        // boxes.
+        const long long max_threads = std::max(
+            32LL, 4LL * exec::ThreadPool::hardware_parallelism());
+        if (*parsed > max_threads) {
+          std::cerr << "--threads " << *parsed << " exceeds the sane maximum "
+                    << max_threads << "; use 0 for all hardware threads\n";
+          return 2;
+        }
+        threads = static_cast<int>(*parsed);
       } else {
         opts.trials = static_cast<int>(*parsed);
       }
-    } else if (arg == "--format") {
+    } else if (arg == "--sizes") {
       const auto value = take_value();
-      if (!value || (*value != "text" && *value != "csv")) {
-        std::cerr << "--format needs `text` or `csv`\n";
+      if (!value) {
+        std::cerr << "--sizes needs a comma-separated integer list\n";
         return 2;
       }
+      std::istringstream list(*value);
+      std::string item;
+      sizes.clear();
+      while (std::getline(list, item, ',')) {
+        const auto parsed = parse_int(item);
+        if (!parsed || *parsed < 0) {
+          std::cerr << "--sizes needs non-negative integers, got `" << item
+                    << "`\n";
+          return 2;
+        }
+        sizes.push_back(static_cast<int>(*parsed));
+      }
+      if (sizes.empty()) {
+        std::cerr << "--sizes needs at least one value\n";
+        return 2;
+      }
+    } else if (arg == "--format") {
+      const auto value = take_value();
+      if (!value || (*value != "text" && *value != "csv" && *value != "json")) {
+        std::cerr << "--format needs `text`, `csv`, or `json`\n";
+        return 2;
+      }
+      format = *value;
       opts.format = *value == "csv" ? OutputFormat::csv : OutputFormat::text;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
@@ -181,7 +249,40 @@ int main_impl(int argc, char** argv) {
       std::cerr << "run needs scenario names or --all\n";
       return 2;
     }
-    return run_scenarios(names, opts);
+    if (format == "json") {
+      std::cerr << "run emits text or csv; json is the sweep format\n";
+      return 2;
+    }
+    if (!sizes.empty()) {
+      std::cerr << "--sizes is a sweep option; run takes a single --size\n";
+      return 2;
+    }
+    if (timing) {
+      std::cerr << "--timing is a sweep option\n";
+      return 2;
+    }
+    return run_scenarios(names, opts, threads);
+  }
+  if (command == "sweep") {
+    if (positional.size() != 1) {
+      std::cerr << "sweep needs exactly one scenario name\n";
+      return 2;
+    }
+    if (!format.empty() && format != "json") {
+      std::cerr << "sweep emits json only\n";
+      return 2;
+    }
+    if (opts.size != 0) {
+      std::cerr << "--size is a run option; sweep takes a --sizes grid\n";
+      return 2;
+    }
+    SweepOptions sweep;
+    sweep.seed = opts.seed;
+    sweep.sizes = sizes;
+    sweep.trials = opts.trials;
+    sweep.threads = threads;
+    sweep.timing = timing;
+    return run_sweep(positional.front(), sweep, std::cout);
   }
   std::cerr << "unknown command: " << command << "\n";
   return usage(std::cerr, 2);

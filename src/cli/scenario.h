@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/context.h"
 #include "support/format.h"
 
 namespace locald::cli {
@@ -29,6 +30,10 @@ struct ScenarioOptions {
   int size = 0;
   int trials = 0;
   OutputFormat format = OutputFormat::text;
+  // Execution engine handed down by the driver (--threads); the default is
+  // the serial engine. Scenarios route their hot paths through it; verdicts
+  // must not depend on the thread count (`locald sweep` gates on this).
+  exec::ExecContext exec;
 };
 
 // A named, runnable paper artifact.

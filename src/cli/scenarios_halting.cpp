@@ -139,7 +139,6 @@ bool run_cor1(const ScenarioOptions& opts, std::ostream& out) {
                                                    std::max(10, opts.size));
   const auto decider =
       halting::make_randomized_gmr_decider(3, policy, false, 4096);
-  Rng rng(opts.seed);
   const int trials = opts.trials == 0 ? 40 : opts.trials;
   bool ok = true;
 
@@ -148,8 +147,10 @@ bool run_cor1(const ScenarioOptions& opts, std::ostream& out) {
   {
     halting::GmrParams params{tm::halt_after(2, 0), 1, 3, policy, false, 4096};
     const auto inst = halting::build_gmr(params).graph;
-    const auto est =
-        local::estimate_acceptance(*decider, inst, nullptr, trials, rng);
+    // Instance 0 of the sweep cell: coins come from counter streams under
+    // (seed, instance), so trials parallelize without changing the counts.
+    const auto est = local::estimate_acceptance(*decider, inst, nullptr,
+                                                trials, opts.seed, opts.exec);
     ok = ok && est.accepted == est.trials;  // perfect completeness
     table.add_row({cat("G(", params.machine.name(), ")"),
                    cat(inst.node_count()), "member",
@@ -159,8 +160,9 @@ bool run_cor1(const ScenarioOptions& opts, std::ostream& out) {
     halting::GmrParams params{tm::zigzag_halt(rounds, 1), 1, 3, policy, false,
                               4096};
     const auto inst = halting::build_gmr(params).graph;
-    const auto est =
-        local::estimate_acceptance(*decider, inst, nullptr, trials, rng);
+    const auto est = local::estimate_acceptance(
+        *decider, inst, nullptr, trials,
+        opts.seed + static_cast<std::uint64_t>(rounds), opts.exec);
     const double bound = halting::corollary1_failure_bound(
         static_cast<double>(inst.node_count()));
     // Soundness w.h.p.: the empirical acceptance rate of a no-instance must

@@ -8,7 +8,8 @@ namespace {
 
 // Paper's table: (B, C), (B, ¬C), (¬B, C) separated; (¬B, ¬C) equal.
 bool run_table1(const ScenarioOptions& opts, std::ostream& out) {
-  const auto results = core::evaluate_separation_matrix(opts.seed);
+  const auto results =
+      core::evaluate_separation_matrix(opts.seed, opts.exec, opts.size);
   bool ok = results.size() == 4;
 
   TextTable table({"quadrant", "paper", "measured", "witness", "agrees"});
@@ -43,7 +44,7 @@ std::vector<Scenario> matrix_scenarios() {
       "table1-matrix",
       "Table 1, Sec. 1.1",
       "LD* vs LD under the four (B)/(C) model assumptions",
-      "",
+      "random instances in the (¬B, ¬C) A* agreement quadrant (default 12)",
       run_table1,
   }};
 }

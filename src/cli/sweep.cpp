@@ -1,0 +1,131 @@
+#include "cli/sweep.h"
+
+#include <chrono>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "cli/scenario.h"
+#include "exec/context.h"
+#include "support/format.h"
+
+namespace locald::cli {
+
+namespace {
+
+struct CellResult {
+  int size = 0;
+  bool ok = false;
+  std::string error;  // non-empty when the scenario threw
+  double wall_ms = 0.0;
+  exec::VerdictCache::Stats cache;
+};
+
+CellResult run_cell(const Scenario& scenario, const SweepOptions& sweep,
+                    int size, exec::ThreadPool* pool) {
+  CellResult cell;
+  cell.size = size;
+  // A fresh cache per cell keeps memory bounded and makes the reported hit
+  // rate a per-cell figure rather than a cross-cell accumulation.
+  exec::VerdictCache cache;
+  ScenarioOptions opts;
+  opts.seed = sweep.seed;
+  opts.size = size;
+  opts.trials = sweep.trials;
+  opts.format = OutputFormat::csv;
+  opts.exec.pool = pool;
+  opts.exec.cache = &cache;
+  std::ostringstream sink;  // tables are the run-mode UI; sweep keeps JSON
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    cell.ok = scenario.run(opts, sink);
+  } catch (const std::exception& e) {
+    cell.ok = false;
+    cell.error = e.what();
+  }
+  cell.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  cell.cache = cache.stats();
+  return cell;
+}
+
+}  // namespace
+
+int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
+              std::ostream& out) {
+  const Scenario* scenario = find_scenario(scenario_name);
+  if (scenario == nullptr) {
+    std::cerr << "unknown scenario: " << scenario_name
+              << " (see `locald list`)\n";
+    return 2;
+  }
+  std::vector<int> sizes = sweep.sizes;
+  if (sizes.empty()) {
+    sizes.push_back(0);
+  }
+  std::optional<exec::ThreadPool> pool;
+  if (sweep.threads != 1) {
+    pool.emplace(sweep.threads);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<CellResult> cells;
+  cells.reserve(sizes.size());
+  // Cells run in grid order on one thread; parallelism lives inside the
+  // scenario's hot paths, which keeps nested pools out of the picture and
+  // the JSON cell order fixed.
+  for (int size : sizes) {
+    cells.push_back(run_cell(*scenario, sweep, size, pool ? &*pool : nullptr));
+  }
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
+  bool all_ok = true;
+  for (const CellResult& cell : cells) {
+    all_ok = all_ok && cell.ok;
+  }
+
+  // Deterministic fields first; everything scheduling-dependent is gated on
+  // --timing (see sweep.h for the byte-identity contract).
+  out << "{\n";
+  out << "  \"tool\": \"locald-sweep\",\n";
+  out << "  \"scenario\": " << json_quote(scenario_name) << ",\n";
+  out << "  \"paper_ref\": " << json_quote(scenario->paper_ref) << ",\n";
+  out << "  \"seed\": " << sweep.seed << ",\n";
+  // 0 means "each cell ran its scenario-default trial count", which the
+  // sweep cannot know; omitting the field beats recording a false zero.
+  if (sweep.trials > 0) {
+    out << "  \"trials\": " << sweep.trials << ",\n";
+  }
+  if (sweep.timing) {
+    out << "  \"threads\": "
+        << (pool ? pool->parallelism() : 1) << ",\n";
+    out << "  \"total_wall_ms\": " << fixed(total_ms, 3) << ",\n";
+  }
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = cells[i];
+    out << "    {\"size\": " << cell.size << ", \"ok\": "
+        << (cell.ok ? "true" : "false");
+    if (!cell.error.empty()) {
+      out << ", \"error\": " << json_quote(cell.error);
+    }
+    if (sweep.timing) {
+      out << ", \"wall_ms\": " << fixed(cell.wall_ms, 3)
+          << ", \"cache_hits\": " << cell.cache.hits
+          << ", \"cache_misses\": " << cell.cache.misses
+          << ", \"cache_hit_rate\": " << fixed(cell.cache.hit_rate(), 4);
+    }
+    out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"all_ok\": " << (all_ok ? "true" : "false") << "\n";
+  out << "}\n";
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace locald::cli

@@ -1,0 +1,34 @@
+// `locald sweep` — fan one scenario out across a parameter grid and emit a
+// single machine-readable JSON document.
+//
+// The document on stdout is the CI perf gate's contract: every field in the
+// default output is scheduling-deterministic, so two sweeps of the same
+// (scenario, seed, sizes, trials) must be byte-identical at ANY --threads
+// value — CI compares `--threads 1` against `--threads $(nproc)` with a
+// plain byte diff. Wall times, thread counts and cache hit rates are real
+// but scheduling-dependent, so they only appear when `--timing` opts in
+// (the run CI uploads as the benchmark artifact).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace locald::cli {
+
+struct SweepOptions {
+  std::uint64_t seed = 42;
+  std::vector<int> sizes;  // grid of --size values; empty => {0} (default)
+  int trials = 0;          // per-cell --trials (0 = scenario default)
+  int threads = 1;         // 0 = hardware parallelism
+  bool timing = false;     // include the volatile timing/cache fields
+};
+
+// Runs every cell and writes the JSON document to `out`. Returns the
+// process exit code: 0 when every cell reproduced the paper's prediction,
+// 1 otherwise.
+int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
+              std::ostream& out);
+
+}  // namespace locald::cli

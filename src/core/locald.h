@@ -7,6 +7,9 @@
 #pragma once
 
 // Substrates
+#include "exec/context.h"
+#include "exec/thread_pool.h"
+#include "exec/verdict_cache.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/induced.h"

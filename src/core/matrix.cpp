@@ -107,7 +107,8 @@ QuadrantResult computable_quadrant(Rng& rng) {
 
 // (¬B, ¬C): the Id-oblivious simulation A* reproduces an id-reading (but
 // id-independent) decider verbatim, so LD* = LD.
-QuadrantResult unrestricted_quadrant(Rng& rng) {
+QuadrantResult unrestricted_quadrant(Rng& rng, const exec::ExecContext& ctx,
+                                     int instances) {
   QuadrantResult out;
   out.quadrant = "(¬B, ¬C)";
   out.witness = "Id-oblivious simulation A*";
@@ -126,18 +127,19 @@ QuadrantResult unrestricted_quadrant(Rng& rng) {
   oblivious::SimulationOptions options;
   options.id_universe = 64;
   options.max_assignments = 5'000;
+  options.pool = ctx.pool;
   const auto simulated = oblivious::make_oblivious_simulation(reading, options);
   const auto property = props::proper_coloring_property(3);
 
   int agreements = 0;
   int cases = 0;
-  for (int trial = 0; trial < 12; ++trial) {
+  for (int trial = 0; trial < instances; ++trial) {
     local::LabeledGraph g(graph::make_random_connected(8, 4, rng));
     for (graph::NodeId v = 0; v < g.node_count(); ++v) {
       g.set_label(v, local::Label{static_cast<std::int64_t>(rng.below(3))});
     }
     const bool truth = property->contains(g);
-    const bool sim = local::run_oblivious(*simulated, g).accepted;
+    const bool sim = local::run_oblivious(*simulated, g, ctx).accepted;
     ++cases;
     agreements += (truth == sim);
   }
@@ -149,13 +151,16 @@ QuadrantResult unrestricted_quadrant(Rng& rng) {
 
 }  // namespace
 
-std::vector<QuadrantResult> evaluate_separation_matrix(std::uint64_t seed) {
+std::vector<QuadrantResult> evaluate_separation_matrix(
+    std::uint64_t seed, const exec::ExecContext& ctx, int a_star_instances) {
   Rng rng(seed);
   std::vector<QuadrantResult> out;
   out.push_back(bounded_quadrant(/*computable=*/true, rng));
   out.push_back(bounded_quadrant(/*computable=*/false, rng));
   out.push_back(computable_quadrant(rng));
-  out.push_back(unrestricted_quadrant(rng));
+  out.push_back(unrestricted_quadrant(rng, ctx,
+                                      a_star_instances > 0 ? a_star_instances
+                                                           : 12));
   return out;
 }
 

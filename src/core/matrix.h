@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/context.h"
+
 namespace locald::core {
 
 struct QuadrantResult {
@@ -21,7 +23,14 @@ struct QuadrantResult {
 //  (¬B, C)  — the Section-3 G(M, r) construction + diagonalization;
 //  (¬B, ¬C) — the Id-oblivious simulation A* reproduces an id-reading
 //             decider exactly.
-std::vector<QuadrantResult> evaluate_separation_matrix(std::uint64_t seed);
+// `ctx` parallelizes the A* quadrant (node loop, assignment search, ball
+// memoization); the verdicts are identical at every thread count.
+// `a_star_instances` scales the (¬B, ¬C) agreement experiment — how many
+// random instances A* is compared against the global oracle on (0 = the
+// default of 12).
+std::vector<QuadrantResult> evaluate_separation_matrix(
+    std::uint64_t seed, const exec::ExecContext& ctx = {},
+    int a_star_instances = 0);
 
 // Rendered like the paper's table.
 std::string render_matrix(const std::vector<QuadrantResult>& results);

@@ -1,0 +1,65 @@
+#include "exec/verdict_cache.h"
+
+#include "support/check.h"
+
+namespace locald::exec {
+
+VerdictCache::VerdictCache(std::size_t shard_count)
+    : shards_(shard_count == 0 ? 1 : shard_count) {}
+
+const VerdictCache::Shard& VerdictCache::shard_for(
+    std::uint64_t fingerprint) const {
+  // The fingerprint is already an avalanche of the encoding; the low bits
+  // spread classes evenly across shards.
+  return shards_[static_cast<std::size_t>(fingerprint % shards_.size())];
+}
+
+std::string VerdictCache::key(const std::string& algorithm,
+                              const std::string& encoding) {
+  std::string k;
+  k.reserve(algorithm.size() + 1 + encoding.size());
+  k += algorithm;
+  k += '\0';
+  k += encoding;
+  return k;
+}
+
+std::optional<bool> VerdictCache::lookup(std::uint64_t fingerprint,
+                                         const std::string& algorithm,
+                                         const std::string& encoding) const {
+  const Shard& shard = shard_for(fingerprint);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  const auto it = shard.map.find(key(algorithm, encoding));
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void VerdictCache::insert(std::uint64_t fingerprint,
+                          const std::string& algorithm,
+                          const std::string& encoding, bool accepted) {
+  Shard& shard =
+      shards_[static_cast<std::size_t>(fingerprint % shards_.size())];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  const auto [it, inserted] =
+      shard.map.emplace(key(algorithm, encoding), accepted);
+  // Two threads can race to decide the same class; they must agree.
+  LOCALD_ASSERT(inserted || it->second == accepted,
+                "conflicting verdicts memoized for one canonical class");
+}
+
+VerdictCache::Stats VerdictCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    s.entries += shard.map.size();
+  }
+  return s;
+}
+
+}  // namespace locald::exec

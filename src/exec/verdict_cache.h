@@ -1,0 +1,78 @@
+// Sharded memoization of deterministic per-ball verdicts.
+//
+// A deterministic, isomorphism-invariant local algorithm decides every ball
+// in a canonical-isomorphism class identically, so the class — named by
+// `Ball::canonical_encoding()` — needs deciding once per algorithm. The
+// cache maps (algorithm name, canonical encoding) to the verdict; the
+// 64-bit `canonical_fingerprint()` picks the shard, and the full encoding
+// is the key inside the shard, so fingerprint collisions cost a shard
+// detour, never a wrong verdict.
+//
+// Sharding keeps the cache safe and cheap under the thread pool: each shard
+// has its own mutex and map, so concurrent lookups of unrelated balls never
+// contend. Hit/miss counters are atomics; note that under parallelism two
+// threads can miss the same class concurrently and both insert, so the
+// counters (unlike the cached verdicts) are NOT scheduling-deterministic —
+// `locald sweep` therefore reports them only in its volatile `--timing`
+// section.
+//
+// Correctness contract for callers: memoize only algorithms whose verdict is
+// a pure function of the ball's isomorphism class — deterministic, and
+// either id-oblivious or invariant under ball-node renumbering. Randomized
+// algorithms must never be memoized (their verdict depends on the coins).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace locald::exec {
+
+class VerdictCache {
+ public:
+  explicit VerdictCache(std::size_t shard_count = 16);
+
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
+  // `accepted` for the class named by (algorithm, encoding), if decided.
+  std::optional<bool> lookup(std::uint64_t fingerprint,
+                             const std::string& algorithm,
+                             const std::string& encoding) const;
+
+  void insert(std::uint64_t fingerprint, const std::string& algorithm,
+              const std::string& encoding, bool accepted);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  Stats stats() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, bool> map;
+  };
+
+  const Shard& shard_for(std::uint64_t fingerprint) const;
+  static std::string key(const std::string& algorithm,
+                         const std::string& encoding);
+
+  std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace locald::exec

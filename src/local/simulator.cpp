@@ -1,8 +1,69 @@
 #include "local/simulator.h"
 
+#include <atomic>
+
+#include "support/hash.h"
+
 namespace locald::local {
 
 namespace {
+
+// Tag keeping probe_id_dependence's per-trial id-assignment streams disjoint
+// from the (trial, node) coin streams of estimate_acceptance under one seed.
+constexpr std::uint64_t kProbeIdStreamTag = 0x70726f6265ULL;  // "probe"
+
+// Evaluate through the memoization cache when one is wired up. The cache key
+// is the ball's full canonical encoding (the fingerprint only picks the
+// shard), so a fingerprint collision can never smuggle in a wrong verdict.
+// Hashing the already-computed encoding equals Ball::canonical_fingerprint()
+// by definition while canonicalizing only once.
+Verdict decide_ball(const LocalAlgorithm& alg, const std::string& alg_name,
+                    const Ball& ball, exec::VerdictCache* cache) {
+  if (cache == nullptr || !alg.memoization_safe()) {
+    return alg.evaluate(ball);
+  }
+  const std::string encoding = ball.canonical_encoding();
+  const std::uint64_t fingerprint = hash_string(encoding);
+  if (const auto hit = cache->lookup(fingerprint, alg_name, encoding)) {
+    return *hit ? Verdict::yes : Verdict::no;
+  }
+  const Verdict out = alg.evaluate(ball);
+  cache->insert(fingerprint, alg_name, encoding, out == Verdict::yes);
+  return out;
+}
+
+// Ball of v as the algorithm is allowed to see it.
+Ball visible_ball(const LocalAlgorithm& alg, const LabeledGraph& g,
+                  const IdAssignment* ids, graph::NodeId v) {
+  Ball ball = extract_ball(g, ids, v, alg.horizon());
+  if (alg.id_oblivious() && ball.has_ids()) {
+    ball = ball.without_ids();
+  }
+  return ball;
+}
+
+RunResult run_ctx_impl(const LocalAlgorithm& alg, const LabeledGraph& g,
+                       const IdAssignment* ids,
+                       const exec::ExecContext& ctx) {
+  RunResult result;
+  const std::size_t n = static_cast<std::size_t>(g.node_count());
+  result.outputs.assign(n, Verdict::yes);
+  const std::string alg_name = ctx.cache != nullptr ? alg.name() : "";
+  ctx.for_each(n, [&](std::size_t i) {
+    const auto v = static_cast<graph::NodeId>(i);
+    result.outputs[i] =
+        decide_ball(alg, alg_name, visible_ball(alg, g, ids, v), ctx.cache);
+  });
+  // Scheduling-independent reduction: node order, after every slot is final.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.outputs[i] == Verdict::no) {
+      result.accepted = false;
+      result.first_rejecting = static_cast<graph::NodeId>(i);
+      break;
+    }
+  }
+  return result;
+}
 
 RunResult run_impl(const LocalAlgorithm& alg, const LabeledGraph& g,
                    const IdAssignment* ids) {
@@ -38,6 +99,21 @@ RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g) {
   return run_impl(alg, g, nullptr);
 }
 
+RunResult run_local_algorithm(const LocalAlgorithm& alg, const LabeledGraph& g,
+                              const IdAssignment& ids,
+                              const exec::ExecContext& ctx) {
+  LOCALD_CHECK(ids.node_count() == g.node_count(),
+               "identifier assignment size mismatch");
+  return run_ctx_impl(alg, g, &ids, ctx);
+}
+
+RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g,
+                        const exec::ExecContext& ctx) {
+  LOCALD_CHECK(alg.id_oblivious(),
+               "run_oblivious requires an Id-oblivious algorithm");
+  return run_ctx_impl(alg, g, nullptr, ctx);
+}
+
 bool accepts(const LocalAlgorithm& alg, const LabeledGraph& g,
              const IdAssignment& ids) {
   return run_local_algorithm(alg, g, ids).accepted;
@@ -65,6 +141,39 @@ IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
       probe.some_node_output_changed = true;
     }
   }
+  return probe;
+}
+
+IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
+                                      const LabeledGraph& g, Id universe,
+                                      int trials, std::uint64_t seed,
+                                      const exec::ExecContext& ctx) {
+  LOCALD_CHECK(trials >= 2, "need at least two assignments to compare");
+  IdDependenceProbe probe;
+  probe.trials = trials;
+  const auto run_trial = [&](int t) {
+    // Each trial's assignment comes from its own counter stream, so trial t
+    // is the same input no matter which thread draws it.
+    Rng trial_rng = Rng::stream(seed, kProbeIdStreamTag,
+                                static_cast<std::uint64_t>(t));
+    const IdAssignment ids =
+        make_random_unbounded(g.node_count(), universe, trial_rng);
+    return run_local_algorithm(alg, g, ids, ctx);
+  };
+  const RunResult reference = run_trial(0);
+  std::atomic<bool> verdict_changed{false};
+  std::atomic<bool> output_changed{false};
+  ctx.for_each(static_cast<std::size_t>(trials - 1), [&](std::size_t i) {
+    const RunResult run = run_trial(static_cast<int>(i) + 1);
+    if (run.accepted != reference.accepted) {
+      verdict_changed.store(true, std::memory_order_relaxed);
+    }
+    if (run.outputs != reference.outputs) {
+      output_changed.store(true, std::memory_order_relaxed);
+    }
+  });
+  probe.global_verdict_changed = verdict_changed.load();
+  probe.some_node_output_changed = output_changed.load();
   return probe;
 }
 
@@ -104,6 +213,52 @@ AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
       ++est.accepted;
     }
   }
+  return est;
+}
+
+AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
+                                       const LabeledGraph& g,
+                                       const IdAssignment* ids, int trials,
+                                       std::uint64_t seed,
+                                       const exec::ExecContext& ctx) {
+  LOCALD_CHECK(trials > 0, "need at least one trial");
+  if (!alg.id_oblivious()) {
+    LOCALD_CHECK(ids != nullptr,
+                 "id-aware randomized algorithm needs identifiers");
+  }
+  if (ids != nullptr) {
+    LOCALD_CHECK(ids->node_count() == g.node_count(),
+                 "identifier assignment size mismatch");
+  }
+  // Balls are fixed across trials (only the coins change): extract each one
+  // once instead of trials times.
+  const std::size_t n = static_cast<std::size_t>(g.node_count());
+  std::vector<Ball> balls(n);
+  ctx.for_each(n, [&](std::size_t i) {
+    Ball ball = extract_ball(g, ids, static_cast<graph::NodeId>(i),
+                             alg.horizon());
+    if (alg.id_oblivious() && ball.has_ids()) {
+      ball = ball.without_ids();
+    }
+    balls[i] = std::move(ball);
+  });
+  std::atomic<int> accepted{0};
+  ctx.for_each(static_cast<std::size_t>(trials), [&](std::size_t t) {
+    bool all_yes = true;
+    for (std::size_t v = 0; v < n; ++v) {
+      Rng coin = Rng::stream(seed, t, v);
+      if (alg.evaluate(balls[v], coin) == Verdict::no) {
+        all_yes = false;
+        break;
+      }
+    }
+    if (all_yes) {
+      accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  AcceptanceEstimate est;
+  est.trials = trials;
+  est.accepted = accepted.load();
   return est;
 }
 

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/context.h"
 #include "local/algorithm.h"
 #include "local/labeled_graph.h"
 
@@ -26,6 +27,19 @@ RunResult run_local_algorithm(const LocalAlgorithm& alg, const LabeledGraph& g,
 // Runs an Id-oblivious algorithm without any identifier assignment.
 RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g);
 
+// Execution-engine variants: evaluate nodes on `ctx.pool` (serially when
+// null) and memoize per-ball verdicts in `ctx.cache` (skipped when null).
+// Results are bit-identical to the serial overloads at any thread count:
+// every node writes its own output slot and the accept/first-rejecting
+// reduction happens in node order afterwards. Memoization additionally
+// requires the algorithm's verdict to be a pure function of the ball's
+// canonical class (see exec/verdict_cache.h).
+RunResult run_local_algorithm(const LocalAlgorithm& alg, const LabeledGraph& g,
+                              const IdAssignment& ids,
+                              const exec::ExecContext& ctx);
+RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g,
+                        const exec::ExecContext& ctx);
+
 // Global verdict only.
 bool accepts(const LocalAlgorithm& alg, const LabeledGraph& g,
              const IdAssignment& ids);
@@ -44,6 +58,16 @@ IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
                                       const LabeledGraph& g, Id universe,
                                       int trials, Rng& rng);
 
+// Engine variant: trial t draws its id assignment from the counter-based
+// stream (seed, t) — independent of thread scheduling — and trials compare
+// against trial 0 in parallel. Identical results at every thread count for
+// a fixed seed (but not to the `Rng&` overload above, whose draws depend on
+// sequential generator state).
+IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
+                                      const LabeledGraph& g, Id universe,
+                                      int trials, std::uint64_t seed,
+                                      const exec::ExecContext& ctx);
+
 // Randomized algorithms: one independent RNG stream per node per trial.
 struct RandomizedRun {
   std::vector<Verdict> outputs;
@@ -58,8 +82,13 @@ RandomizedRun run_randomized_once(const RandomizedLocalAlgorithm& alg,
 struct AcceptanceEstimate {
   int trials = 0;
   int accepted = 0;
+  // Pr[accept] over the trials that ran. A zero-trial estimate has no
+  // probability — returning 0.0 would silently conflate "never accepted"
+  // with "never ran" — so asking for one is a checked error.
   double probability() const {
-    return trials == 0 ? 0.0 : static_cast<double>(accepted) / trials;
+    LOCALD_CHECK(trials > 0,
+                 "acceptance estimate over zero trials has no probability");
+    return static_cast<double>(accepted) / trials;
   }
 };
 
@@ -67,5 +96,15 @@ AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
                                        const LabeledGraph& g,
                                        const IdAssignment* ids, int trials,
                                        Rng& rng);
+
+// Engine variant: node v's coins in trial t come from the counter-based
+// stream (seed, t, v), so every (node, trial) cell is the same generator no
+// matter which thread runs it; balls are extracted once and reused across
+// all trials. Identical results at every thread count for a fixed seed.
+AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
+                                       const LabeledGraph& g,
+                                       const IdAssignment* ids, int trials,
+                                       std::uint64_t seed,
+                                       const exec::ExecContext& ctx);
 
 }  // namespace locald::local

@@ -1,7 +1,9 @@
 #include "oblivious/simulation.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "exec/context.h"
 #include "support/format.h"
 #include "support/rng.h"
 
@@ -29,11 +31,17 @@ std::size_t injection_count(Id u, int b, std::size_t cap) {
   return total;
 }
 
-// Recursively enumerates all injections; returns true if a rejecting
-// assignment was found.
+// Recursively enumerates all injections extending `chosen`; returns true if
+// a rejecting assignment was found. `found` is the cross-branch abort flag:
+// once any branch rejects, the remaining enumeration is pruned (the global
+// verdict — an exists-quantifier — is already settled).
 bool search_exhaustive(const local::LocalAlgorithm& inner, const Ball& ball,
                        std::vector<Id>& chosen, std::vector<bool>& used,
-                       Id universe, std::size_t& tried) {
+                       Id universe, std::size_t& tried,
+                       const std::atomic<bool>& found) {
+  if (found.load(std::memory_order_relaxed)) {
+    return false;
+  }
   const std::size_t slot = chosen.size();
   if (slot == static_cast<std::size_t>(ball.node_count())) {
     ++tried;
@@ -45,7 +53,7 @@ bool search_exhaustive(const local::LocalAlgorithm& inner, const Ball& ball,
     }
     used[static_cast<std::size_t>(id)] = true;
     chosen.push_back(id);
-    if (search_exhaustive(inner, ball, chosen, used, universe, tried)) {
+    if (search_exhaustive(inner, ball, chosen, used, universe, tried, found)) {
       return true;
     }
     chosen.pop_back();
@@ -74,29 +82,67 @@ Verdict ObliviousSimulation::evaluate(const Ball& ball) const {
   const int b = ball.node_count();
   LOCALD_CHECK(static_cast<Id>(b) <= options_.id_universe,
                "id universe smaller than the ball");
-  stats_ = {};
+  const exec::ExecContext ctx{options_.pool, nullptr};
+  SimulationStats stats;
+  std::atomic<bool> rejected{false};
+  std::atomic<std::size_t> tried{0};
+
   const std::size_t total =
       injection_count(options_.id_universe, b, options_.max_assignments);
   if (total <= options_.max_assignments) {
-    stats_.exhaustive = true;
-    std::vector<Id> chosen;
-    std::vector<bool> used(static_cast<std::size_t>(options_.id_universe));
-    const bool rejected = search_exhaustive(*inner_, ball, chosen, used,
-                                            options_.id_universe,
-                                            stats_.assignments_tried);
-    return rejected ? Verdict::no : Verdict::yes;
+    // Exhaustive enumeration, fanned out over the centre slot's id: every
+    // branch owns its chosen/used scratch, so branches are independent.
+    // Note the exhaustive path only triggers for small universes (the
+    // injection count fits the budget), so the per-branch O(universe)
+    // scratch is cheap.
+    stats.exhaustive = true;
+    ctx.for_each(static_cast<std::size_t>(options_.id_universe),
+                 [&](std::size_t first) {
+                   if (rejected.load(std::memory_order_relaxed)) {
+                     return;
+                   }
+                   std::vector<Id> chosen{static_cast<Id>(first)};
+                   std::vector<bool> used(
+                       static_cast<std::size_t>(options_.id_universe));
+                   used[first] = true;
+                   std::size_t branch_tried = 0;
+                   const bool found =
+                       search_exhaustive(*inner_, ball, chosen, used,
+                                         options_.id_universe, branch_tried,
+                                         rejected);
+                   tried.fetch_add(branch_tried, std::memory_order_relaxed);
+                   if (found) {
+                     rejected.store(true, std::memory_order_relaxed);
+                   }
+                 });
+  } else {
+    // Sampled search: the computable stand-in for the infinite enumeration.
+    // Candidate i is drawn from counter stream (seed ^ fingerprint, i), so
+    // the candidate set — and with it the exists-verdict — is fixed before
+    // any thread runs; scheduling only affects which candidates get skipped
+    // after the first rejecting one is found.
+    const std::uint64_t stream_seed =
+        options_.seed ^ ball.canonical_fingerprint();
+    ctx.for_each(options_.max_assignments, [&](std::size_t i) {
+      if (rejected.load(std::memory_order_relaxed)) {
+        return;
+      }
+      Rng rng = Rng::stream(stream_seed, i);
+      const auto ids = rng.sample_distinct(options_.id_universe,
+                                           static_cast<std::size_t>(b));
+      tried.fetch_add(1, std::memory_order_relaxed);
+      if (inner_->evaluate(ball.with_ids(ids)) == Verdict::no) {
+        rejected.store(true, std::memory_order_relaxed);
+      }
+    });
   }
-  // Sampled search: the computable stand-in for the infinite enumeration.
-  Rng rng(options_.seed ^ ball.canonical_fingerprint());
-  for (std::size_t i = 0; i < options_.max_assignments; ++i) {
-    const auto ids = rng.sample_distinct(options_.id_universe,
-                                         static_cast<std::size_t>(b));
-    ++stats_.assignments_tried;
-    if (inner_->evaluate(ball.with_ids(ids)) == Verdict::no) {
-      return Verdict::no;
-    }
+
+  stats.assignments_tried = tried.load();
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_ = stats;
   }
-  return Verdict::yes;
+  return rejected.load() ? Verdict::no : Verdict::yes;
 }
 
 std::unique_ptr<ObliviousSimulation> make_oblivious_simulation(

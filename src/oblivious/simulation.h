@@ -15,7 +15,9 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
+#include "exec/thread_pool.h"
 #include "local/algorithm.h"
 
 namespace locald::oblivious {
@@ -24,9 +26,17 @@ struct SimulationOptions {
   local::Id id_universe = 1 << 20;     // ids searched in [0, id_universe)
   std::size_t max_assignments = 20'000;  // enumeration/sampling budget
   std::uint64_t seed = 1;
+  // Candidate assignments are searched on this pool when set (null: serial).
+  // The verdict is an exists-quantifier over a candidate set fixed by
+  // (seed, ball fingerprint) counter streams, so it is identical at every
+  // thread count; only `assignments_tried` may vary under parallelism.
+  exec::ThreadPool* pool = nullptr;
 };
 
-// Statistics of the most recent evaluation (exposed for the experiments).
+// Statistics of the most recent completed evaluation (exposed for the
+// experiments). When the same simulation object is evaluated from several
+// threads at once — e.g. under the parallel node loop — the snapshot is the
+// last evaluation to finish.
 struct SimulationStats {
   bool exhaustive = false;          // full injection enumeration used
   std::size_t assignments_tried = 0;
@@ -40,14 +50,24 @@ class ObliviousSimulation final : public local::LocalAlgorithm {
   std::string name() const override;
   int horizon() const override { return inner_->horizon(); }
   bool id_oblivious() const override { return true; }
+  // Sampled-mode verdicts are not invariant under ball-node renumbering:
+  // the candidate id lists are applied by node index, so two isomorphic
+  // balls with different numbering are probed with different effective
+  // assignments. Memoizing per canonical class would be unsound for an
+  // id-dependent inner algorithm.
+  bool memoization_safe() const override { return false; }
 
   local::Verdict evaluate(const local::Ball& ball) const override;
 
-  const SimulationStats& last_stats() const { return stats_; }
+  SimulationStats last_stats() const {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return stats_;
+  }
 
  private:
   std::shared_ptr<const local::LocalAlgorithm> inner_;
   SimulationOptions options_;
+  mutable std::mutex stats_mu_;
   mutable SimulationStats stats_;
 };
 

@@ -23,6 +23,30 @@ std::string fixed(double value, int digits) {
   return os.str();
 }
 
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(ch));
+          out += os.str();
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
 TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {
   LOCALD_CHECK(!header_.empty(), "table needs at least one column");

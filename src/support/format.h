@@ -25,6 +25,10 @@ std::string join(const std::vector<std::string>& parts,
 // Fixed-point rendering with `digits` decimals (no locale surprises).
 std::string fixed(double value, int digits);
 
+// RFC-8259 JSON string literal (quotes included): ", \ and control
+// characters escaped. Backs the CLI's `sweep --format json` mode.
+std::string json_quote(const std::string& s);
+
 // A minimal aligned-column table renderer.
 //
 //   TextTable t({"r", "|T_r|", "audit"});

@@ -80,6 +80,21 @@ Rng Rng::split() {
   return Rng(next_u64());
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t hi, std::uint64_t lo) {
+  // Fold the counters into the splitmix sequence one at a time so that
+  // (seed, hi, lo) triples differing in any coordinate diverge immediately;
+  // multiplying by large odd constants keeps consecutive counters far apart
+  // before the avalanche.
+  std::uint64_t x = seed;
+  x ^= splitmix64(x) + hi * 0xa24baed4963ee407ULL;
+  x ^= splitmix64(x) + lo * 0x9fb21c651e98df25ULL;
+  Rng out(0);
+  for (auto& s : out.s_) {
+    s = splitmix64(x);
+  }
+  return out;
+}
+
 std::vector<std::uint64_t> Rng::sample_distinct(std::uint64_t n,
                                                 std::size_t k) {
   LOCALD_CHECK(k <= n, "cannot sample more distinct values than the range");

@@ -37,8 +37,20 @@ class Rng {
   int coin_tosses_until_head();
 
   // Derive an independent child generator; used to give each simulated node
-  // its own stream without correlating them.
+  // its own stream without correlating them. Stateful: the child depends on
+  // how much of this generator was consumed before the call.
   Rng split();
+
+  // Counter-based stream derivation: the generator for logical stream
+  // (hi, lo) under `seed`, independent of any generator state or call
+  // order. This is what makes the parallel execution engine
+  // scheduling-deterministic — stream (trial, node) is the same generator
+  // no matter which thread reaches it first, so parallel runs are
+  // bit-identical to serial ones. Distinct (seed, hi, lo) triples give
+  // statistically independent streams (each state word passes through a
+  // full splitmix64 avalanche).
+  static Rng stream(std::uint64_t seed, std::uint64_t hi,
+                    std::uint64_t lo = 0);
 
   // Fisher–Yates shuffle.
   template <typename T>

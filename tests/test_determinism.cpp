@@ -1,0 +1,263 @@
+// Scheduling-determinism of the execution engine: the counter-based RNG
+// streams, the parallel simulator entry points (bit-identical results at
+// any thread count), the ball-fingerprint memoization (memoized and
+// unmemoized runs agree), and the zero-trial acceptance-estimate guard.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "exec/context.h"
+#include "graph/generators.h"
+#include "local/simulator.h"
+#include "oblivious/simulation.h"
+#include "support/rng.h"
+
+namespace locald::local {
+namespace {
+
+using graph::make_cycle;
+using graph::make_path;
+
+LabeledGraph two_colored_cycle(int n) {
+  LabeledGraph g = LabeledGraph::uniform(make_cycle(n), Label{});
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    g.set_label(v, Label{v % 2});
+  }
+  return g;
+}
+
+TEST(RngStream, DeterministicAndStateIndependent) {
+  Rng a = Rng::stream(7, 3, 5);
+  Rng b = Rng::stream(7, 3, 5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+  // Deriving other streams in between must not perturb stream (3, 5).
+  Rng noise1 = Rng::stream(7, 0, 0);
+  Rng noise2 = Rng::stream(7, 99, 1);
+  noise1.next_u64();
+  noise2.next_u64();
+  Rng c = Rng::stream(7, 3, 5);
+  Rng d = Rng::stream(7, 3, 5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(c.next_u64(), d.next_u64());
+  }
+}
+
+TEST(RngStream, DistinctCoordinatesDiverge) {
+  const std::uint64_t base = Rng::stream(1, 2, 3).next_u64();
+  EXPECT_NE(base, Rng::stream(2, 2, 3).next_u64());
+  EXPECT_NE(base, Rng::stream(1, 3, 3).next_u64());
+  EXPECT_NE(base, Rng::stream(1, 2, 4).next_u64());
+  // Adjacent counters should not produce obviously correlated values.
+  EXPECT_NE(Rng::stream(1, 2, 3).next_u64() ^ Rng::stream(1, 2, 4).next_u64(),
+            0u);
+}
+
+// A randomized decider that actually consumes coins: accept unless the
+// node's geometric draw exceeds a label-dependent threshold.
+class CoinHungry final : public RandomizedLocalAlgorithm {
+ public:
+  std::string name() const override { return "coin-hungry"; }
+  int horizon() const override { return 1; }
+  bool id_oblivious() const override { return true; }
+  Verdict evaluate(const Ball& ball, Rng& coin) const override {
+    const int tosses = coin.coin_tosses_until_head();
+    const auto threshold = 3 + ball.center_label().at(0);
+    return tosses <= threshold ? Verdict::yes : Verdict::no;
+  }
+};
+
+TEST(Determinism, EstimateAcceptanceIdenticalAt1And2And8Threads) {
+  const LabeledGraph g = two_colored_cycle(12);
+  const CoinHungry alg;
+  constexpr int kTrials = 300;
+  constexpr std::uint64_t kSeed = 99;
+
+  exec::ExecContext serial;
+  const auto reference =
+      estimate_acceptance(alg, g, nullptr, kTrials, kSeed, serial);
+  EXPECT_EQ(reference.trials, kTrials);
+  // The estimate must be non-trivial for the comparison to mean anything.
+  EXPECT_GT(reference.accepted, 0);
+  EXPECT_LT(reference.accepted, kTrials);
+
+  for (int threads : {1, 2, 8}) {
+    exec::ThreadPool pool(threads);
+    exec::ExecContext ctx{&pool, nullptr};
+    const auto run = estimate_acceptance(alg, g, nullptr, kTrials, kSeed, ctx);
+    EXPECT_EQ(run.accepted, reference.accepted) << threads << " threads";
+    EXPECT_EQ(run.trials, reference.trials);
+  }
+}
+
+TEST(Determinism, ProbeIdDependenceIdenticalAt1And2And8Threads) {
+  const LabeledGraph g = LabeledGraph::uniform(make_cycle(6), Label{});
+  const auto threshold = make_id_aware("big-id-rejects", 0, [](const Ball& b) {
+    return b.center_id() >= 7 ? Verdict::no : Verdict::yes;
+  });
+  const auto constant =
+      make_id_aware("const", 0, [](const Ball&) { return Verdict::yes; });
+  constexpr std::uint64_t kSeed = 5;
+
+  exec::ExecContext serial;
+  const auto ref_dep =
+      probe_id_dependence(*threshold, g, /*universe=*/8, 20, kSeed, serial);
+  EXPECT_TRUE(ref_dep.some_node_output_changed);
+  EXPECT_TRUE(ref_dep.global_verdict_changed);
+  const auto ref_const =
+      probe_id_dependence(*constant, g, 1'000'000, 10, kSeed, serial);
+  EXPECT_FALSE(ref_const.some_node_output_changed);
+
+  for (int threads : {1, 2, 8}) {
+    exec::ThreadPool pool(threads);
+    exec::ExecContext ctx{&pool, nullptr};
+    const auto dep =
+        probe_id_dependence(*threshold, g, 8, 20, kSeed, ctx);
+    EXPECT_EQ(dep.some_node_output_changed, ref_dep.some_node_output_changed);
+    EXPECT_EQ(dep.global_verdict_changed, ref_dep.global_verdict_changed);
+    const auto con = probe_id_dependence(*constant, g, 1'000'000, 10, kSeed, ctx);
+    EXPECT_FALSE(con.some_node_output_changed);
+  }
+}
+
+TEST(Determinism, RunLocalAlgorithmCtxMatchesSerialOverload) {
+  const LabeledGraph g = two_colored_cycle(10);
+  const IdAssignment ids = make_consecutive(g.node_count());
+  // Rejects on odd labels: exercises first_rejecting.
+  const auto alg = make_id_aware("odd-rejects", 1, [](const Ball& b) {
+    return b.center_label().at(0) == 1 ? Verdict::no : Verdict::yes;
+  });
+  const auto legacy = run_local_algorithm(*alg, g, ids);
+  for (int threads : {1, 8}) {
+    exec::ThreadPool pool(threads);
+    exec::VerdictCache cache;
+    exec::ExecContext ctx{&pool, &cache};
+    const auto run = run_local_algorithm(*alg, g, ids, ctx);
+    EXPECT_EQ(run.outputs, legacy.outputs);
+    EXPECT_EQ(run.accepted, legacy.accepted);
+    EXPECT_EQ(run.first_rejecting, legacy.first_rejecting);
+  }
+}
+
+TEST(CacheCorrectness, MemoizedAndUnmemoizedRunsAgree) {
+  // Every ball of an unlabeled cycle is isomorphic, so one evaluation per
+  // class suffices; the memoized run must still produce the same outputs.
+  const LabeledGraph g = LabeledGraph::uniform(make_cycle(24), Label{});
+  std::atomic<int> evaluations{0};
+  const auto alg = make_oblivious("degree-2-check", 1, [&](const Ball& b) {
+    evaluations.fetch_add(1, std::memory_order_relaxed);
+    return b.g.degree(b.center) == 2 ? Verdict::yes : Verdict::no;
+  });
+
+  exec::ExecContext plain;
+  const auto unmemoized = run_oblivious(*alg, g, plain);
+  const int unmemoized_evals = evaluations.exchange(0);
+  EXPECT_EQ(unmemoized_evals, 24);
+
+  exec::VerdictCache cache;
+  exec::ExecContext memo{nullptr, &cache};
+  const auto memoized = run_oblivious(*alg, g, memo);
+  EXPECT_EQ(memoized.outputs, unmemoized.outputs);
+  EXPECT_EQ(memoized.accepted, unmemoized.accepted);
+  // 24 isomorphic balls, one canonical class: decided once.
+  EXPECT_EQ(evaluations.load(), 1);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 23u);
+
+  // A graph with several classes: memoized still agrees with unmemoized.
+  const LabeledGraph mixed = two_colored_cycle(16);
+  const auto direct = run_oblivious(*alg, mixed, plain);
+  exec::VerdictCache cache2;
+  exec::ThreadPool pool(8);
+  exec::ExecContext memo_parallel{&pool, &cache2};
+  const auto cached = run_oblivious(*alg, mixed, memo_parallel);
+  EXPECT_EQ(cached.outputs, direct.outputs);
+}
+
+TEST(CacheCorrectness, MemoizationUnsafeAlgorithmsBypassTheCache) {
+  // An algorithm that declares itself unsafe to memoize must be evaluated
+  // on every ball even when a cache is wired up.
+  class Unsafe final : public LocalAlgorithm {
+   public:
+    std::string name() const override { return "unsafe"; }
+    int horizon() const override { return 1; }
+    bool id_oblivious() const override { return true; }
+    bool memoization_safe() const override { return false; }
+    Verdict evaluate(const Ball&) const override {
+      ++evaluations;
+      return Verdict::yes;
+    }
+    mutable std::atomic<int> evaluations{0};
+  };
+  const LabeledGraph g = LabeledGraph::uniform(make_cycle(8), Label{});
+  Unsafe alg;
+  exec::VerdictCache cache;
+  exec::ExecContext memo{nullptr, &cache};
+  (void)run_oblivious(alg, g, memo);
+  EXPECT_EQ(alg.evaluations.load(), 8);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+  // The Id-oblivious simulation A* is the shipped example of such an
+  // algorithm: sampled-mode verdicts can depend on ball-node numbering.
+  auto inner = std::make_shared<LambdaAlgorithm>(
+      "reads-ids", 1, false, [](const Ball& b) {
+        (void)b.center_id();
+        return Verdict::yes;
+      });
+  const auto sim = oblivious::make_oblivious_simulation(inner, {});
+  EXPECT_FALSE(sim->memoization_safe());
+}
+
+TEST(Determinism, ObliviousSimulationVerdictIndependentOfPool) {
+  // Id-reading inner that rejects when the centre holds the largest id in
+  // the ball: A* must find a rejecting assignment in both search modes.
+  auto inner = std::make_shared<LambdaAlgorithm>(
+      "center-max-rejects", 1, false, [](const Ball& ball) {
+        const Id c = ball.center_id();
+        for (graph::NodeId v = 0; v < ball.node_count(); ++v) {
+          if (v != ball.center && ball.id_of(v) > c) {
+            return Verdict::yes;
+          }
+        }
+        return Verdict::no;
+      });
+  const LabeledGraph g = LabeledGraph::uniform(make_path(5), Label{});
+  const Ball ball = extract_ball(g, nullptr, 2, 1);
+
+  for (bool exhaustive : {true, false}) {
+    oblivious::SimulationOptions serial_opts;
+    serial_opts.id_universe = exhaustive ? 8 : 4096;
+    serial_opts.max_assignments = exhaustive ? 1'000 : 64;
+    const auto serial_sim =
+        oblivious::make_oblivious_simulation(inner, serial_opts);
+    const Verdict reference = serial_sim->evaluate(ball);
+    EXPECT_EQ(serial_sim->last_stats().exhaustive, exhaustive);
+
+    exec::ThreadPool pool(8);
+    oblivious::SimulationOptions pooled = serial_opts;
+    pooled.pool = &pool;
+    const auto pooled_sim = oblivious::make_oblivious_simulation(inner, pooled);
+    EXPECT_EQ(pooled_sim->evaluate(ball), reference);
+  }
+}
+
+TEST(AcceptanceEstimate, ZeroTrialEstimateHasNoProbability) {
+  AcceptanceEstimate empty;
+  EXPECT_THROW(empty.probability(), Error);
+  AcceptanceEstimate ran;
+  ran.trials = 4;
+  ran.accepted = 1;
+  EXPECT_DOUBLE_EQ(ran.probability(), 0.25);
+  // estimate_acceptance itself refuses to produce a zero-trial estimate.
+  const LabeledGraph g = LabeledGraph::uniform(make_path(2), Label{});
+  const CoinHungry alg;
+  exec::ExecContext serial;
+  EXPECT_THROW(estimate_acceptance(alg, g, nullptr, 0, 1, serial), Error);
+  Rng rng(1);
+  EXPECT_THROW(estimate_acceptance(alg, g, nullptr, 0, rng), Error);
+}
+
+}  // namespace
+}  // namespace locald::local

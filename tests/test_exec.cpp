@@ -1,0 +1,153 @@
+// Tests for the execution engine's building blocks: the work-stealing
+// thread pool and the sharded verdict cache. Scheduling-determinism of the
+// simulator entry points built on them is covered in test_determinism.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/context.h"
+#include "exec/thread_pool.h"
+#include "exec/verdict_cache.h"
+
+namespace locald::exec {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t n = 10'000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingletonLoops) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(100, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 5'000u);
+}
+
+TEST(ThreadPool, NestedLoopsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(16, [&](std::size_t) {
+    // A nested loop must complete inline rather than deadlock on the pool.
+    pool.parallel_for(8, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 16u * 8u);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                     if (i == 13) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+    // The pool stays usable after a failed loop.
+    std::atomic<int> ok{0};
+    pool.parallel_for(8, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 8);
+  }
+}
+
+TEST(ThreadPool, HardwareParallelismIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_parallelism(), 1);
+  ThreadPool defaulted;
+  EXPECT_EQ(defaulted.parallelism(), ThreadPool::hardware_parallelism());
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.parallelism(), 1);
+}
+
+TEST(ExecContext, DefaultIsSerialEngine) {
+  ExecContext ctx;
+  EXPECT_EQ(ctx.parallelism(), 1);
+  std::vector<int> order;
+  ctx.for_each(4, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(VerdictCache, MissThenHit) {
+  VerdictCache cache;
+  EXPECT_FALSE(cache.lookup(7, "alg", "ball-a").has_value());
+  cache.insert(7, "alg", "ball-a", true);
+  const auto hit = cache.lookup(7, "alg", "ball-a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(*hit);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(VerdictCache, KeysSeparateAlgorithms) {
+  VerdictCache cache;
+  cache.insert(1, "alg-a", "ball", true);
+  cache.insert(1, "alg-b", "ball", false);
+  EXPECT_TRUE(*cache.lookup(1, "alg-a", "ball"));
+  EXPECT_FALSE(*cache.lookup(1, "alg-b", "ball"));
+}
+
+TEST(VerdictCache, FingerprintCollisionsCannotCorruptVerdicts) {
+  VerdictCache cache(4);
+  // Same fingerprint (same shard), different canonical encodings: both
+  // classes keep their own verdict.
+  cache.insert(42, "alg", "ball-yes", true);
+  cache.insert(42, "alg", "ball-no", false);
+  EXPECT_TRUE(*cache.lookup(42, "alg", "ball-yes"));
+  EXPECT_FALSE(*cache.lookup(42, "alg", "ball-no"));
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(VerdictCache, SafeUnderConcurrentMixedTraffic) {
+  VerdictCache cache;
+  ThreadPool pool(8);
+  constexpr std::size_t kClasses = 64;
+  pool.parallel_for(8 * kClasses, [&](std::size_t i) {
+    const std::uint64_t fp = i % kClasses;
+    const std::string enc = "ball-" + std::to_string(fp);
+    const bool accepted = fp % 2 == 0;
+    if (const auto hit = cache.lookup(fp, "alg", enc)) {
+      EXPECT_EQ(*hit, accepted);
+    } else {
+      cache.insert(fp, "alg", enc, accepted);
+    }
+  });
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, kClasses);
+  EXPECT_EQ(stats.hits + stats.misses, 8 * kClasses);
+}
+
+}  // namespace
+}  // namespace locald::exec
