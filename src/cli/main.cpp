@@ -1,25 +1,31 @@
 // Entry point of the `locald` scenario runner.
 //
-//   locald list [--format text|csv]
+//   locald list [--format text|csv|json]
 //   locald run <scenario>... [--seed N] [--size N] [--trials N]
-//              [--threads N] [--format text|csv]
+//              [--threads N] [--format text|csv|json]
 //   locald run --all [options]
 //   locald sweep <scenario> [--sizes a,b,c] [--trials N] [--seed N]
 //                [--threads N] [--timing] [--format json]
+//   locald serve [--port P] [--threads N] [--workers N] [--queue N]
 //   locald help [scenario]
 //
 // Exit status: 0 when every executed scenario reproduced the paper's
 // prediction, 1 when any scenario reported a mismatch, 2 on usage errors.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/scenario.h"
 #include "cli/sweep.h"
 #include "exec/context.h"
+#include "server/api.h"
+#include "server/server.h"
 
 namespace locald::cli {
 namespace {
@@ -33,6 +39,8 @@ int usage(std::ostream& out, int status) {
          "  locald run --all [options]           run the whole registry\n"
          "  locald sweep <scenario> [options]    fan one scenario across a\n"
          "                                       size grid; JSON on stdout\n"
+         "  locald serve [options]               long-lived HTTP/JSON API\n"
+         "                                       over the scenario registry\n"
          "  locald help [scenario]               describe a scenario\n"
          "\n"
          "options:\n"
@@ -45,10 +53,22 @@ int usage(std::ostream& out, int status) {
          "  --threads N     execution-engine threads (0 = all hardware "
          "threads; default 1);\n"
          "                  results are bit-identical at every thread count\n"
-         "  --timing        sweep only: include wall-time and cache-hit "
-         "fields in the JSON\n"
-         "                  (scheduling-dependent, so off by default)\n"
-         "  --format F      run/list: text (default) or csv; sweep: json\n";
+         "  --timing        include wall-time columns (run tables) or "
+         "wall-time and\n"
+         "                  cache-hit fields (sweep JSON); scheduling-"
+         "dependent, so off\n"
+         "                  by default — default output is a pure function "
+         "of the inputs\n"
+         "  --format F      run/list: text (default), csv, or json (run: "
+         "one scenario);\n"
+         "                  sweep: json\n"
+         "  --port P        serve only: TCP port on 127.0.0.1 (default "
+         "8080; 0 = ephemeral)\n"
+         "  --workers N     serve only: concurrent request handlers "
+         "(default 4)\n"
+         "  --queue N       serve only: accepted-connection bound; beyond "
+         "it requests\n"
+         "                  are shed with 503 + Retry-After (default 64)\n";
   return status;
 }
 
@@ -63,7 +83,12 @@ std::optional<long long> parse_int(const std::string& text) {
   }
 }
 
-int list_scenarios(const ScenarioOptions& opts) {
+int list_scenarios(const ScenarioOptions& opts, const std::string& format) {
+  if (format == "json") {
+    // The same bytes GET /v1/scenarios serves (CI diff-checks this).
+    std::cout << server::scenarios_document();
+    return 0;
+  }
   TextTable table({"scenario", "paper", "summary"});
   for (const Scenario& s : scenario_registry()) {
     table.add_row({s.name, s.paper_ref, s.summary});
@@ -73,6 +98,57 @@ int list_scenarios(const ScenarioOptions& opts) {
   } else {
     std::cout << table.render();
   }
+  return 0;
+}
+
+// `run --format json`: one scenario, the same document POST /v1/run returns
+// for the same (scenario, seed, size, trials) — CI byte-compares the two.
+int run_scenario_json(const std::string& name, const ScenarioOptions& base,
+                      int threads) {
+  if (find_scenario(name) == nullptr) {
+    std::cerr << "unknown scenario: " << name << " (see `locald list`)\n";
+    return 2;
+  }
+  std::optional<exec::ThreadPool> pool;
+  if (threads != 1) {
+    pool.emplace(threads);
+  }
+  exec::VerdictCache cache;
+  server::RunRequest request;
+  request.scenario = name;
+  request.seed = base.seed;
+  request.size = base.size;
+  request.trials = base.trials;
+  exec::ExecContext ctx;
+  ctx.pool = pool ? &*pool : nullptr;
+  ctx.cache = &cache;
+  bool ok = false;
+  std::cout << server::run_document(request, ctx, &ok);
+  return ok ? 0 : 1;
+}
+
+std::atomic<bool> g_shutdown{false};
+void on_shutdown_signal(int) { g_shutdown.store(true); }
+
+int run_serve(const server::ServeOptions& serve_opts) {
+  server::Server srv(serve_opts);
+  try {
+    srv.start();
+  } catch (const std::exception& e) {
+    std::cerr << "serve: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "locald serve: http://" << serve_opts.host << ":" << srv.port()
+            << " (workers=" << serve_opts.workers
+            << ", queue=" << serve_opts.max_queue << "); Ctrl-C to stop\n"
+            << std::flush;
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  srv.stop();
+  std::cout << "locald serve: stopped\n";
   return 0;
 }
 
@@ -149,8 +225,12 @@ int main_impl(int argc, char** argv) {
   std::vector<int> sizes;
   std::string format;
   int threads = 1;
+  int port = -1;     // serve only; -1 = default
+  int workers = -1;  // serve only
+  int queue = -1;    // serve only
   bool run_all = false;
   bool timing = false;
+  bool seed_set = false;  // an explicit --seed 42 must still be rejectable
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto take_value = [&]() -> std::optional<std::string> {
@@ -161,6 +241,20 @@ int main_impl(int argc, char** argv) {
       run_all = true;
     } else if (arg == "--timing") {
       timing = true;
+    } else if (arg == "--port" || arg == "--workers" || arg == "--queue") {
+      const auto value = take_value();
+      const auto parsed = value ? parse_int(*value) : std::nullopt;
+      if (!parsed || *parsed < 0 || *parsed > 65535) {
+        std::cerr << arg << " needs an integer in [0, 65535]\n";
+        return 2;
+      }
+      if (arg == "--port") {
+        port = static_cast<int>(*parsed);
+      } else if (arg == "--workers") {
+        workers = static_cast<int>(*parsed);
+      } else {
+        queue = static_cast<int>(*parsed);
+      }
     } else if (arg == "--seed" || arg == "--size" || arg == "--trials" ||
                arg == "--threads") {
       const auto value = take_value();
@@ -171,6 +265,7 @@ int main_impl(int argc, char** argv) {
       }
       if (arg == "--seed") {
         opts.seed = static_cast<std::uint64_t>(*parsed);
+        seed_set = true;
       } else if (arg == "--size") {
         opts.size = static_cast<int>(*parsed);
       } else if (arg == "--threads") {
@@ -227,8 +322,12 @@ int main_impl(int argc, char** argv) {
     }
   }
 
+  if (command != "serve" && (port != -1 || workers != -1 || queue != -1)) {
+    std::cerr << "--port/--workers/--queue are serve options\n";
+    return 2;
+  }
   if (command == "list") {
-    return list_scenarios(opts);
+    return list_scenarios(opts, format);
   }
   if (command == "help" || command == "--help" || command == "-h") {
     if (positional.empty()) {
@@ -249,19 +348,50 @@ int main_impl(int argc, char** argv) {
       std::cerr << "run needs scenario names or --all\n";
       return 2;
     }
-    if (format == "json") {
-      std::cerr << "run emits text or csv; json is the sweep format\n";
-      return 2;
-    }
     if (!sizes.empty()) {
       std::cerr << "--sizes is a sweep option; run takes a single --size\n";
       return 2;
     }
-    if (timing) {
-      std::cerr << "--timing is a sweep option\n";
-      return 2;
+    opts.timing = timing;
+    if (format == "json") {
+      if (names.size() != 1) {
+        std::cerr << "run --format json takes exactly one scenario\n";
+        return 2;
+      }
+      if (timing) {
+        // The json document is the serving layer's byte-identity contract;
+        // wall-clock fields have no place in it.
+        std::cerr << "--timing is not available with --format json\n";
+        return 2;
+      }
+      return run_scenario_json(names.front(), opts, threads);
     }
     return run_scenarios(names, opts, threads);
+  }
+  if (command == "serve") {
+    if (!positional.empty() || run_all || timing || !sizes.empty() ||
+        !format.empty() || opts.size != 0 || opts.trials != 0 || seed_set) {
+      std::cerr << "serve takes only --port, --threads, --workers, --queue\n";
+      return 2;
+    }
+    server::ServeOptions serve_opts;
+    if (port != -1) serve_opts.port = port;
+    serve_opts.threads = threads;
+    if (workers != -1) {
+      if (workers == 0) {
+        std::cerr << "--workers must be at least 1\n";
+        return 2;
+      }
+      serve_opts.workers = workers;
+    }
+    if (queue != -1) {
+      if (queue == 0) {
+        std::cerr << "--queue must be at least 1\n";
+        return 2;
+      }
+      serve_opts.max_queue = queue;
+    }
+    return run_serve(serve_opts);
   }
   if (command == "sweep") {
     if (positional.size() != 1) {

@@ -30,6 +30,11 @@ struct ScenarioOptions {
   int size = 0;
   int trials = 0;
   OutputFormat format = OutputFormat::text;
+  // Include wall-clock columns in scenario tables (`locald run --timing`).
+  // Scheduling-dependent, so off by default: the default output of every
+  // scenario is a pure function of (seed, size, trials), which the serving
+  // layer's byte-identity contract and CI's serve smoke both gate on.
+  bool timing = false;
   // Execution engine handed down by the driver (--threads); the default is
   // the serial engine. Scenarios route their hot paths through it; verdicts
   // must not depend on the thread count (`locald sweep` gates on this).

@@ -32,8 +32,13 @@ bool run_fig2(const ScenarioOptions& opts, std::ostream& out) {
   const long long budget = 4096;
   bool ok = true;
 
-  TextTable table({"machine", "halts", "|C| exact", "|C| used", "table",
-                   "|G|", "verify", "LD decide", "time(s)"});
+  std::vector<std::string> columns{"machine", "halts", "|C| exact",
+                                   "|C| used", "table", "|G|", "verify",
+                                   "LD decide"};
+  if (opts.timing) {
+    columns.push_back("time(s)");
+  }
+  TextTable table(columns);
   const auto verifier = halting::make_gmr_verifier(3, policy, false, budget);
   const auto decider = halting::make_gmr_decider(3, policy, false, budget);
   for (const tm::ZooEntry& e : tm::small_zoo()) {
@@ -50,7 +55,13 @@ bool run_fig2(const ScenarioOptions& opts, std::ostream& out) {
       tbl = cat(inst.table_side, "x", inst.table_side);
       g_size = cat(inst.graph.node_count());
       used = cat(inst.fragment_count);
-      const bool verified = local::run_oblivious(*verifier, inst.graph).accepted;
+      // Pool only, no cache: G(M, r) balls are almost all distinct
+      // (execution-table cells differ row to row), so canonical-encoding
+      // every ball costs ~5x more than it saves — measured, not assumed.
+      exec::ExecContext pool_only;
+      pool_only.pool = opts.exec.pool;
+      const bool verified =
+          local::run_oblivious(*verifier, inst.graph, pool_only).accepted;
       verify = verified ? "accept" : "REJECT";
       const auto ids = local::make_consecutive(inst.graph.node_count());
       const bool acc = local::accepts(*decider, inst.graph, ids);
@@ -61,8 +72,13 @@ bool run_fig2(const ScenarioOptions& opts, std::ostream& out) {
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    table.add_row({e.machine.name(), e.halts ? "yes" : "no", cat(exact), used,
-                   tbl, g_size, verify, decide, fixed(secs, 2)});
+    std::vector<std::string> row{e.machine.name(), e.halts ? "yes" : "no",
+                                 cat(exact), used, tbl, g_size, verify,
+                                 decide};
+    if (opts.timing) {
+      row.push_back(fixed(secs, 2));
+    }
+    table.add_row(std::move(row));
   }
   emit_table(out, opts, "Figure 2 / Section 3: G(M, r) construction", table);
 
@@ -89,8 +105,13 @@ bool run_fig3(const ScenarioOptions& opts, std::ostream& out) {
   const int max_h = std::clamp(opts.size == 0 ? 6 : opts.size, 1, 9);
   bool ok = true;
 
-  TextTable table({"h", "grid", "pyramid nodes", "edges", "apex deg",
-                   "build(ms)", "valid"});
+  std::vector<std::string> columns{"h", "grid", "pyramid nodes", "edges",
+                                   "apex deg"};
+  if (opts.timing) {
+    columns.push_back("build(ms)");
+  }
+  columns.push_back("valid");
+  TextTable table(columns);
   for (int h = 1; h <= max_h; ++h) {
     const halting::PyramidIndexer idx(h);
     const auto t0 = std::chrono::steady_clock::now();
@@ -98,11 +119,15 @@ bool run_fig3(const ScenarioOptions& opts, std::ostream& out) {
     const auto t1 = std::chrono::steady_clock::now();
     const bool valid = h <= 5 ? halting::is_pyramid(g, h) : true;
     ok = ok && valid;
-    table.add_row(
-        {cat(h), cat(idx.side(0), "x", idx.side(0)), cat(g.node_count()),
-         cat(g.edge_count()), cat(g.degree(idx.apex())),
-         fixed(std::chrono::duration<double, std::milli>(t1 - t0).count(), 2),
-         valid ? (h <= 5 ? "yes" : "unchecked") : "NO"});
+    std::vector<std::string> row{
+        cat(h), cat(idx.side(0), "x", idx.side(0)), cat(g.node_count()),
+        cat(g.edge_count()), cat(g.degree(idx.apex()))};
+    if (opts.timing) {
+      row.push_back(fixed(
+          std::chrono::duration<double, std::milli>(t1 - t0).count(), 2));
+    }
+    row.push_back(valid ? (h <= 5 ? "yes" : "unchecked") : "NO");
+    table.add_row(std::move(row));
   }
   emit_table(out, opts, "Figure 3 / Appendix A: pyramidal execution tables",
              table);
@@ -213,10 +238,10 @@ bool run_promise_halting(const ScenarioOptions& opts, std::ostream& out) {
                    e.halts ? cat(tm::run_machine(e.machine, 100000).steps)
                            : std::string("-"),
                    cat(n), id_ok ? "correct" : "WRONG",
-                   local::run_oblivious(*cand4, inst).accepted
+                   local::run_oblivious(*cand4, inst, opts.exec).accepted
                        ? std::string("accept")
                        : std::string("reject"),
-                   local::run_oblivious(*cand16, inst).accepted
+                   local::run_oblivious(*cand16, inst, opts.exec).accepted
                        ? std::string("accept")
                        : std::string("reject")});
   }
@@ -243,7 +268,11 @@ bool run_ablation(const ScenarioOptions& opts, std::ostream& out) {
     halting::GmrParams params{m, 1, 3, policy, false, 4096};
     const auto inst = halting::build_gmr(params);
     const auto verifier = halting::make_gmr_verifier(3, policy, false, 4096);
-    const bool verified = local::run_oblivious(*verifier, inst.graph).accepted;
+    // Pool only (see run_fig2): distinct-ball graphs lose on memoization.
+    exec::ExecContext pool_only;
+    pool_only.pool = opts.exec.pool;
+    const bool verified =
+        local::run_oblivious(*verifier, inst.graph, pool_only).accepted;
     ok = ok && verified;
     caps.add_row({cat(cap), cat(inst.exact_fragment_count),
                   cat(inst.fragment_count),

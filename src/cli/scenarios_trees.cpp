@@ -25,9 +25,13 @@ bool run_fig1(const ScenarioOptions& opts, std::ostream& out) {
   Rng rng(opts.seed);
   bool ok = true;
 
-  TextTable table({"r", "R(r)", "|T_r|", "audited", "coverage",
-                   "subtree-cover", "canon-mismatch", "LD decider",
-                   "time(s)"});
+  std::vector<std::string> columns{"r", "R(r)", "|T_r|", "audited",
+                                   "coverage", "subtree-cover",
+                                   "canon-mismatch", "LD decider"};
+  if (opts.timing) {
+    columns.push_back("time(s)");
+  }
+  TextTable table(columns);
   for (int r = 1; r <= max_r; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     trees::TreeParams p;
@@ -62,12 +66,16 @@ bool run_fig1(const ScenarioOptions& opts, std::ostream& out) {
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    table.add_row(
-        {cat(r), cat(R), cat(n), cat(audit.nodes_audited),
-         fixed(static_cast<double>(audit.patch_covered) / audit.nodes_audited,
-               4),
-         fixed(audit.subtree_fraction(), 4), cat(audit.canonical_mismatch),
-         report.all_correct() ? "correct" : "WRONG", fixed(secs, 2)});
+    std::vector<std::string> row{
+        cat(r), cat(R), cat(n), cat(audit.nodes_audited),
+        fixed(static_cast<double>(audit.patch_covered) / audit.nodes_audited,
+              4),
+        fixed(audit.subtree_fraction(), 4), cat(audit.canonical_mismatch),
+        report.all_correct() ? "correct" : "WRONG"};
+    if (opts.timing) {
+      row.push_back(fixed(secs, 2));
+    }
+    table.add_row(std::move(row));
   }
   emit_table(out, opts, "Figure 1 / Section 2: T_r vs H_r", table);
   emit_note(out, opts,

@@ -65,9 +65,11 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
   if (sizes.empty()) {
     sizes.push_back(0);
   }
-  std::optional<exec::ThreadPool> pool;
-  if (sweep.threads != 1) {
-    pool.emplace(sweep.threads);
+  std::optional<exec::ThreadPool> owned_pool;
+  exec::ThreadPool* pool = sweep.pool;
+  if (pool == nullptr && sweep.threads != 1) {
+    owned_pool.emplace(sweep.threads);
+    pool = &*owned_pool;
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -77,7 +79,7 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
   // scenario's hot paths, which keeps nested pools out of the picture and
   // the JSON cell order fixed.
   for (int size : sizes) {
-    cells.push_back(run_cell(*scenario, sweep, size, pool ? &*pool : nullptr));
+    cells.push_back(run_cell(*scenario, sweep, size, pool));
   }
   const double total_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
@@ -91,40 +93,57 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
 
   // Deterministic fields first; everything scheduling-dependent is gated on
   // --timing (see sweep.h for the byte-identity contract).
-  out << "{\n";
-  out << "  \"tool\": \"locald-sweep\",\n";
-  out << "  \"scenario\": " << json_quote(scenario_name) << ",\n";
-  out << "  \"paper_ref\": " << json_quote(scenario->paper_ref) << ",\n";
-  out << "  \"seed\": " << sweep.seed << ",\n";
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("tool");
+  w.value("locald-sweep");
+  w.key("scenario");
+  w.value(scenario_name);
+  w.key("paper_ref");
+  w.value(scenario->paper_ref);
+  w.key("seed");
+  w.value(sweep.seed);
   // 0 means "each cell ran its scenario-default trial count", which the
   // sweep cannot know; omitting the field beats recording a false zero.
   if (sweep.trials > 0) {
-    out << "  \"trials\": " << sweep.trials << ",\n";
+    w.key("trials");
+    w.value(sweep.trials);
   }
   if (sweep.timing) {
-    out << "  \"threads\": "
-        << (pool ? pool->parallelism() : 1) << ",\n";
-    out << "  \"total_wall_ms\": " << fixed(total_ms, 3) << ",\n";
+    w.key("threads");
+    w.value(pool ? pool->parallelism() : 1);
+    w.key("total_wall_ms");
+    w.value(total_ms, 3);
   }
-  out << "  \"cells\": [\n";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const CellResult& cell = cells[i];
-    out << "    {\"size\": " << cell.size << ", \"ok\": "
-        << (cell.ok ? "true" : "false");
+  w.key("cells");
+  w.begin_array();
+  for (const CellResult& cell : cells) {
+    w.begin_object();
+    w.key("size");
+    w.value(cell.size);
+    w.key("ok");
+    w.value(cell.ok);
     if (!cell.error.empty()) {
-      out << ", \"error\": " << json_quote(cell.error);
+      w.key("error");
+      w.value(cell.error);
     }
     if (sweep.timing) {
-      out << ", \"wall_ms\": " << fixed(cell.wall_ms, 3)
-          << ", \"cache_hits\": " << cell.cache.hits
-          << ", \"cache_misses\": " << cell.cache.misses
-          << ", \"cache_hit_rate\": " << fixed(cell.cache.hit_rate(), 4);
+      w.key("wall_ms");
+      w.value(cell.wall_ms, 3);
+      w.key("cache_hits");
+      w.value(cell.cache.hits);
+      w.key("cache_misses");
+      w.value(cell.cache.misses);
+      w.key("cache_hit_rate");
+      w.value(cell.cache.hit_rate(), 4);
     }
-    out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+    w.end_object();
   }
-  out << "  ],\n";
-  out << "  \"all_ok\": " << (all_ok ? "true" : "false") << "\n";
-  out << "}\n";
+  w.end_array();
+  w.key("all_ok");
+  w.value(all_ok);
+  w.end_object();
+  out << "\n";
   return all_ok ? 0 : 1;
 }
 

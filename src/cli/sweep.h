@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
+
 namespace locald::cli {
 
 struct SweepOptions {
@@ -23,6 +25,10 @@ struct SweepOptions {
   int trials = 0;          // per-cell --trials (0 = scenario default)
   int threads = 1;         // 0 = hardware parallelism
   bool timing = false;     // include the volatile timing/cache fields
+  // Externally-owned pool (the serving layer's process-wide one). When set,
+  // `threads` is ignored and the sweep borrows this pool instead of
+  // constructing its own; the document bytes are identical either way.
+  exec::ThreadPool* pool = nullptr;
 };
 
 // Runs every cell and writes the JSON document to `out`. Returns the

@@ -51,6 +51,13 @@ void VerdictCache::insert(std::uint64_t fingerprint,
                 "conflicting verdicts memoized for one canonical class");
 }
 
+void VerdictCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.map.clear();
+  }
+}
+
 VerdictCache::Stats VerdictCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);

@@ -58,6 +58,14 @@ class VerdictCache {
   };
   Stats stats() const;
 
+  // Drops every memoized verdict; hit/miss counters keep accumulating
+  // (they are reported as monotonic metrics). Long-lived owners — the
+  // serving layer keeps ONE cache for the whole process — call this when
+  // `stats().entries` crosses their memory budget: dropping entries can
+  // never change a verdict (memoized == unmemoized is the engine's
+  // contract), it only costs re-deciding classes.
+  void clear();
+
   std::size_t shard_count() const { return shards_.size(); }
 
  private:

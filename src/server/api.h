@@ -1,0 +1,69 @@
+// The serving layer's JSON documents and request decoding, factored out of
+// the socket code so `locald serve`, `locald list --format json`, and
+// `locald run --format json` emit literally the same bytes.
+//
+// Determinism contract (inherited from the execution engine, see
+// docs/ARCHITECTURE.md "Execution engine"): every document built here from a
+// (scenario, seed, size, trials) tuple is a pure function of that tuple —
+// no timestamps, no thread counts, no cache statistics. CI byte-compares a
+// `POST /v1/run` response against the `locald run --format json` output at a
+// different --threads value, so anything scheduling-dependent belongs in
+// `/v1/metrics`, never here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/scenario.h"
+#include "exec/context.h"
+
+namespace locald::server {
+
+// Body of POST /v1/run, mirroring `cli::ScenarioOptions`. Defaults match
+// the CLI flags' defaults so the two surfaces agree on omitted fields.
+struct RunRequest {
+  std::string scenario;
+  std::uint64_t seed = 42;
+  int size = 0;    // 0 = scenario default
+  int trials = 0;  // 0 = scenario default
+};
+
+// Body of POST /v1/sweep, mirroring `cli::SweepOptions` minus the
+// scheduling-affecting knobs (threads, timing) which the server owns.
+struct SweepRequest {
+  std::string scenario;
+  std::uint64_t seed = 42;
+  std::vector<int> sizes;  // empty = the scenario's default size
+  int trials = 0;
+};
+
+// Decode a request body. Both throw `Error` (surfaced as HTTP 400) on
+// malformed JSON, wrong field types, negative values, or unknown fields —
+// unknown fields are rejected so a typoed "trails" cannot silently run a
+// default-parameter sweep.
+RunRequest parse_run_request(const std::string& body);
+SweepRequest parse_sweep_request(const std::string& body);
+
+// The scenario catalog: GET /v1/scenarios and `locald list --format json`.
+std::string scenarios_document();
+
+// One scenario run: POST /v1/run and `locald run --format json`. Executes
+// the scenario with `exec` (shared pool + cache on the server; per-run on
+// the CLI — the engine contract makes the bytes identical either way) and
+// reports whether the paper's prediction was reproduced. `ok_out`, when
+// non-null, receives the verdict for exit-code plumbing.
+std::string run_document(const RunRequest& request,
+                         const exec::ExecContext& exec, bool* ok_out);
+
+// A size-grid sweep: POST /v1/sweep. Delegates to `cli::run_sweep` with
+// timing disabled, so the body is the same deterministic document the CLI
+// prints (cells keep their fresh per-cell caches). `pool` is the server's
+// process-wide pool (null = serial). `ok_out` as above.
+std::string sweep_document(const SweepRequest& request,
+                           exec::ThreadPool* pool, bool* ok_out);
+
+// {"error": ..., "status": N} — the uniform 4xx/5xx body.
+std::string error_document(int status, const std::string& message);
+
+}  // namespace locald::server

@@ -1,0 +1,200 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/format.h"
+
+namespace locald::server {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+ParseResult fail(int status, std::string why) {
+  ParseResult r;
+  r.status = status;
+  r.error = std::move(why);
+  return r;
+}
+
+// RFC 9110 token characters; method names and header names use this set.
+bool is_token(const std::string& s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    const bool ok = std::isalnum(c) || c == '!' || c == '#' || c == '$' ||
+                    c == '%' || c == '&' || c == '\'' || c == '*' ||
+                    c == '+' || c == '-' || c == '.' || c == '^' ||
+                    c == '_' || c == '`' || c == '|' || c == '~';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+std::string HttpRequest::path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+ParseResult read_http_request(const ByteSource& source,
+                              const HttpLimits& limits) {
+  std::string buffer;
+  char chunk[4096];
+
+  // Phase 1: accumulate until the blank line ending the head.
+  std::size_t head_end = std::string::npos;
+  while (true) {
+    head_end = buffer.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (buffer.size() > limits.max_head_bytes) {
+      return fail(431, "request head exceeds the supported maximum");
+    }
+    const long n = source(chunk, sizeof(chunk));
+    if (n < 0) return fail(408, "timed out reading the request head");
+    if (n == 0) {
+      return fail(400, buffer.empty() ? "empty request"
+                                      : "connection closed mid-head");
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  if (head_end > limits.max_head_bytes) {
+    return fail(431, "request head exceeds the supported maximum");
+  }
+
+  // Phase 2: request line.
+  ParseResult result;
+  HttpRequest& req = result.request;
+  const std::string head = buffer.substr(0, head_end);
+  std::size_t line_start = 0;
+  auto next_line = [&]() -> std::string {
+    if (line_start > head.size()) return std::string();
+    std::size_t eol = head.find("\r\n", line_start);
+    if (eol == std::string::npos) eol = head.size();
+    std::string line = head.substr(line_start, eol - line_start);
+    line_start = eol + 2;
+    return line;
+  };
+  const std::string request_line = next_line();
+  {
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        request_line.find(' ', sp2 + 1) != std::string::npos) {
+      return fail(400, "malformed request line");
+    }
+    req.method = request_line.substr(0, sp1);
+    req.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    req.version = request_line.substr(sp2 + 1);
+  }
+  if (!is_token(req.method)) return fail(400, "malformed method");
+  if (req.target.empty() || req.target[0] != '/') {
+    return fail(400, "request target must be an absolute path");
+  }
+  if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0") {
+    return fail(400, "unsupported HTTP version");
+  }
+
+  // Phase 3: headers.
+  while (line_start <= head.size()) {
+    const std::string line = next_line();
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return fail(400, "malformed header line");
+    const std::string name = line.substr(0, colon);
+    if (!is_token(name)) return fail(400, "malformed header name");
+    req.headers.emplace_back(to_lower(name), trim(line.substr(colon + 1)));
+  }
+
+  if (req.header("transfer-encoding") != nullptr) {
+    return fail(501, "transfer encodings are not implemented");
+  }
+
+  // Phase 4: body, gated by Content-Length before any of it is buffered.
+  std::size_t content_length = 0;
+  if (const std::string* cl = req.header("content-length")) {
+    if (cl->empty() ||
+        cl->find_first_not_of("0123456789") != std::string::npos ||
+        cl->size() > 12) {
+      return fail(400, "malformed Content-Length");
+    }
+    content_length = static_cast<std::size_t>(std::stoull(*cl));
+    if (content_length > limits.max_body_bytes) {
+      return fail(413, cat("request body of ", content_length,
+                           " bytes exceeds the ", limits.max_body_bytes,
+                           "-byte maximum"));
+    }
+  }
+  req.body = buffer.substr(head_end + 4);
+  if (req.body.size() > content_length) {
+    // One request per connection: bytes beyond the declared body have no
+    // meaning here and hint at request smuggling, so reject them.
+    return fail(400, "bytes beyond the declared Content-Length");
+  }
+  while (req.body.size() < content_length) {
+    const std::size_t want = std::min(
+        sizeof(chunk), content_length - req.body.size());
+    const long n = source(chunk, want);
+    if (n < 0) return fail(408, "timed out reading the request body");
+    if (n == 0) return fail(400, "connection closed mid-body");
+    req.body.append(chunk, static_cast<std::size_t>(n));
+  }
+  return result;
+}
+
+std::string serialize_http_response(const HttpResponse& response) {
+  std::string out;
+  out += cat("HTTP/1.1 ", response.status, " ", status_reason(response.status),
+             "\r\n");
+  if (!response.content_type.empty()) {
+    out += cat("Content-Type: ", response.content_type, "\r\n");
+  }
+  for (const auto& [name, value] : response.extra_headers) {
+    out += cat(name, ": ", value, "\r\n");
+  }
+  out += cat("Content-Length: ", response.body.size(), "\r\n");
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace locald::server

@@ -1,0 +1,82 @@
+// Minimal HTTP/1.1 message layer for the embedded serving subsystem.
+//
+// `locald serve` speaks just enough HTTP for a JSON API behind curl or a
+// load balancer: request line + headers + Content-Length body in, status
+// line + headers + body out, one request per connection (`Connection:
+// close` on every response). There is deliberately no keep-alive, no
+// chunked transfer, no TLS — the server sits behind localhost or a fronting
+// proxy, and every feature left out is attack surface and nondeterminism
+// left out. Responses carry no Date header so identical requests produce
+// byte-identical responses, the serving layer's core contract.
+//
+// Parsing is fed through a `ByteSource` pull callback so the same code path
+// is exercised by unit tests (string-backed source) and by the socket layer
+// (recv-backed source).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace locald::server {
+
+struct HttpRequest {
+  std::string method;   // e.g. "GET"
+  std::string target;   // request target as sent, e.g. "/v1/run?x=1"
+  std::string version;  // e.g. "HTTP/1.1"
+  // Names lower-cased at parse time (header names are case-insensitive).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // First header with this (lower-case) name; nullptr when absent.
+  const std::string* header(const std::string& lower_name) const;
+  // `target` with any query string stripped — what the router matches on.
+  std::string path() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+};
+
+// Bounds enforced while reading a request. Head covers the request line
+// plus all headers; body is gated by Content-Length before it is read, so
+// an oversized upload is rejected without buffering it.
+struct HttpLimits {
+  std::size_t max_head_bytes = 8 * 1024;
+  std::size_t max_body_bytes = 1024 * 1024;
+};
+
+// Pull up to `len` bytes into `buf`; returns the count, 0 on orderly EOF,
+// -1 on error/timeout.
+using ByteSource = std::function<long(char* buf, std::size_t len)>;
+
+// Outcome of reading one request: either a request (`status == 200`) or
+// the 4xx the caller should answer with (`error` is the human-readable
+// reason placed in the JSON error body).
+struct ParseResult {
+  int status = 200;
+  std::string error;
+  HttpRequest request;
+};
+
+// Reads and parses exactly one request from `source` under `limits`.
+// Failure statuses: 400 (malformed framing or header syntax), 408 (the
+// source reported timeout/error mid-request), 413 (Content-Length beyond
+// the body bound), 431 (head larger than the head bound), 501 (transfer
+// encodings this layer does not implement).
+ParseResult read_http_request(const ByteSource& source,
+                              const HttpLimits& limits);
+
+// Serializes status line, standard headers (Content-Type, Content-Length,
+// Connection: close), any extra headers, and the body.
+std::string serialize_http_response(const HttpResponse& response);
+
+// Canonical reason phrase for the status codes this server emits.
+const char* status_reason(int status);
+
+}  // namespace locald::server

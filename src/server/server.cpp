@@ -1,0 +1,350 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "server/api.h"
+#include "support/check.h"
+#include "support/format.h"
+
+namespace locald::server {
+
+namespace {
+
+std::string healthz_document() {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("status");
+  w.value("ok");
+  w.end_object();
+  out << "\n";
+  return out.str();
+}
+
+std::string metrics_document(const MetricsSnapshot& m) {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("tool");
+  w.value("locald-serve");
+  w.key("requests_total");
+  w.value(m.requests_total);
+  w.key("rejected_total");
+  w.value(m.rejected_total);
+  w.key("errors_total");
+  w.value(m.errors_total);
+  w.key("in_flight");
+  w.value(m.in_flight);
+  w.key("queue_depth");
+  w.value(m.queue_depth);
+  w.key("workers");
+  w.value(m.workers);
+  w.key("max_queue");
+  w.value(m.max_queue);
+  w.key("pool_parallelism");
+  w.value(m.pool_parallelism);
+  w.key("cache");
+  w.begin_object();
+  w.key("hits");
+  w.value(m.cache.hits);
+  w.key("misses");
+  w.value(m.cache.misses);
+  w.key("entries");
+  w.value(m.cache.entries);
+  w.key("hit_rate");
+  w.value(m.cache.hit_rate(), 4);
+  w.key("resets");
+  w.value(m.cache_resets);
+  w.end_object();
+  w.end_object();
+  out << "\n";
+  return out.str();
+}
+
+HttpResponse error_response(int status, const std::string& message) {
+  HttpResponse r;
+  r.status = status;
+  r.body = error_document(status, message);
+  return r;
+}
+
+HttpResponse method_not_allowed(const std::string& allow) {
+  HttpResponse r = error_response(405, cat("method not allowed; use ", allow));
+  r.extra_headers.emplace_back("Allow", allow);
+  return r;
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options) : options_(std::move(options)) {
+  LOCALD_CHECK(options_.port >= 0 && options_.port <= 65535,
+               "port must be in [0, 65535]");
+  LOCALD_CHECK(options_.threads >= 0, "threads must be non-negative");
+  LOCALD_CHECK(options_.workers >= 1, "at least one request worker");
+  LOCALD_CHECK(options_.max_queue >= 1, "queue bound must be at least 1");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  LOCALD_CHECK(listen_fd_ < 0, "server already started");
+  if (options_.threads != 1) {
+    pool_.emplace(options_.threads);
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  LOCALD_CHECK(listen_fd_ >= 0, cat("socket(): ", std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  LOCALD_CHECK(
+      ::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+      cat("not an IPv4 bind address: ", options_.host));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(cat("cannot bind ", options_.host, ":", options_.port, ": ",
+                    why));
+  }
+  LOCALD_CHECK(::listen(listen_fd_, 128) == 0,
+               cat("listen(): ", std::strerror(errno)));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  LOCALD_CHECK(::getsockname(listen_fd_,
+                             reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+               cat("getsockname(): ", std::strerror(errno)));
+  bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  if (listen_fd_ >= 0) {
+    // Unblocks the acceptor's accept(); it observes stopping_ and exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Whatever was still queued never reached a worker; close, don't answer.
+  std::lock_guard<std::mutex> lk(queue_mu_);
+  for (int fd : queue_) ::close(fd);
+  queue_.clear();
+}
+
+void Server::accept_loop() {
+  // Built once: shedding load must not allocate per rejected connection.
+  const std::string busy = serialize_http_response([] {
+    HttpResponse r = error_response(503, "server at capacity; retry shortly");
+    r.extra_headers.emplace_back("Retry-After", "1");
+    return r;
+  }());
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource pressure (typically fd exhaustion while the
+        // workers hold connections): back off briefly and keep accepting
+        // rather than silently becoming a server that never answers again.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      return;  // listen socket is gone; stop() is the only way this happens
+    }
+    timeval tv{};
+    tv.tv_sec = options_.read_timeout_ms / 1000;
+    tv.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // Same deadline on writes: a client that never drains its response
+    // must time out instead of pinning a worker in send() forever (which
+    // would also wedge stop()'s join).
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (queue_.size() >= static_cast<std::size_t>(options_.max_queue)) {
+        shed = true;
+      } else {
+        queue_.push_back(fd);
+      }
+    }
+    if (shed) {
+      rejected_total_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, busy);
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      fd = queue_.front();
+      queue_.pop_front();
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  const ByteSource source = [fd](char* buf, std::size_t len) -> long {
+    while (true) {
+      const ssize_t n = ::recv(fd, buf, len, 0);
+      if (n >= 0) return static_cast<long>(n);
+      if (errno == EINTR) continue;
+      return -1;  // timeout (EAGAIN under SO_RCVTIMEO) or hard error
+    }
+  };
+  const ParseResult parsed = read_http_request(source, options_.limits);
+  // Counted before routing so a /v1/metrics response includes itself.
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  HttpResponse response;
+  if (parsed.status != 200) {
+    response = error_response(parsed.status, parsed.error);
+  } else {
+    response = handle(parsed.request);
+  }
+  if (response.status >= 400) {
+    errors_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  send_all(fd, serialize_http_response(response));
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  maybe_reset_cache();
+}
+
+void Server::send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::maybe_reset_cache() {
+  if (cache_.stats().entries > options_.cache_reset_entries) {
+    cache_.clear();
+    cache_resets_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+MetricsSnapshot Server::metrics() const {
+  MetricsSnapshot m;
+  m.requests_total = requests_total_.load(std::memory_order_relaxed);
+  m.rejected_total = rejected_total_.load(std::memory_order_relaxed);
+  m.errors_total = errors_total_.load(std::memory_order_relaxed);
+  m.cache_resets = cache_resets_.load(std::memory_order_relaxed);
+  m.in_flight = in_flight_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    m.queue_depth = queue_.size();
+  }
+  m.workers = options_.workers;
+  m.max_queue = options_.max_queue;
+  m.pool_parallelism = pool_ ? pool_->parallelism() : 1;
+  m.cache = cache_.stats();
+  return m;
+}
+
+HttpResponse Server::handle(const HttpRequest& request) {
+  const std::string path = request.path();
+  HttpResponse response;
+  try {
+    if (path == "/v1/healthz") {
+      if (request.method != "GET") return method_not_allowed("GET");
+      response.body = healthz_document();
+    } else if (path == "/v1/scenarios") {
+      if (request.method != "GET") return method_not_allowed("GET");
+      response.body = scenarios_document();
+    } else if (path == "/v1/metrics") {
+      if (request.method != "GET") return method_not_allowed("GET");
+      response.body = metrics_document(metrics());
+    } else if (path == "/v1/run") {
+      if (request.method != "POST") return method_not_allowed("POST");
+      const RunRequest run = parse_run_request(request.body);
+      if (cli::find_scenario(run.scenario) == nullptr) {
+        return error_response(
+            404, cat("unknown scenario ", json_quote(run.scenario),
+                     " (see /v1/scenarios)"));
+      }
+      exec::ExecContext ctx;
+      ctx.pool = pool_ ? &*pool_ : nullptr;
+      ctx.cache = &cache_;
+      response.body = run_document(run, ctx, nullptr);
+    } else if (path == "/v1/sweep") {
+      if (request.method != "POST") return method_not_allowed("POST");
+      const SweepRequest sweep = parse_sweep_request(request.body);
+      if (cli::find_scenario(sweep.scenario) == nullptr) {
+        return error_response(
+            404, cat("unknown scenario ", json_quote(sweep.scenario),
+                     " (see /v1/scenarios)"));
+      }
+      response.body = sweep_document(sweep, pool_ ? &*pool_ : nullptr,
+                                     nullptr);
+    } else {
+      return error_response(
+          404, cat("no such endpoint ", json_quote(path),
+                   "; endpoints: /v1/healthz /v1/scenarios /v1/metrics "
+                   "/v1/run /v1/sweep"));
+    }
+  } catch (const Error& e) {
+    // Caller-facing precondition (bad JSON, bad field): the request's fault.
+    return error_response(400, e.what());
+  } catch (const std::exception& e) {
+    return error_response(500, e.what());
+  }
+  return response;
+}
+
+}  // namespace locald::server

@@ -1,0 +1,122 @@
+// `locald serve` — the long-lived HTTP/JSON serving layer.
+//
+// One process-wide work-stealing `ThreadPool` and ONE shared `VerdictCache`
+// live for the whole server lifetime, so canonical-ball verdicts memoized
+// while answering request A accelerate every later request that meets an
+// isomorphic ball — the cross-request regime the one-shot CLI can never
+// reach. Results stay byte-identical anyway: the execution engine's
+// contract (memoized == unmemoized, any thread count) means the shared
+// cache and pool are pure accelerators, never inputs to a response body.
+//
+// Concurrency model: an acceptor thread plus a fixed pool of request
+// workers draining a bounded connection queue. When the queue is full the
+// acceptor answers `503 Service Unavailable` with `Retry-After` directly —
+// overload sheds load at the door with O(1) memory instead of queueing
+// unboundedly toward OOM. Request workers may run scenarios concurrently;
+// the exec pool serializes its parallel loops internally, and scenarios
+// share no mutable state, so concurrent identical requests produce
+// byte-identical bodies (tested, and smoke-checked in CI).
+//
+// The shared cache is reset (entries dropped, monotonic counters kept)
+// whenever it outgrows `cache_reset_entries`, bounding the resident memory
+// of an arbitrarily long serving life.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "exec/verdict_cache.h"
+#include "server/http.h"
+
+namespace locald::server {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";  // bind address (loopback by default)
+  int port = 8080;                 // 0 = ephemeral, read back via port()
+  int threads = 1;                 // exec-pool size; 0 = hardware, 1 = serial
+  int workers = 4;                 // concurrent request handlers
+  int max_queue = 64;              // accepted-but-unserved connection bound
+  int read_timeout_ms = 10000;     // per-recv deadline on request sockets
+  HttpLimits limits;
+  std::uint64_t cache_reset_entries = 1u << 20;  // shared-cache entry budget
+};
+
+// A point-in-time view for GET /v1/metrics. Counters are monotonic over the
+// server's life except the two gauges (in_flight, queue_depth).
+struct MetricsSnapshot {
+  std::uint64_t requests_total = 0;  // responses written by workers
+  std::uint64_t rejected_total = 0;  // 503s shed by the acceptor
+  std::uint64_t errors_total = 0;    // worker responses with status >= 400
+  std::uint64_t cache_resets = 0;
+  std::uint64_t in_flight = 0;       // gauge: requests being handled now
+  std::uint64_t queue_depth = 0;     // gauge: connections awaiting a worker
+  int workers = 0;
+  int max_queue = 0;
+  int pool_parallelism = 1;
+  exec::VerdictCache::Stats cache;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds and starts the acceptor + workers; throws `Error` when the
+  // address cannot be bound. Idempotence is not needed: one start per
+  // Server.
+  void start();
+
+  // Stops accepting, drains nothing (queued connections are closed), joins
+  // all threads. Safe to call repeatedly; the destructor calls it.
+  void stop();
+
+  // The bound port (resolves port 0 to the kernel-assigned ephemeral one).
+  int port() const { return bound_port_; }
+
+  MetricsSnapshot metrics() const;
+
+  // Routes one parsed request to a response. Public so tests can exercise
+  // routing without sockets; the workers use exactly this path.
+  HttpResponse handle(const HttpRequest& request);
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  void send_all(int fd, const std::string& bytes);
+  void maybe_reset_cache();
+
+  ServeOptions options_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+
+  std::optional<exec::ThreadPool> pool_;  // engaged unless threads == 1
+  exec::VerdictCache cache_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;  // accepted fds awaiting a worker
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> rejected_total_{0};
+  std::atomic<std::uint64_t> errors_total_{0};
+  std::atomic<std::uint64_t> cache_resets_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+};
+
+}  // namespace locald::server

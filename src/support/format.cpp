@@ -47,6 +47,91 @@ std::string json_quote(const std::string& s) {
   return out;
 }
 
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {
+  LOCALD_CHECK(indent >= 0, "indent must be non-negative");
+}
+
+void JsonWriter::newline_indent(std::size_t depth) {
+  if (indent_ > 0) {
+    out_ << '\n'
+         << std::string(depth * static_cast<std::size_t>(indent_), ' ');
+  }
+}
+
+void JsonWriter::before_value() {
+  LOCALD_ASSERT(!complete(), "JSON document already complete");
+  if (stack_.empty()) {
+    root_written_ = true;
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.is_object) {
+    LOCALD_ASSERT(pending_key_, "object member written without a key");
+    pending_key_ = false;
+    return;
+  }
+  if (top.count > 0) out_ << ',';
+  newline_indent(stack_.size());
+  ++top.count;
+}
+
+void JsonWriter::write_scalar(const std::string& rendered) {
+  before_value();
+  out_ << rendered;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Level{true, 0});
+}
+
+void JsonWriter::end_object() {
+  LOCALD_ASSERT(!stack_.empty() && stack_.back().is_object && !pending_key_,
+                "end_object without a matching open object");
+  const std::size_t count = stack_.back().count;
+  stack_.pop_back();
+  if (count > 0) newline_indent(stack_.size());
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Level{false, 0});
+}
+
+void JsonWriter::end_array() {
+  LOCALD_ASSERT(!stack_.empty() && !stack_.back().is_object,
+                "end_array without a matching open array");
+  const std::size_t count = stack_.back().count;
+  stack_.pop_back();
+  if (count > 0) newline_indent(stack_.size());
+  out_ << ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  LOCALD_ASSERT(!stack_.empty() && stack_.back().is_object && !pending_key_,
+                "key() is only valid directly inside an object");
+  Level& top = stack_.back();
+  if (top.count > 0) out_ << ',';
+  newline_indent(stack_.size());
+  ++top.count;
+  out_ << json_quote(name) << (indent_ > 0 ? ": " : ":");
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) { write_scalar(json_quote(v)); }
+void JsonWriter::value(const char* v) { write_scalar(json_quote(v)); }
+void JsonWriter::value(bool v) { write_scalar(v ? "true" : "false"); }
+void JsonWriter::value(std::int64_t v) { write_scalar(std::to_string(v)); }
+void JsonWriter::value(std::uint64_t v) { write_scalar(std::to_string(v)); }
+void JsonWriter::value(double v, int digits) {
+  write_scalar(fixed(v, digits));
+}
+void JsonWriter::null_value() { write_scalar("null"); }
+
 TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {
   LOCALD_CHECK(!header_.empty(), "table needs at least one column");

@@ -1,0 +1,351 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "support/check.h"
+#include "support/format.h"
+
+namespace locald {
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::boolean;
+  v.boolean_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_integer(std::int64_t n) {
+  JsonValue v;
+  v.kind_ = Kind::number;
+  v.integral_ = true;
+  v.integer_ = n;
+  v.number_ = static_cast<double>(n);
+  return v;
+}
+
+JsonValue JsonValue::make_double(double d) {
+  JsonValue v;
+  v.kind_ = Kind::number;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::string;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::object;
+  v.members_ = std::move(members);
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  LOCALD_CHECK(is_bool(), "JSON value is not a boolean");
+  return boolean_;
+}
+
+double JsonValue::as_double() const {
+  LOCALD_CHECK(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+std::int64_t JsonValue::as_integer() const {
+  LOCALD_CHECK(is_integer(), "JSON value is not an integer");
+  return integer_;
+}
+
+const std::string& JsonValue::as_string() const {
+  LOCALD_CHECK(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  LOCALD_CHECK(is_array(), "JSON value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  LOCALD_CHECK(is_object(), "JSON value is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Request bodies are flat; 64 levels is far beyond anything legitimate and
+// keeps hostile deeply-nested input from exhausting the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    check(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error(cat("malformed JSON at byte ", pos_, ": ", why));
+  }
+  void check(bool ok, const char* why) const {
+    if (!ok) fail(why);
+  }
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char take() {
+    check(!done(), "unexpected end of input");
+    return text_[pos_++];
+  }
+  bool consume(char c) {
+    if (!done() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    check(!done() && peek() == c, "unexpected character");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                       peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  void expect_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      check(!done() && peek() == *p, "invalid literal");
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_value(int depth) {
+    check(depth < kMaxDepth, "nesting deeper than the supported maximum");
+    check(!done(), "unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        expect_literal("true");
+        return JsonValue::make_bool(true);
+      case 'f':
+        expect_literal("false");
+        return JsonValue::make_bool(false);
+      case 'n':
+        expect_literal("null");
+        return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    // Hash-set membership, not a scan over `members`: a hostile body can
+    // pack ~10^5 distinct keys under the request size limit, and a linear
+    // scan per key would burn CPU quadratically before rejection.
+    std::unordered_set<std::string> seen;
+    skip_ws();
+    if (consume('}')) return JsonValue::make_object(std::move(members));
+    while (true) {
+      skip_ws();
+      check(!done() && peek() == '"', "object member needs a quoted key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      JsonValue value = parse_value(depth + 1);
+      if (!seen.insert(key).second) {
+        fail(cat("duplicate object key ", json_quote(key)));
+      }
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::make_array(std::move(items));
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            check(!done() && peek() == '\\', "unpaired surrogate");
+            ++pos_;
+            check(!done() && peek() == 'u', "unpaired surrogate");
+            ++pos_;
+            const unsigned lo = parse_hex4();
+            check(lo >= 0xDC00 && lo <= 0xDFFF, "unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    consume('-');
+    check(!done() && std::isdigit(static_cast<unsigned char>(peek())),
+          "invalid number");
+    if (!consume('0')) {  // leading zeros are invalid JSON
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      check(!done() && std::isdigit(static_cast<unsigned char>(peek())),
+            "digit required after decimal point");
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos_;
+      check(!done() && std::isdigit(static_cast<unsigned char>(peek())),
+            "digit required in exponent");
+      while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string literal = text_.substr(start, pos_ - start);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long n = std::strtoll(literal.c_str(), &end, 10);
+      // Integers beyond int64 degrade to doubles rather than failing;
+      // callers that need exactness use as_integer(), which rejects them.
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return JsonValue::make_integer(static_cast<std::int64_t>(n));
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(literal.c_str(), &end);
+    check(end != nullptr && *end == '\0' && errno == 0,
+          "number out of representable range");
+    return JsonValue::make_double(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace locald

@@ -1,0 +1,75 @@
+// A minimal strict JSON reader for the serving layer's request bodies.
+//
+// `parse_json` turns an RFC-8259 text into a `JsonValue` tree, throwing
+// `Error` on any deviation (trailing garbage, bad escapes, unterminated
+// containers, nesting beyond a fixed depth cap). The reader is intentionally
+// small: request bodies are a handful of scalar fields, so there is no
+// streaming, no SAX interface, and no number formats beyond what strtod
+// accepts. Object member order is preserved so documents can round-trip
+// deterministically through `JsonWriter` (support/format.h).
+//
+// Integers are tracked separately from doubles: a number literal with no
+// fraction or exponent that fits in int64 reports `is_integer()`, which is
+// what the API layer needs to reject `"seed": 1.5` without accepting the
+// precision loss of a double round-trip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace locald {
+
+class JsonValue {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  JsonValue() : kind_(Kind::null) {}
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_integer(std::int64_t v);
+  static JsonValue make_double(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::null; }
+  bool is_bool() const { return kind_ == Kind::boolean; }
+  bool is_number() const { return kind_ == Kind::number; }
+  bool is_integer() const { return kind_ == Kind::number && integral_; }
+  bool is_string() const { return kind_ == Kind::string; }
+  bool is_array() const { return kind_ == Kind::array; }
+  bool is_object() const { return kind_ == Kind::object; }
+
+  // Typed accessors; throw `Error` when the value has a different kind.
+  bool as_bool() const;
+  double as_double() const;          // any number
+  std::int64_t as_integer() const;   // integral numbers only
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  // arrays only
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;  // objects only
+
+  // Object member lookup; nullptr when absent (or when not an object).
+  const JsonValue* find(const std::string& key) const;
+
+ private:
+  Kind kind_;
+  bool boolean_ = false;
+  bool integral_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses exactly one JSON value spanning the whole input (surrounding
+// whitespace allowed). Throws `Error` with a byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace locald

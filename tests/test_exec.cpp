@@ -149,5 +149,26 @@ TEST(VerdictCache, SafeUnderConcurrentMixedTraffic) {
   EXPECT_EQ(stats.hits + stats.misses, 8 * kClasses);
 }
 
+TEST(VerdictCache, ClearDropsEntriesButKeepsMonotonicCounters) {
+  VerdictCache cache(4);
+  cache.insert(1, "alg", "ball-a", true);
+  cache.insert(2, "alg", "ball-b", false);
+  EXPECT_TRUE(cache.lookup(1, "alg", "ball-a").has_value());  // one hit
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  cache.clear();
+  const auto after = cache.stats();
+  EXPECT_EQ(after.entries, 0u);
+  // The serving layer reports hits/misses as monotonic metrics; a reset
+  // must not rewind them.
+  EXPECT_EQ(after.hits, 1u);
+  EXPECT_EQ(after.misses, 0u);
+
+  // Dropped classes simply get re-decided.
+  EXPECT_FALSE(cache.lookup(1, "alg", "ball-a").has_value());
+  cache.insert(1, "alg", "ball-a", true);
+  EXPECT_TRUE(*cache.lookup(1, "alg", "ball-a"));
+}
+
 }  // namespace
 }  // namespace locald::exec

@@ -1,0 +1,525 @@
+// Tests for the `locald serve` subsystem: HTTP request parsing edge cases,
+// the API documents and their request decoding, routing, and live-socket
+// integration — concurrent byte-identity, shared-cache warm-up, and the
+// 503 backpressure path.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/api.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "support/check.h"
+#include "support/json.h"
+
+namespace locald::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// A ByteSource backed by a string, delivering at most `chunk` bytes per
+// pull — small chunks exercise the incremental head/body accumulation.
+ByteSource source_from(std::string data, std::size_t chunk = 7) {
+  auto cursor = std::make_shared<std::size_t>(0);
+  auto owned = std::make_shared<std::string>(std::move(data));
+  return [cursor, owned, chunk](char* buf, std::size_t len) -> long {
+    const std::size_t left = owned->size() - *cursor;
+    const std::size_t n = std::min({len, left, chunk});
+    std::memcpy(buf, owned->data() + *cursor, n);
+    *cursor += n;
+    return static_cast<long>(n);
+  };
+}
+
+ParseResult parse(const std::string& raw) {
+  return read_http_request(source_from(raw), HttpLimits{});
+}
+
+// A blocking one-shot HTTP client against 127.0.0.1:port.
+int connect_to(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  LOCALD_CHECK(fd >= 0, "client socket()");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  LOCALD_CHECK(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+               "client connect()");
+  return fd;
+}
+
+void send_raw(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    LOCALD_CHECK(n > 0, "client send()");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+struct ClientResponse {
+  int status = 0;
+  std::string head;  // status line + headers
+  std::string body;
+};
+
+ClientResponse split_response(const std::string& raw) {
+  ClientResponse r;
+  const std::size_t cut = raw.find("\r\n\r\n");
+  LOCALD_CHECK(cut != std::string::npos, "response has no head terminator");
+  r.head = raw.substr(0, cut);
+  r.body = raw.substr(cut + 4);
+  LOCALD_CHECK(raw.rfind("HTTP/1.1 ", 0) == 0, "bad status line");
+  r.status = std::stoi(raw.substr(9, 3));
+  return r;
+}
+
+ClientResponse request(int port, const std::string& bytes) {
+  const int fd = connect_to(port);
+  send_raw(fd, bytes);
+  const std::string raw = read_to_eof(fd);
+  ::close(fd);
+  return split_response(raw);
+}
+
+std::string get(const std::string& path) {
+  return "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n";
+}
+
+std::string post(const std::string& path, const std::string& body) {
+  return "POST " + path + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// ---------------------------------------------------------------------------
+// HTTP parsing
+// ---------------------------------------------------------------------------
+
+TEST(Http, ParsesGetRequest) {
+  const ParseResult r =
+      parse("GET /v1/healthz?probe=1 HTTP/1.1\r\nHost: x\r\nX-Ab: 2\r\n\r\n");
+  ASSERT_EQ(r.status, 200) << r.error;
+  EXPECT_EQ(r.request.method, "GET");
+  EXPECT_EQ(r.request.target, "/v1/healthz?probe=1");
+  EXPECT_EQ(r.request.path(), "/v1/healthz");  // query stripped for routing
+  EXPECT_EQ(r.request.version, "HTTP/1.1");
+  EXPECT_TRUE(r.request.body.empty());
+}
+
+TEST(Http, HeaderNamesAreCaseInsensitive) {
+  const ParseResult r =
+      parse("GET / HTTP/1.1\r\nX-MiXeD-CaSe:  padded value \r\n\r\n");
+  ASSERT_EQ(r.status, 200);
+  ASSERT_NE(r.request.header("x-mixed-case"), nullptr);
+  EXPECT_EQ(*r.request.header("x-mixed-case"), "padded value");
+  EXPECT_EQ(r.request.header("absent"), nullptr);
+}
+
+TEST(Http, ParsesPostBodyByContentLength) {
+  const ParseResult r = parse(post("/v1/run", "{\"scenario\":\"x\"}"));
+  ASSERT_EQ(r.status, 200);
+  EXPECT_EQ(r.request.method, "POST");
+  EXPECT_EQ(r.request.body, "{\"scenario\":\"x\"}");
+}
+
+TEST(Http, RejectsMalformedFraming) {
+  EXPECT_EQ(parse("").status, 400);                        // empty
+  EXPECT_EQ(parse("GET /\r\n\r\n").status, 400);           // no version
+  EXPECT_EQ(parse("GET / HTTP/2 extra\r\n\r\n").status, 400);
+  EXPECT_EQ(parse("GET / HTTP/9.9\r\n\r\n").status, 400);  // bad version
+  EXPECT_EQ(parse("G@T / HTTP/1.1\r\n\r\n").status, 400);  // bad method
+  EXPECT_EQ(parse("GET nopath HTTP/1.1\r\n\r\n").status, 400);
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\nno-colon-line\r\n\r\n").status, 400);
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\nbad name: v\r\n\r\n").status, 400);
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\n").status, 400);      // EOF mid-head
+}
+
+TEST(Http, RejectsBadContentLength) {
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n").status,
+            400);
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n").status,
+            400);
+  // Declared 10, delivered 4, then EOF.
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabcd").status,
+            400);
+  // Bytes beyond the declared length on a one-request connection.
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabcd").status,
+            400);
+}
+
+TEST(Http, RejectsOversizedBodyBeforeReadingIt) {
+  HttpLimits limits;
+  limits.max_body_bytes = 16;
+  const ParseResult r = read_http_request(
+      source_from("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n"), limits);
+  EXPECT_EQ(r.status, 413);
+}
+
+TEST(Http, RejectsOversizedHead) {
+  HttpLimits limits;
+  limits.max_head_bytes = 64;
+  const std::string big(200, 'a');
+  const ParseResult r = read_http_request(
+      source_from("GET / HTTP/1.1\r\nX-Big: " + big + "\r\n\r\n"), limits);
+  EXPECT_EQ(r.status, 431);
+}
+
+TEST(Http, RejectsTransferEncoding) {
+  EXPECT_EQ(
+      parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").status,
+      501);
+}
+
+TEST(Http, ReportsTimeoutAs408) {
+  const ByteSource stalled = [](char*, std::size_t) -> long { return -1; };
+  EXPECT_EQ(read_http_request(stalled, HttpLimits{}).status, 408);
+}
+
+TEST(Http, SerializesResponseWithFramingHeaders) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.body = "{}";
+  resp.extra_headers.emplace_back("Retry-After", "1");
+  const std::string raw = serialize_http_response(resp);
+  EXPECT_NE(raw.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(raw.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(raw.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("Connection: close\r\n\r\n{}"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// API documents and request decoding
+// ---------------------------------------------------------------------------
+
+TEST(Api, ParsesRunRequestWithDefaults) {
+  const RunRequest r = parse_run_request(R"({"scenario": "promise-cycle"})");
+  EXPECT_EQ(r.scenario, "promise-cycle");
+  EXPECT_EQ(r.seed, 42u);
+  EXPECT_EQ(r.size, 0);
+  EXPECT_EQ(r.trials, 0);
+  const RunRequest full = parse_run_request(
+      R"({"scenario": "x", "seed": 7, "size": 3, "trials": 9})");
+  EXPECT_EQ(full.seed, 7u);
+  EXPECT_EQ(full.size, 3);
+  EXPECT_EQ(full.trials, 9);
+}
+
+TEST(Api, RejectsBadRunRequests) {
+  for (const char* bad : {
+           "",                                   // empty body
+           "not json",                           // malformed JSON
+           "[1, 2]",                             // not an object
+           "{}",                                 // scenario missing
+           R"({"scenario": 3})",                 // wrong type
+           R"({"scenario": ""})",                // empty name
+           R"({"scenario": "x", "seed": -1})",   // negative
+           R"({"scenario": "x", "seed": 1.5})",  // non-integer
+           R"({"scenario": "x", "trails": 2})",  // typoed field
+       }) {
+    EXPECT_THROW(parse_run_request(bad), Error) << "accepted: " << bad;
+  }
+}
+
+TEST(Api, ParsesSweepRequestSizes) {
+  const SweepRequest r = parse_sweep_request(
+      R"({"scenario": "promise-cycle", "sizes": [6, 8], "trials": 2})");
+  EXPECT_EQ(r.sizes, (std::vector<int>{6, 8}));
+  EXPECT_EQ(r.trials, 2);
+  EXPECT_THROW(parse_sweep_request(R"({"scenario": "x", "sizes": []})"),
+               Error);
+  EXPECT_THROW(parse_sweep_request(R"({"scenario": "x", "sizes": [-1]})"),
+               Error);
+  EXPECT_THROW(parse_sweep_request(R"({"scenario": "x", "size": 4})"),
+               Error);  // run's field, not sweep's
+}
+
+TEST(Api, ScenariosDocumentMirrorsRegistry) {
+  const std::string doc = scenarios_document();
+  const JsonValue v = parse_json(doc);  // valid JSON by construction
+  ASSERT_NE(v.find("scenarios"), nullptr);
+  const auto& items = v.find("scenarios")->items();
+  ASSERT_EQ(items.size(), cli::scenario_registry().size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].find("name")->as_string(),
+              cli::scenario_registry()[i].name);
+  }
+}
+
+TEST(Api, RunDocumentIsDeterministicAndParseable) {
+  RunRequest req;
+  req.scenario = "promise-cycle";
+  req.seed = 7;
+  exec::ExecContext serial;
+  bool ok1 = false;
+  bool ok2 = false;
+  const std::string a = run_document(req, serial, &ok1);
+  const std::string b = run_document(req, serial, &ok2);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(ok1);
+  EXPECT_TRUE(ok2);
+  const JsonValue v = parse_json(a);
+  EXPECT_EQ(v.find("scenario")->as_string(), "promise-cycle");
+  EXPECT_EQ(v.find("seed")->as_integer(), 7);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_FALSE(v.find("output")->as_string().empty());
+}
+
+TEST(Api, RunDocumentRejectsUnknownScenario) {
+  RunRequest req;
+  req.scenario = "no-such-scenario";
+  exec::ExecContext serial;
+  EXPECT_THROW(run_document(req, serial, nullptr), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Routing (no sockets; Server::handle is the workers' exact path)
+// ---------------------------------------------------------------------------
+
+HttpRequest make_request(std::string method, std::string target,
+                         std::string body = "") {
+  HttpRequest r;
+  r.method = std::move(method);
+  r.target = std::move(target);
+  r.version = "HTTP/1.1";
+  r.body = std::move(body);
+  return r;
+}
+
+TEST(Routing, HealthzAndMetricsAndScenarios) {
+  Server server{ServeOptions{}};
+  EXPECT_EQ(server.handle(make_request("GET", "/v1/healthz")).status, 200);
+  EXPECT_EQ(server.handle(make_request("GET", "/v1/metrics")).status, 200);
+  const HttpResponse scenarios =
+      server.handle(make_request("GET", "/v1/scenarios"));
+  EXPECT_EQ(scenarios.status, 200);
+  EXPECT_EQ(scenarios.body, scenarios_document());
+}
+
+TEST(Routing, MethodAndPathErrors) {
+  Server server{ServeOptions{}};
+  const HttpResponse wrong_method =
+      server.handle(make_request("POST", "/v1/healthz"));
+  EXPECT_EQ(wrong_method.status, 405);
+  ASSERT_FALSE(wrong_method.extra_headers.empty());
+  EXPECT_EQ(wrong_method.extra_headers.front().second, "GET");
+  EXPECT_EQ(server.handle(make_request("GET", "/v1/run")).status, 405);
+  EXPECT_EQ(server.handle(make_request("GET", "/nope")).status, 404);
+}
+
+TEST(Routing, RunRequestErrorsMapToStatuses) {
+  Server server{ServeOptions{}};
+  EXPECT_EQ(server.handle(make_request("POST", "/v1/run", "{bad")).status,
+            400);
+  EXPECT_EQ(server
+                .handle(make_request("POST", "/v1/run",
+                                     R"({"scenario": "missing"})"))
+                .status,
+            404);
+  EXPECT_EQ(server
+                .handle(make_request("POST", "/v1/sweep",
+                                     R"({"scenario": "missing"})"))
+                .status,
+            404);
+}
+
+TEST(Routing, ServeOptionsAreValidated) {
+  ServeOptions bad_workers;
+  bad_workers.workers = 0;
+  EXPECT_THROW(Server{bad_workers}, Error);
+  ServeOptions bad_queue;
+  bad_queue.max_queue = 0;
+  EXPECT_THROW(Server{bad_queue}, Error);
+  ServeOptions bad_port;
+  bad_port.port = 70000;
+  EXPECT_THROW(Server{bad_port}, Error);
+}
+
+// ---------------------------------------------------------------------------
+// Live-socket integration
+// ---------------------------------------------------------------------------
+
+ServeOptions test_options() {
+  ServeOptions o;
+  o.port = 0;  // ephemeral
+  return o;
+}
+
+TEST(ServerSocket, ServesHealthzAndErrorsOverRealSockets) {
+  Server server{test_options()};
+  server.start();
+  EXPECT_GT(server.port(), 0);
+  const ClientResponse health = request(server.port(), get("/v1/healthz"));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(parse_json(health.body).find("status")->as_string(), "ok");
+
+  EXPECT_EQ(request(server.port(), get("/v1/nope")).status, 404);
+  EXPECT_EQ(request(server.port(), post("/v1/run", "{bad")).status, 400);
+  EXPECT_EQ(request(server.port(),
+                    post("/v1/run", R"({"scenario": "missing"})"))
+                .status,
+            404);
+
+  // Oversized upload: rejected from the Content-Length header alone.
+  ServeOptions small = test_options();
+  small.limits.max_body_bytes = 32;
+  Server tiny{small};
+  tiny.start();
+  const int fd = connect_to(tiny.port());
+  send_raw(fd, "POST /v1/run HTTP/1.1\r\nContent-Length: 4096\r\n\r\n");
+  const ClientResponse too_big = split_response(read_to_eof(fd));
+  ::close(fd);
+  EXPECT_EQ(too_big.status, 413);
+  tiny.stop();
+  server.stop();
+}
+
+TEST(ServerSocket, ScenariosEndpointMatchesCliDocument) {
+  Server server{test_options()};
+  server.start();
+  const ClientResponse r = request(server.port(), get("/v1/scenarios"));
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, scenarios_document());
+  server.stop();
+}
+
+TEST(ServerSocket, ConcurrentIdenticalRequestsAreByteIdentical) {
+  ServeOptions options = test_options();
+  options.threads = 2;  // shared pool in play
+  options.workers = 4;  // genuine request concurrency
+  Server server{options};
+  server.start();
+
+  // The serial, cache-less reference — what the one-shot CLI would print.
+  RunRequest req;
+  req.scenario = "promise-halting";
+  exec::ExecContext serial;
+  const std::string reference = run_document(req, serial, nullptr);
+
+  const std::string wire =
+      post("/v1/run", R"({"scenario": "promise-halting"})");
+  constexpr int kClients = 4;
+  constexpr int kRequestsEach = 3;
+  std::vector<std::string> bodies(kClients * kRequestsEach);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsEach; ++i) {
+        const ClientResponse r = request(server.port(), wire);
+        if (r.status != 200) failures.fetch_add(1);
+        bodies[static_cast<std::size_t>(c * kRequestsEach + i)] = r.body;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (const std::string& body : bodies) {
+    // Identical across concurrency AND identical to the serial CLI bytes:
+    // the shared pool + shared cache are invisible in the response.
+    EXPECT_EQ(body, reference);
+  }
+  server.stop();
+}
+
+TEST(ServerSocket, SecondIdenticalRequestHitsTheSharedCache) {
+  Server server{test_options()};
+  server.start();
+  const std::string wire =
+      post("/v1/run", R"({"scenario": "promise-halting"})");
+  ASSERT_EQ(request(server.port(), wire).status, 200);  // warm-up
+  ASSERT_EQ(request(server.port(), wire).status, 200);
+
+  const ClientResponse metrics =
+      request(server.port(), get("/v1/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  const JsonValue m = parse_json(metrics.body);
+  const JsonValue* cache = m.find("cache");
+  ASSERT_NE(cache, nullptr);
+  // The warmed cache must answer the second run's balls from memory; the
+  // acceptance bar for the serving layer's raison d'être.
+  EXPECT_GT(cache->find("hits")->as_integer(), 0);
+  EXPECT_GT(cache->find("entries")->as_integer(), 0);
+  EXPECT_EQ(m.find("requests_total")->as_integer(), 3);
+  server.stop();
+}
+
+TEST(ServerSocket, ShedsLoadWith503WhenTheQueueIsFull) {
+  ServeOptions options = test_options();
+  options.workers = 1;
+  options.max_queue = 1;
+  options.read_timeout_ms = 60000;  // the stalled socket must not 408 early
+  Server server{options};
+  server.start();
+
+  // Occupy the only worker: a request that never finishes arriving.
+  const int stalled = connect_to(server.port());
+  send_raw(stalled, "POST /v1/run HTTP/1.1\r\n");
+  auto gauge_is = [&](std::uint64_t in_flight, std::uint64_t queued) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const MetricsSnapshot m = server.metrics();
+      if (m.in_flight == in_flight && m.queue_depth == queued) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  };
+  ASSERT_TRUE(gauge_is(1, 0));  // worker busy on the stalled connection
+
+  // Fill the queue's single slot with another idle connection.
+  const int queued = connect_to(server.port());
+  ASSERT_TRUE(gauge_is(1, 1));
+
+  // The next connection must be shed at the door.
+  const ClientResponse shed = request(server.port(), get("/v1/healthz"));
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_NE(shed.head.find("Retry-After: 1"), std::string::npos);
+  EXPECT_GE(server.metrics().rejected_total, 1u);
+
+  // Release the worker; the queued connection now gets served.
+  ::close(stalled);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool drained = false;
+  while (std::chrono::steady_clock::now() < deadline && !drained) {
+    drained = server.metrics().queue_depth == 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(drained);
+  send_raw(queued, get("/v1/healthz"));
+  EXPECT_EQ(split_response(read_to_eof(queued)).status, 200);
+  ::close(queued);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace locald::server

@@ -1,13 +1,16 @@
 // Unit tests for the support module: checked errors, RNG determinism and
-// distribution sanity, hashing stability, text formatting.
+// distribution sanity, hashing stability, text formatting, JSON reading
+// and writing.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "support/check.h"
 #include "support/format.h"
 #include "support/hash.h"
+#include "support/json.h"
 #include "support/rng.h"
 
 namespace locald {
@@ -208,6 +211,156 @@ TEST(Format, TextTableCsvQuotesSpecialCharacters) {
   t.add_row({"has\nnewline"});
   EXPECT_EQ(t.render_csv(),
             "cell\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_integer(), 42);
+  EXPECT_EQ(parse_json("-7").as_integer(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("1.5").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(parse_json("2e3").as_double(), 2000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegerVsDoubleDistinction) {
+  EXPECT_TRUE(parse_json("3").is_integer());
+  EXPECT_FALSE(parse_json("3.0").is_integer());
+  EXPECT_FALSE(parse_json("3e0").is_integer());
+  // Integral numbers still read as doubles; non-integral ones refuse
+  // as_integer (precision would be silently lost).
+  EXPECT_DOUBLE_EQ(parse_json("3").as_double(), 3.0);
+  EXPECT_THROW(parse_json("3.5").as_integer(), Error);
+}
+
+TEST(Json, ParsesContainersPreservingOrder) {
+  const JsonValue v = parse_json(
+      R"({"b": [1, 2, 3], "a": {"nested": true}, "c": null})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "c");
+  ASSERT_NE(v.find("b"), nullptr);
+  EXPECT_EQ(v.find("b")->items().size(), 3u);
+  EXPECT_EQ(v.find("b")->items()[2].as_integer(), 3);
+  EXPECT_EQ(v.find("a")->find("nested")->as_bool(), true);
+  EXPECT_TRUE(v.find("c")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, DecodesStringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse_json(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("\u20ac")").as_string(), "\xE2\x82\xAC");  // €
+  // Surrogate pair: U+1F600 in UTF-16 escapes.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "  ", "{", "[1,", "{\"a\":}", "tru", "1 2", "{\"a\":1} x",
+        "\"unterminated", "\"bad \\q escape\"", "01", "1.", "+1", "--1",
+        "{\"a\":1,\"a\":2}", "\"\\ud83d\"", "\"\x01\"", "[1,]", "{,}",
+        "NaN", "Infinity"}) {
+    EXPECT_THROW(parse_json(bad), Error) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  const std::string deep(100, '[');
+  EXPECT_THROW(parse_json(deep), Error);
+  // 100 well-formed levels still exceed the 64-level cap.
+  std::string nested = std::string(100, '[') + "1" + std::string(100, ']');
+  EXPECT_THROW(parse_json(nested), Error);
+}
+
+TEST(Json, AccessorsRejectWrongKind) {
+  const JsonValue v = parse_json("\"text\"");
+  EXPECT_THROW(v.as_bool(), Error);
+  EXPECT_THROW(v.as_integer(), Error);
+  EXPECT_THROW(v.items(), Error);
+  EXPECT_THROW(v.members(), Error);
+  EXPECT_EQ(v.find("x"), nullptr);  // non-objects report "absent"
+}
+
+TEST(JsonWriter, CompactObject) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("name");
+  w.value("locald");
+  w.key("n");
+  w.value(3);
+  w.key("ok");
+  w.value(true);
+  w.key("rate");
+  w.value(0.5, 3);
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(out.str(), R"({"name":"locald","n":3,"ok":true,"rate":0.500})");
+}
+
+TEST(JsonWriter, PrettyPrintsNestedContainers) {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("cells");
+  w.begin_array();
+  w.begin_object();
+  w.key("size");
+  w.value(6);
+  w.end_object();
+  w.end_array();
+  w.key("empty");
+  w.begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"cells\": [\n"
+            "    {\n"
+            "      \"size\": 6\n"
+            "    }\n"
+            "  ],\n"
+            "  \"empty\": []\n"
+            "}");
+}
+
+TEST(JsonWriter, OutputRoundTripsThroughParser) {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("quoted \"key\"");
+  w.value("line\nbreak");
+  w.key("big");
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.key("neg");
+  w.value(std::int64_t{-9000000000000000000ll});
+  w.key("nothing");
+  w.null_value();
+  w.end_object();
+  const JsonValue v = parse_json(out.str());
+  EXPECT_EQ(v.find("quoted \"key\"")->as_string(), "line\nbreak");
+  // 2^64-1 does not fit int64; the reader degrades it to a double.
+  EXPECT_FALSE(v.find("big")->is_integer());
+  EXPECT_EQ(v.find("neg")->as_integer(), -9000000000000000000ll);
+  EXPECT_TRUE(v.find("nothing")->is_null());
+}
+
+TEST(JsonWriter, MisuseThrowsBugError) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  EXPECT_THROW(w.value(1), BugError);       // member value without a key
+  EXPECT_THROW(w.end_array(), BugError);    // mismatched container
+  w.key("k");
+  EXPECT_THROW(w.key("k2"), BugError);      // key while a key is pending
+  w.value(1);
+  w.end_object();
+  EXPECT_THROW(w.value(2), BugError);       // writing past the root
 }
 
 }  // namespace
