@@ -1,0 +1,233 @@
+#include "cli/bench.h"
+
+#include <chrono>
+#include <optional>
+
+#include "exec/context.h"
+#include "gen/workload.h"
+#include "support/format.h"
+
+namespace locald::cli {
+
+namespace {
+
+// One (family, size) cell, measured at every thread count of the grid.
+struct BenchCell {
+  std::string selector;  // as requested (family text)
+  int size = 0;
+  std::string error;  // resolution/build failure; empty otherwise
+  gen::WorkloadResult result;   // from the first thread count
+  bool threads_agree = true;    // later counts reproduced `result`
+  std::vector<double> wall_ms;  // per thread-grid entry
+};
+
+bool deterministic_fields_equal(const gen::WorkloadResult& a,
+                                const gen::WorkloadResult& b) {
+  if (a.family != b.family || a.nodes != b.nodes || a.edges != b.edges ||
+      a.max_degree != b.max_degree || a.invariants_ok != b.invariants_ok ||
+      a.invariant_failures != b.invariant_failures ||
+      a.ball_classes != b.ball_classes || a.memo_hits != b.memo_hits ||
+      a.panel.size() != b.panel.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.panel.size(); ++i) {
+    if (a.panel[i].algorithm != b.panel[i].algorithm ||
+        a.panel[i].yes_nodes != b.panel[i].yes_nodes ||
+        a.panel[i].accepted != b.panel[i].accepted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BenchCell run_cell(const std::string& selector, int size,
+                   const BenchOptions& bench) {
+  BenchCell cell;
+  cell.selector = selector;
+  cell.size = size;
+  std::optional<gen::FamilyInstanceSpec> spec;
+  try {
+    spec.emplace(gen::resolve_family_text(selector, size));
+  } catch (const std::exception& e) {
+    cell.error = e.what();
+    return cell;
+  }
+  gen::WorkloadOptions wopts;
+  wopts.seed = bench.seed;
+  for (std::size_t t = 0; t < bench.thread_grid.size(); ++t) {
+    const int threads = bench.thread_grid[t];
+    std::optional<exec::ThreadPool> pool;
+    if (threads != 1) {
+      pool.emplace(threads);
+    }
+    exec::ExecContext ctx;
+    ctx.pool = pool ? &*pool : nullptr;
+    const auto t0 = std::chrono::steady_clock::now();
+    gen::WorkloadResult result;
+    try {
+      result = gen::run_family_workload(*spec, wopts, ctx);
+    } catch (const std::exception& e) {
+      cell.error = e.what();
+      return cell;
+    }
+    cell.wall_ms.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+    if (t == 0) {
+      cell.result = std::move(result);
+    } else if (!deterministic_fields_equal(cell.result, result)) {
+      // The engine's central promise broke: record it as a cell failure so
+      // the gate trips even without CI's external byte diff.
+      cell.threads_agree = false;
+    }
+  }
+  return cell;
+}
+
+void write_cell(JsonWriter& w, const BenchCell& cell,
+                const BenchOptions& bench) {
+  w.begin_object();
+  w.key("family");
+  w.value(cell.error.empty() ? cell.result.family : cell.selector);
+  if (cell.size > 0) {
+    w.key("size");
+    w.value(cell.size);
+  }
+  if (!cell.error.empty()) {
+    w.key("error");
+    w.value(cell.error);
+    w.key("ok");
+    w.value(false);
+    w.end_object();
+    return;
+  }
+  const gen::WorkloadResult& r = cell.result;
+  w.key("nodes");
+  w.value(r.nodes);
+  w.key("edges");
+  w.value(r.edges);
+  w.key("max_degree");
+  w.value(r.max_degree);
+  w.key("invariants_ok");
+  w.value(r.invariants_ok);
+  if (!r.invariant_failures.empty()) {
+    w.key("invariant_failures");
+    w.begin_array();
+    for (const std::string& why : r.invariant_failures) {
+      w.value(why);
+    }
+    w.end_array();
+  }
+  w.key("ball_classes");
+  w.value(r.ball_classes);
+  w.key("memo_hits");
+  w.value(r.memo_hits);
+  w.key("verdicts");
+  w.begin_array();
+  for (const gen::PanelVerdict& v : r.panel) {
+    w.begin_object();
+    w.key("algorithm");
+    w.value(v.algorithm);
+    w.key("yes_nodes");
+    w.value(v.yes_nodes);
+    w.key("accepted");
+    w.value(v.accepted);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("threads_agree");
+  w.value(cell.threads_agree);
+  w.key("ok");
+  w.value(r.invariants_ok && cell.threads_agree);
+  if (bench.timing) {
+    w.key("timing");
+    w.begin_array();
+    for (std::size_t t = 0; t < cell.wall_ms.size(); ++t) {
+      w.begin_object();
+      w.key("threads");
+      w.value(bench.thread_grid[t]);
+      w.key("wall_ms");
+      w.value(cell.wall_ms[t], 3);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+int run_bench(const BenchOptions& bench_in, std::ostream& out) {
+  BenchOptions bench = bench_in;
+  if (bench.families.empty()) {
+    for (const gen::Family& f : gen::family_registry()) {
+      bench.families.push_back(f.name);
+    }
+  }
+  if (bench.sizes.empty()) {
+    bench.sizes.push_back(0);
+  }
+  if (bench.thread_grid.empty()) {
+    bench.thread_grid.push_back(1);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<BenchCell> cells;
+  cells.reserve(bench.families.size() * bench.sizes.size());
+  // Grid order is (family, size), families outermost; cells run serially
+  // and parallelism lives inside the workload, keeping the JSON order and
+  // the per-cell determinism independent of the machine.
+  for (const std::string& selector : bench.families) {
+    for (int size : bench.sizes) {
+      cells.push_back(run_cell(selector, size, bench));
+    }
+  }
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  bool all_ok = true;
+  for (const BenchCell& cell : cells) {
+    all_ok = all_ok && cell.error.empty() && cell.result.invariants_ok &&
+             cell.threads_agree;
+  }
+
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("tool");
+  w.value("locald-bench");
+  w.key("seed");
+  w.value(bench.seed);
+  w.key("panel");
+  w.begin_array();
+  for (const std::string& name : gen::workload_panel_names()) {
+    w.value(name);
+  }
+  w.end_array();
+  if (bench.timing) {
+    // Thread counts are grid coordinates, but emitting them in the default
+    // document would break the `--threads 1` vs `--threads N` byte gate —
+    // so, like everything scheduling-adjacent, they ride with --timing.
+    w.key("threads");
+    w.begin_array();
+    for (int threads : bench.thread_grid) {
+      w.value(threads);
+    }
+    w.end_array();
+    w.key("total_wall_ms");
+    w.value(total_ms, 3);
+  }
+  w.key("cells");
+  w.begin_array();
+  for (const BenchCell& cell : cells) {
+    write_cell(w, cell, bench);
+  }
+  w.end_array();
+  w.key("all_ok");
+  w.value(all_ok);
+  w.end_object();
+  out << "\n";
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace locald::cli

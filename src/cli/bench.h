@@ -1,0 +1,45 @@
+// `locald bench` — sweep the workload generator's (family x size x threads)
+// grid on the execution engine and emit one machine-readable JSON document
+// (the `BENCH_*.json` artifact shape).
+//
+// Every cell is one gen::run_family_workload measurement. The default
+// document is the CI perf-trend gate's contract: all fields — verdict
+// counts, ball-class censuses, serial-equivalent memo-hit counts, invariant
+// audits — are pure functions of (seed, families, sizes), so two bench runs
+// of the same grid must be byte-identical at ANY `--threads` value; CI
+// compares `--threads 1` against `--threads $(nproc)` with a plain byte
+// diff. When the thread grid holds several counts, bench additionally
+// re-runs every cell at each count and fails the cell if any deterministic
+// field diverges — the gate runs inside the tool as well as in CI. Wall
+// times and live cache counters are real but scheduling-dependent, so they
+// only appear under `--timing` (the run CI uploads as the benchmark
+// artifact).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace locald::cli {
+
+struct BenchOptions {
+  std::uint64_t seed = 42;
+  // `--family` selectors in grid order; empty = every registered family.
+  std::vector<std::string> families;
+  // `--sizes` grid applied to each family's size mapping; empty = {0}
+  // (family defaults).
+  std::vector<int> sizes;
+  // Thread counts each cell runs at (0 = hardware); the *first* count's
+  // results are the document's deterministic fields, later counts must
+  // reproduce them byte-for-byte. Empty = {1}.
+  std::vector<int> thread_grid;
+  bool timing = false;  // include the volatile wall-time/cache fields
+};
+
+// Runs the grid and writes the JSON document to `out`. Returns the process
+// exit code: 0 when every cell's invariants held and every thread count
+// reproduced the same deterministic fields, 1 otherwise.
+int run_bench(const BenchOptions& bench, std::ostream& out);
+
+}  // namespace locald::cli

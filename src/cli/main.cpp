@@ -1,11 +1,13 @@
 // Entry point of the `locald` scenario runner.
 //
-//   locald list [--format text|csv|json]
+//   locald list [--families] [--format text|csv|json]
 //   locald run <scenario>... [--seed N] [--size N] [--trials N]
-//              [--threads N] [--format text|csv|json]
+//              [--family spec] [--threads N] [--format text|csv|json]
 //   locald run --all [options]
 //   locald sweep <scenario> [--sizes a,b,c] [--trials N] [--seed N]
-//                [--threads N] [--timing] [--format json]
+//                [--family spec] [--threads N] [--timing] [--format json]
+//   locald bench [--family spec]... [--sizes a,b,c] [--seed N]
+//                [--threads a,b,c] [--timing]
 //   locald serve [--port P] [--threads N] [--workers N] [--queue N]
 //   locald help [scenario]
 //
@@ -16,14 +18,17 @@
 #include <chrono>
 #include <csignal>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cli/bench.h"
 #include "cli/scenario.h"
 #include "cli/sweep.h"
 #include "exec/context.h"
+#include "gen/family.h"
 #include "server/api.h"
 #include "server/server.h"
 
@@ -35,10 +40,16 @@ int usage(std::ostream& out, int status) {
          "\n"
          "usage:\n"
          "  locald list [--format text|csv]      enumerate paper scenarios\n"
+         "  locald list --families               enumerate graph families\n"
          "  locald run <scenario>... [options]   run named scenarios\n"
          "  locald run --all [options]           run the whole registry\n"
          "  locald sweep <scenario> [options]    fan one scenario across a\n"
          "                                       size grid; JSON on stdout\n"
+         "  locald bench [options]               sweep the workload "
+         "generator's\n"
+         "                                       (family x size x threads) "
+         "grid;\n"
+         "                                       JSON on stdout\n"
          "  locald serve [options]               long-lived HTTP/JSON API\n"
          "                                       over the scenario registry\n"
          "  locald help [scenario]               describe a scenario\n"
@@ -47,12 +58,19 @@ int usage(std::ostream& out, int status) {
          "  --seed N        RNG seed (default 42)\n"
          "  --size N        scenario scale knob (scenario-specific; see "
          "`locald help <scenario>`)\n"
-         "  --sizes a,b,c   sweep only: the --size grid (default: scenario "
-         "default size)\n"
+         "  --sizes a,b,c   sweep/bench: the --size grid (default: scenario "
+         "or family\n"
+         "                  default size)\n"
          "  --trials N      sample count for randomized scenarios\n"
+         "  --family F      graph-family selector `name:k=v,...` (see "
+         "`locald list\n"
+         "                  --families`); family-aware scenarios only; "
+         "repeatable for bench\n"
          "  --threads N     execution-engine threads (0 = all hardware "
          "threads; default 1);\n"
-         "                  results are bit-identical at every thread count\n"
+         "                  results are bit-identical at every thread "
+         "count; bench takes a\n"
+         "                  comma-separated grid\n"
          "  --timing        include wall-time columns (run tables) or "
          "wall-time and\n"
          "                  cache-hit fields (sweep JSON); scheduling-"
@@ -72,15 +90,31 @@ int usage(std::ostream& out, int status) {
   return status;
 }
 
-std::optional<long long> parse_int(const std::string& text) {
-  try {
-    std::size_t used = 0;
-    const long long value = std::stoll(text, &used);
-    if (used != text.size()) return std::nullopt;
-    return value;
-  } catch (...) {
+// Flag values parse through the shared strict reader `locald::parse_int`
+// (support/format.h), the same one family selectors use.
+
+// Comma-separated list of non-negative integers (--sizes, bench --threads);
+// nullopt on an empty list or any malformed/negative item, with the
+// offender reported through `bad_item` for the error message.
+std::optional<std::vector<int>> parse_count_list(const std::string& text,
+                                                 std::string* bad_item) {
+  std::vector<int> out;
+  std::istringstream list(text);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    const auto parsed = parse_int(item);
+    if (!parsed || *parsed < 0 ||
+        *parsed > std::numeric_limits<int>::max()) {
+      *bad_item = item;
+      return std::nullopt;
+    }
+    out.push_back(static_cast<int>(*parsed));
+  }
+  if (out.empty()) {
+    *bad_item = text;
     return std::nullopt;
   }
+  return out;
 }
 
 int list_scenarios(const ScenarioOptions& opts, const std::string& format) {
@@ -101,12 +135,41 @@ int list_scenarios(const ScenarioOptions& opts, const std::string& format) {
   return 0;
 }
 
+int list_families(const ScenarioOptions& opts, const std::string& format) {
+  if (format == "json") {
+    // The same bytes GET /v1/families serves (CI diff-checks this).
+    std::cout << server::families_document();
+    return 0;
+  }
+  TextTable table({"family", "parameters", "random", "summary"});
+  for (const gen::Family& f : gen::family_registry()) {
+    std::vector<std::string> params;
+    for (const gen::ParamSpec& p : f.params) {
+      params.push_back(cat(p.name, "=", p.default_value));
+    }
+    table.add_row({f.name, join(params, ","), f.randomized ? "yes" : "no",
+                   f.summary});
+  }
+  if (opts.format == OutputFormat::csv) {
+    std::cout << table.render_csv();
+  } else {
+    std::cout << table.render();
+  }
+  return 0;
+}
+
 // `run --format json`: one scenario, the same document POST /v1/run returns
 // for the same (scenario, seed, size, trials) — CI byte-compares the two.
 int run_scenario_json(const std::string& name, const ScenarioOptions& base,
                       int threads) {
-  if (find_scenario(name) == nullptr) {
+  const Scenario* scenario = find_scenario(name);
+  if (scenario == nullptr) {
     std::cerr << "unknown scenario: " << name << " (see `locald list`)\n";
+    return 2;
+  }
+  if (!base.family.empty() && scenario->family_help.empty()) {
+    std::cerr << "scenario " << name << " does not take --family (see "
+              << "`locald help " << name << "`)\n";
     return 2;
   }
   std::optional<exec::ThreadPool> pool;
@@ -119,6 +182,7 @@ int run_scenario_json(const std::string& name, const ScenarioOptions& base,
   request.seed = base.seed;
   request.size = base.size;
   request.trials = base.trials;
+  request.family = base.family;
   exec::ExecContext ctx;
   ctx.pool = pool ? &*pool : nullptr;
   ctx.cache = &cache;
@@ -160,7 +224,10 @@ int help_scenario(const std::string& name) {
   }
   std::cout << s->name << " — " << s->paper_ref << "\n  " << s->summary
             << "\n  --size: "
-            << (s->size_help.empty() ? "unused" : s->size_help) << "\n";
+            << (s->size_help.empty() ? "unused" : s->size_help)
+            << "\n  --family: "
+            << (s->family_help.empty() ? "unsupported" : s->family_help)
+            << "\n";
   return 0;
 }
 
@@ -175,6 +242,11 @@ int run_scenarios(const std::vector<std::string>& names,
     const Scenario* s = find_scenario(name);
     if (s == nullptr) {
       std::cerr << "unknown scenario: " << name << " (see `locald list`)\n";
+      return 2;
+    }
+    if (!base_opts.family.empty() && s->family_help.empty()) {
+      std::cerr << "scenario " << name << " does not take --family (see "
+                << "`locald help " << name << "`)\n";
       return 2;
     }
     // Fresh cache per scenario: memoized verdicts are keyed by algorithm
@@ -223,13 +295,15 @@ int main_impl(int argc, char** argv) {
   ScenarioOptions opts;
   std::vector<std::string> positional;
   std::vector<int> sizes;
+  std::vector<int> thread_grid;         // bench sweeps it; others take one
+  std::vector<std::string> families;    // --family, repeatable for bench
   std::string format;
-  int threads = 1;
   int port = -1;     // serve only; -1 = default
   int workers = -1;  // serve only
   int queue = -1;    // serve only
   bool run_all = false;
   bool timing = false;
+  bool families_flag = false;  // list --families
   bool seed_set = false;  // an explicit --seed 42 must still be rejectable
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -241,6 +315,16 @@ int main_impl(int argc, char** argv) {
       run_all = true;
     } else if (arg == "--timing") {
       timing = true;
+    } else if (arg == "--families") {
+      families_flag = true;
+    } else if (arg == "--family") {
+      const auto value = take_value();
+      if (!value || value->empty()) {
+        std::cerr << "--family needs a selector, e.g. cycle or "
+                     "torus:width=8,height=6\n";
+        return 2;
+      }
+      families.push_back(*value);
     } else if (arg == "--port" || arg == "--workers" || arg == "--queue") {
       const auto value = take_value();
       const auto parsed = value ? parse_int(*value) : std::nullopt;
@@ -255,8 +339,7 @@ int main_impl(int argc, char** argv) {
       } else {
         queue = static_cast<int>(*parsed);
       }
-    } else if (arg == "--seed" || arg == "--size" || arg == "--trials" ||
-               arg == "--threads") {
+    } else if (arg == "--seed" || arg == "--size" || arg == "--trials") {
       const auto value = take_value();
       const auto parsed = value ? parse_int(*value) : std::nullopt;
       if (!parsed || *parsed < 0) {
@@ -268,43 +351,45 @@ int main_impl(int argc, char** argv) {
         seed_set = true;
       } else if (arg == "--size") {
         opts.size = static_cast<int>(*parsed);
-      } else if (arg == "--threads") {
-        // 0 means "all hardware threads"; anything far beyond the machine
-        // is a typo, not a request for a thousand OS threads. The floor of
-        // 32 keeps cross-thread-count determinism checks runnable on small
-        // boxes.
-        const long long max_threads = std::max(
-            32LL, 4LL * exec::ThreadPool::hardware_parallelism());
-        if (*parsed > max_threads) {
-          std::cerr << "--threads " << *parsed << " exceeds the sane maximum "
-                    << max_threads << "; use 0 for all hardware threads\n";
-          return 2;
-        }
-        threads = static_cast<int>(*parsed);
       } else {
         opts.trials = static_cast<int>(*parsed);
       }
-    } else if (arg == "--sizes") {
+    } else if (arg == "--threads" || arg == "--sizes") {
+      // Both take comma-separated count lists (--threads is a single count
+      // everywhere except bench, enforced after parsing). For --threads,
+      // 0 means "all hardware threads"; anything far beyond the machine is
+      // a typo, not a request for a thousand OS threads, and the floor of
+      // 32 keeps cross-thread-count determinism checks runnable on small
+      // boxes.
       const auto value = take_value();
-      if (!value) {
-        std::cerr << "--sizes needs a comma-separated integer list\n";
-        return 2;
+      std::string bad_item;
+      std::optional<std::vector<int>> parsed;
+      if (value) {
+        parsed = parse_count_list(*value, &bad_item);
       }
-      std::istringstream list(*value);
-      std::string item;
-      sizes.clear();
-      while (std::getline(list, item, ',')) {
-        const auto parsed = parse_int(item);
-        if (!parsed || *parsed < 0) {
-          std::cerr << "--sizes needs non-negative integers, got `" << item
-                    << "`\n";
-          return 2;
+      if (!parsed) {
+        std::cerr << arg << " needs a comma-separated list of non-negative "
+                  << "integers";
+        if (value) {
+          std::cerr << ", got `" << bad_item << "`";
         }
-        sizes.push_back(static_cast<int>(*parsed));
-      }
-      if (sizes.empty()) {
-        std::cerr << "--sizes needs at least one value\n";
+        std::cerr << "\n";
         return 2;
+      }
+      if (arg == "--sizes") {
+        sizes = *parsed;
+      } else {
+        const long long max_threads =
+            std::max(32LL, 4LL * exec::ThreadPool::hardware_parallelism());
+        for (int threads : *parsed) {
+          if (threads > max_threads) {
+            std::cerr << "--threads " << threads
+                      << " exceeds the sane maximum " << max_threads
+                      << "; use 0 for all hardware threads\n";
+            return 2;
+          }
+        }
+        thread_grid = *parsed;
       }
     } else if (arg == "--format") {
       const auto value = take_value();
@@ -326,8 +411,31 @@ int main_impl(int argc, char** argv) {
     std::cerr << "--port/--workers/--queue are serve options\n";
     return 2;
   }
+  if (command != "bench" && thread_grid.size() > 1) {
+    std::cerr << "--threads takes a comma-separated grid only for bench\n";
+    return 2;
+  }
+  if (command != "list" && families_flag) {
+    std::cerr << "--families lists the family registry: `locald list "
+                 "--families`\n";
+    return 2;
+  }
+  if (command != "bench" && families.size() > 1) {
+    std::cerr << "--family is repeatable only for bench\n";
+    return 2;
+  }
+  if ((command == "list" || command == "help") && !families.empty()) {
+    std::cerr << "--family selects a workload for run/sweep/bench; to "
+                 "enumerate families use `locald list --families`\n";
+    return 2;
+  }
+  const int threads = thread_grid.empty() ? 1 : thread_grid.front();
+  if (!families.empty()) {
+    opts.family = families.front();
+  }
   if (command == "list") {
-    return list_scenarios(opts, format);
+    return families_flag ? list_families(opts, format)
+                         : list_scenarios(opts, format);
   }
   if (command == "help" || command == "--help" || command == "-h") {
     if (positional.empty()) {
@@ -370,7 +478,8 @@ int main_impl(int argc, char** argv) {
   }
   if (command == "serve") {
     if (!positional.empty() || run_all || timing || !sizes.empty() ||
-        !format.empty() || opts.size != 0 || opts.trials != 0 || seed_set) {
+        !format.empty() || opts.size != 0 || opts.trials != 0 || seed_set ||
+        !families.empty()) {
       std::cerr << "serve takes only --port, --threads, --workers, --queue\n";
       return 2;
     }
@@ -410,9 +519,25 @@ int main_impl(int argc, char** argv) {
     sweep.seed = opts.seed;
     sweep.sizes = sizes;
     sweep.trials = opts.trials;
+    sweep.family = opts.family;
     sweep.threads = threads;
     sweep.timing = timing;
     return run_sweep(positional.front(), sweep, std::cout);
+  }
+  if (command == "bench") {
+    if (!positional.empty() || run_all || !format.empty() || opts.size != 0 ||
+        opts.trials != 0) {
+      std::cerr << "bench takes --family (repeatable), --sizes, --seed, "
+                   "--threads a,b,c, --timing\n";
+      return 2;
+    }
+    BenchOptions bench;
+    bench.seed = opts.seed;
+    bench.families = families;
+    bench.sizes = sizes;
+    bench.thread_grid = thread_grid;
+    bench.timing = timing;
+    return run_bench(bench, std::cout);
   }
   std::cerr << "unknown command: " << command << "\n";
   return usage(std::cerr, 2);

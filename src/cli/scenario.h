@@ -29,6 +29,10 @@ struct ScenarioOptions {
   std::uint64_t seed = 42;
   int size = 0;
   int trials = 0;
+  // `--family name:k=v,...` selector (gen/family.h); empty = the scenario's
+  // built-in topology. Only meaningful for scenarios declaring
+  // `family_help`; the driver and the HTTP API reject it elsewhere.
+  std::string family;
   OutputFormat format = OutputFormat::text;
   // Include wall-clock columns in scenario tables (`locald run --timing`).
   // Scheduling-dependent, so off by default: the default output of every
@@ -45,8 +49,9 @@ struct ScenarioOptions {
 struct Scenario {
   std::string name;       // stable CLI name, e.g. "fig1-layered-trees"
   std::string paper_ref;  // where it lives in the paper, e.g. "Fig. 1, Sec. 2"
-  std::string summary;    // one line for `locald list`
-  std::string size_help;  // what --size means here (empty: unused)
+  std::string summary;      // one line for `locald list`
+  std::string size_help;    // what --size means here (empty: unused)
+  std::string family_help;  // what --family selects here (empty: unsupported)
   // Runs the scenario, writing tables to `out`. Returns true when every
   // reproduced verdict matched the paper's prediction.
   std::function<bool(const ScenarioOptions&, std::ostream&)> run;

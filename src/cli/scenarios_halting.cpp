@@ -312,6 +312,7 @@ std::vector<Scenario> halting_scenarios() {
           "Fig. 2, Sec. 3.2",
           "G(M, r) across the machine zoo; verifier, decider, generator B",
           "fragment materialization cap (default 400)",
+          "",
           run_fig2,
       },
       {
@@ -319,6 +320,7 @@ std::vector<Scenario> halting_scenarios() {
           "Fig. 3, App. A",
           "quadtree pyramids over execution tables; pyramidal G(M, r)",
           "largest pyramid height h (default 6)",
+          "",
           run_fig3,
       },
       {
@@ -326,6 +328,7 @@ std::vector<Scenario> halting_scenarios() {
           "Cor. 1, Sec. 3.3",
           "randomized Id-oblivious decider vs the (1-1/sqrt(n))^n bound",
           "fragment materialization cap (default 60)",
+          "",
           run_cor1,
       },
       {
@@ -333,12 +336,14 @@ std::vector<Scenario> halting_scenarios() {
           "Sec. 3 warm-up",
           "machine-labelled cycles: ids bound the simulation time",
           "",
+          "",
           run_promise_halting,
       },
       {
           "ablation-fragments",
           "Sec. 3.2 design",
           "fragment-policy ablation and the Lemma-1 diagonalization",
+          "",
           "",
           run_ablation,
       },

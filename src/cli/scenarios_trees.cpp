@@ -138,6 +138,7 @@ std::vector<Scenario> tree_scenarios() {
           "Fig. 1, Sec. 2",
           "layered trees T_r, coverage audit for P ∉ LD*, LD decider",
           "largest audited r (default and max 3)",
+          "",
           run_fig1,
       },
       {
@@ -145,6 +146,7 @@ std::vector<Scenario> tree_scenarios() {
           "Sec. 2 warm-up",
           "r-cycle promise problem: identifiers leak n through f",
           "largest cycle parameter r (default 12)",
+          "",
           run_promise_cycle,
       },
   };

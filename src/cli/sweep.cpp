@@ -32,6 +32,7 @@ CellResult run_cell(const Scenario& scenario, const SweepOptions& sweep,
   opts.seed = sweep.seed;
   opts.size = size;
   opts.trials = sweep.trials;
+  opts.family = sweep.family;
   opts.format = OutputFormat::csv;
   opts.exec.pool = pool;
   opts.exec.cache = &cache;
@@ -59,6 +60,12 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
   if (scenario == nullptr) {
     std::cerr << "unknown scenario: " << scenario_name
               << " (see `locald list`)\n";
+    return 2;
+  }
+  if (!sweep.family.empty() && scenario->family_help.empty()) {
+    std::cerr << "scenario " << scenario_name
+              << " does not take --family (see `locald help " << scenario_name
+              << "`)\n";
     return 2;
   }
   std::vector<int> sizes = sweep.sizes;
@@ -103,6 +110,10 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
   w.value(scenario->paper_ref);
   w.key("seed");
   w.value(sweep.seed);
+  if (!sweep.family.empty()) {
+    w.key("family");
+    w.value(sweep.family);
+  }
   // 0 means "each cell ran its scenario-default trial count", which the
   // sweep cannot know; omitting the field beats recording a false zero.
   if (sweep.trials > 0) {

@@ -23,6 +23,10 @@ struct SweepOptions {
   std::uint64_t seed = 42;
   std::vector<int> sizes;  // grid of --size values; empty => {0} (default)
   int trials = 0;          // per-cell --trials (0 = scenario default)
+  // `--family` selector handed to every cell (family-aware scenarios only;
+  // rejected otherwise). For `family-workload` the size grid then sweeps
+  // the family's size mapping.
+  std::string family;
   int threads = 1;         // 0 = hardware parallelism
   bool timing = false;     // include the volatile timing/cache fields
   // Externally-owned pool (the serving layer's process-wide one). When set,

@@ -108,7 +108,8 @@ QuadrantResult computable_quadrant(Rng& rng) {
 // (¬B, ¬C): the Id-oblivious simulation A* reproduces an id-reading (but
 // id-independent) decider verbatim, so LD* = LD.
 QuadrantResult unrestricted_quadrant(Rng& rng, const exec::ExecContext& ctx,
-                                     int instances) {
+                                     int instances,
+                                     const InstanceSource& source) {
   QuadrantResult out;
   out.quadrant = "(¬B, ¬C)";
   out.witness = "Id-oblivious simulation A*";
@@ -134,7 +135,8 @@ QuadrantResult unrestricted_quadrant(Rng& rng, const exec::ExecContext& ctx,
   int agreements = 0;
   int cases = 0;
   for (int trial = 0; trial < instances; ++trial) {
-    local::LabeledGraph g(graph::make_random_connected(8, 4, rng));
+    local::LabeledGraph g(source ? source(trial)
+                                 : graph::make_random_connected(8, 4, rng));
     for (graph::NodeId v = 0; v < g.node_count(); ++v) {
       g.set_label(v, local::Label{static_cast<std::int64_t>(rng.below(3))});
     }
@@ -152,15 +154,15 @@ QuadrantResult unrestricted_quadrant(Rng& rng, const exec::ExecContext& ctx,
 }  // namespace
 
 std::vector<QuadrantResult> evaluate_separation_matrix(
-    std::uint64_t seed, const exec::ExecContext& ctx, int a_star_instances) {
+    std::uint64_t seed, const exec::ExecContext& ctx, int a_star_instances,
+    const InstanceSource& instances) {
   Rng rng(seed);
   std::vector<QuadrantResult> out;
   out.push_back(bounded_quadrant(/*computable=*/true, rng));
   out.push_back(bounded_quadrant(/*computable=*/false, rng));
   out.push_back(computable_quadrant(rng));
-  out.push_back(unrestricted_quadrant(rng, ctx,
-                                      a_star_instances > 0 ? a_star_instances
-                                                           : 12));
+  out.push_back(unrestricted_quadrant(
+      rng, ctx, a_star_instances > 0 ? a_star_instances : 12, instances));
   return out;
 }
 

@@ -2,12 +2,19 @@
 // (B)/(¬B) and (C)/(¬C), evaluated empirically from the constructions.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "exec/context.h"
+#include "graph/graph.h"
 
 namespace locald::core {
+
+// Supplies instance `index` for the (¬B, ¬C) A*-agreement experiment; the
+// workload generator's families plug in here (cli wires `--family` to a
+// gen::FamilyInstanceSpec). Null = the built-in random connected instances.
+using InstanceSource = std::function<graph::Graph(int index)>;
 
 struct QuadrantResult {
   std::string quadrant;   // e.g. "(B, C)"
@@ -27,10 +34,10 @@ struct QuadrantResult {
 // memoization); the verdicts are identical at every thread count.
 // `a_star_instances` scales the (¬B, ¬C) agreement experiment — how many
 // random instances A* is compared against the global oracle on (0 = the
-// default of 12).
+// default of 12); `instances` overrides where those instances come from.
 std::vector<QuadrantResult> evaluate_separation_matrix(
     std::uint64_t seed, const exec::ExecContext& ctx = {},
-    int a_star_instances = 0);
+    int a_star_instances = 0, const InstanceSource& instances = nullptr);
 
 // Rendered like the paper's table.
 std::string render_matrix(const std::vector<QuadrantResult>& results);

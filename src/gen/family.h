@@ -1,0 +1,138 @@
+// The workload generator's graph-family registry.
+//
+// The paper's claims about identifier-free decision quantify over *graph
+// families*, not single topologies; gen/ turns families into first-class,
+// selectable workload sources. A `Family` is a named, parameterized graph
+// builder together with
+//  - a parameter schema (names, defaults, valid ranges),
+//  - a size mapping (how the scenario-wide `--size` knob — a target node
+//    count — translates into family parameters), and
+//  - declared invariants (exact node/edge counts, degree bound,
+//    connectivity, bipartiteness) that tests/test_gen.cpp verifies on built
+//    instances across sizes and seeds.
+//
+// Determinism contract: `build(seed)` is a pure function of (family,
+// canonical parameters, seed). Randomized families draw exclusively from
+// counter-based streams `Rng::stream(seed, stream_id, index)`
+// (graph/generators.h), so instances are call-order- and
+// scheduling-independent like every other randomized artifact in locald.
+//
+// Selector syntax, shared by `--family` and the JSON APIs:
+//
+//   <name>                      e.g. "cycle"
+//   <name>:<k>=<v>,<k>=<v>...   e.g. "torus:width=8,height=6"
+//
+// `FamilySpec::canonical()` re-encodes a resolved spec with every parameter
+// spelled out in schema order — the registry-wide canonical parameter
+// encoding used by bench documents and cache-style keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace locald::gen {
+
+// One named integer parameter of a family.
+struct ParamSpec {
+  std::string name;
+  std::int64_t default_value = 0;
+  std::int64_t min_value = 0;
+  std::int64_t max_value = 0;
+  std::string help;
+};
+
+// Invariants a family declares for one resolved parameter assignment.
+// Tests and the bench workload check every declared field against built
+// instances; -1 means "not declared" for the count/bound fields.
+struct Invariants {
+  std::int64_t node_count = -1;    // exact node count
+  std::int64_t edge_count = -1;    // exact edge count
+  std::int64_t degree_bound = -1;  // inclusive max degree
+  bool connected = false;          // declared always-connected
+  bool bipartite = false;          // declared always-bipartite
+};
+
+class Family;
+
+// A parsed (but not yet validated) `--family` selector.
+struct FamilySpec {
+  std::string family;
+  std::vector<std::pair<std::string, std::int64_t>> params;  // as written
+};
+
+// Parse the selector syntax above. Throws Error on malformed text
+// (empty name, missing '=', non-integer value, duplicate key).
+FamilySpec parse_family_spec(const std::string& text);
+
+// A spec resolved against the registry: every schema parameter has a value.
+class FamilyInstanceSpec {
+ public:
+  FamilyInstanceSpec(const Family* family, std::vector<std::int64_t> values);
+
+  const Family& family() const { return *family_; }
+  const std::vector<std::int64_t>& values() const { return values_; }
+  std::int64_t value(const std::string& param) const;
+
+  // Canonical encoding: "name:k=v,..." with every parameter in schema order.
+  std::string canonical() const;
+
+  Invariants invariants() const;
+  graph::Graph build(std::uint64_t seed) const;
+
+ private:
+  const Family* family_;
+  std::vector<std::int64_t> values_;
+};
+
+// A registered, parameterized graph family.
+class Family {
+ public:
+  using InvariantsFn =
+      Invariants (*)(const std::vector<std::int64_t>& values);
+  using BuildFn = graph::Graph (*)(const std::vector<std::int64_t>& values,
+                                   std::uint64_t seed);
+  // `pinned[i]` marks parameters the caller set explicitly: the mapping
+  // must derive the free parameters from them (a pinned grid width turns
+  // the target into a height), and whatever it writes to a pinned slot is
+  // discarded by the resolver.
+  using SizeFn = void (*)(std::int64_t size, std::vector<std::int64_t>& values,
+                          const std::vector<bool>& pinned);
+
+  std::string name;
+  std::string summary;
+  std::vector<ParamSpec> params;
+  // Does `seed` change the instance? (False for the deterministic
+  // topologies; their build ignores the seed entirely.)
+  bool randomized = false;
+  // Maps the uniform size knob — a target node count — onto `values`
+  // (already filled with defaults / explicit assignments; see SizeFn for
+  // the pinned mask). Families with logarithmic parameters (hypercube,
+  // trees, pyramid) pick the largest instance not exceeding the target.
+  SizeFn apply_size = nullptr;
+  InvariantsFn declared_invariants = nullptr;
+  BuildFn build = nullptr;
+
+  int param_index(const std::string& param_name) const;  // -1 when unknown
+};
+
+// The full registry, in presentation order. At least eight families; see
+// gen/registry.cpp for the list.
+const std::vector<Family>& family_registry();
+
+// Lookup by name; nullptr when unknown.
+const Family* find_family(const std::string& name);
+
+// Validate `spec` against the registry and fill unset parameters with their
+// defaults. When `size > 0`, the family's size mapping is applied first and
+// explicit parameter assignments override it. Throws Error on unknown
+// family, unknown parameter, or out-of-range value.
+FamilyInstanceSpec resolve_family(const FamilySpec& spec, std::int64_t size = 0);
+
+// parse + resolve in one step (the CLI/API entry point).
+FamilyInstanceSpec resolve_family_text(const std::string& text,
+                                       std::int64_t size = 0);
+
+}  // namespace locald::gen

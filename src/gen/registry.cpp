@@ -1,0 +1,417 @@
+// The registered graph families of the workload generator.
+//
+// Every family builds through src/graph generators; randomized families
+// draw only from counter-based `Rng::stream` planes (see generators.h), so
+// `build(values, seed)` is a pure function of its arguments. Declared
+// invariants are checked per family by tests/test_gen.cpp and per built
+// instance by the bench workload.
+#include "gen/family.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/pyramid.h"
+#include "support/check.h"
+#include "support/format.h"
+
+namespace locald::gen {
+
+namespace {
+
+using graph::NodeId;
+
+NodeId as_node(std::int64_t v) { return static_cast<NodeId>(v); }
+
+// Largest s with s * s <= target (integer square root).
+std::int64_t isqrt(std::int64_t target) {
+  std::int64_t s = 0;
+  while ((s + 1) * (s + 1) <= target) {
+    ++s;
+  }
+  return s;
+}
+
+// The free grid/torus dimension hitting `size` nodes given the other one,
+// clamped to the family's minimum side length.
+std::int64_t derive_dim(std::int64_t size, std::int64_t other,
+                        std::int64_t min_dim) {
+  return std::max(min_dim, size / std::max<std::int64_t>(1, other));
+}
+
+// sum_{j=0..depth} arity^j — balanced-tree node count.
+std::int64_t balanced_tree_nodes(std::int64_t arity, std::int64_t depth) {
+  std::int64_t n = 0;
+  std::int64_t level = 1;
+  for (std::int64_t j = 0; j <= depth; ++j) {
+    n += level;
+    level *= arity;
+  }
+  return n;
+}
+
+// (4^{h+1} - 1) / 3 — pyramid node count.
+std::int64_t pyramid_nodes(std::int64_t h) {
+  std::int64_t n = 0;
+  for (std::int64_t z = 0; z <= h; ++z) {
+    n += (std::int64_t{1} << (h - z)) * (std::int64_t{1} << (h - z));
+  }
+  return n;
+}
+
+std::int64_t pyramid_edges(std::int64_t h) {
+  std::int64_t edges = 0;
+  for (std::int64_t z = 0; z <= h; ++z) {
+    const std::int64_t s = std::int64_t{1} << (h - z);
+    edges += 2 * s * (s - 1);  // grid edges of level z
+    if (z < h) {
+      edges += s * s;  // parent edges into level z + 1
+    }
+  }
+  return edges;
+}
+
+std::vector<Family> build_registry() {
+  std::vector<Family> families;
+
+  families.push_back(Family{
+      "path",
+      "simple path on n nodes",
+      {{"n", 32, 1, 1 << 21, "node count"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>&) {
+        v[0] = std::max<std::int64_t>(1, size);
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = v[0];
+        inv.edge_count = v[0] - 1;
+        inv.degree_bound = 2;
+        inv.connected = true;
+        inv.bipartite = true;
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_path(as_node(v[0]));
+      },
+  });
+
+  families.push_back(Family{
+      "cycle",
+      "cycle on n nodes (the promise-problem substrate)",
+      {{"n", 32, 3, 1 << 21, "node count"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>&) {
+        v[0] = std::max<std::int64_t>(3, size);
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = v[0];
+        inv.edge_count = v[0];
+        inv.degree_bound = 2;
+        inv.connected = true;
+        inv.bipartite = v[0] % 2 == 0;
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_cycle(as_node(v[0]));
+      },
+  });
+
+  families.push_back(Family{
+      "grid",
+      "width x height grid (the execution-table substrate)",
+      {{"width", 8, 1, 4096, "grid width"},
+       {"height", 8, 1, 4096, "grid height"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>& pinned) {
+        // A pinned dimension turns the target into the other dimension;
+        // otherwise aim for a square.
+        if (pinned[0] && !pinned[1]) {
+          v[1] = derive_dim(size, v[0], 1);
+        } else if (pinned[1] && !pinned[0]) {
+          v[0] = derive_dim(size, v[1], 1);
+        } else {
+          v[0] = v[1] = std::max<std::int64_t>(1, isqrt(size));
+        }
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = v[0] * v[1];
+        inv.edge_count = v[0] * (v[1] - 1) + v[1] * (v[0] - 1);
+        inv.degree_bound = 4;
+        inv.connected = true;
+        inv.bipartite = true;
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_grid(as_node(v[0]), as_node(v[1]));
+      },
+  });
+
+  families.push_back(Family{
+      "torus",
+      "width x height torus (wraparound grid)",
+      {{"width", 8, 3, 4096, "torus width"},
+       {"height", 8, 3, 4096, "torus height"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>& pinned) {
+        if (pinned[0] && !pinned[1]) {
+          v[1] = derive_dim(size, v[0], 3);
+        } else if (pinned[1] && !pinned[0]) {
+          v[0] = derive_dim(size, v[1], 3);
+        } else {
+          v[0] = v[1] = std::max<std::int64_t>(3, isqrt(size));
+        }
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = v[0] * v[1];
+        inv.edge_count = 2 * v[0] * v[1];
+        inv.degree_bound = 4;
+        inv.connected = true;
+        inv.bipartite = v[0] % 2 == 0 && v[1] % 2 == 0;
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_torus(as_node(v[0]), as_node(v[1]));
+      },
+  });
+
+  families.push_back(Family{
+      "hypercube",
+      "d-dimensional hypercube (2^d nodes)",
+      {{"dims", 4, 0, 20, "dimension count"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>&) {
+        std::int64_t dims = 0;
+        while (dims < 20 && (std::int64_t{1} << (dims + 1)) <= size) {
+          ++dims;
+        }
+        v[0] = dims;
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = std::int64_t{1} << v[0];
+        inv.edge_count = v[0] * (std::int64_t{1} << v[0]) / 2;
+        inv.degree_bound = v[0];
+        inv.connected = true;
+        inv.bipartite = true;
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_hypercube(static_cast<int>(v[0]));
+      },
+  });
+
+  families.push_back(Family{
+      "complete-bipartite",
+      "complete bipartite graph K_{a,b}",
+      {{"a", 4, 1, 2048, "left part size"},
+       {"b", 4, 1, 2048, "right part size"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>& pinned) {
+        // A pinned part keeps the node total on target; otherwise split
+        // evenly.
+        if (pinned[0] && !pinned[1]) {
+          v[1] = std::max<std::int64_t>(1, size - v[0]);
+        } else if (pinned[1] && !pinned[0]) {
+          v[0] = std::max<std::int64_t>(1, size - v[1]);
+        } else {
+          v[0] = std::max<std::int64_t>(1, size / 2);
+          v[1] = std::max<std::int64_t>(1, size - v[0]);
+        }
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = v[0] + v[1];
+        inv.edge_count = v[0] * v[1];
+        inv.degree_bound = std::max(v[0], v[1]);
+        inv.connected = true;
+        inv.bipartite = true;
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_complete_bipartite(as_node(v[0]), as_node(v[1]));
+      },
+  });
+
+  families.push_back(Family{
+      "balanced-tree",
+      "complete arity-ary tree of the given depth",
+      {{"arity", 2, 1, 16, "children per internal node"},
+       {"depth", 4, 0, 20, "levels below the root"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>&) {
+        // Largest depth whose node count fits the target, at fixed arity.
+        std::int64_t depth = 0;
+        while (depth < 20 && balanced_tree_nodes(v[0], depth + 1) <= size) {
+          ++depth;
+        }
+        v[1] = depth;
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = balanced_tree_nodes(v[0], v[1]);
+        inv.edge_count = inv.node_count - 1;
+        inv.degree_bound = v[0] + 1;
+        inv.connected = true;
+        inv.bipartite = true;
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_balanced_tree(as_node(v[0]),
+                                         static_cast<int>(v[1]));
+      },
+  });
+
+  families.push_back(Family{
+      "caterpillar",
+      "spine path with `legs` leaves per spine node",
+      {{"spine", 8, 1, 1 << 20, "spine length"},
+       {"legs", 3, 0, 64, "leaves per spine node"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>&) {
+        v[0] = std::max<std::int64_t>(1, size / (1 + v[1]));
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = v[0] * (1 + v[1]);
+        inv.edge_count = inv.node_count - 1;
+        inv.degree_bound = v[1] + 2;
+        inv.connected = true;
+        inv.bipartite = true;
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_caterpillar(as_node(v[0]), as_node(v[1]));
+      },
+  });
+
+  families.push_back(Family{
+      "layered-tree",
+      "the paper's Figure-1 layered tree (Section 2)",
+      {{"depth", 4, 0, 21, "tree depth R"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>&) {
+        std::int64_t depth = 0;
+        while (depth < 21 &&
+               (std::int64_t{1} << (depth + 2)) - 1 <= size) {
+          ++depth;
+        }
+        v[0] = depth;
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = (std::int64_t{1} << (v[0] + 1)) - 1;
+        // n - 1 tree edges plus sum_{y=1..depth} (2^y - 1) level edges.
+        inv.edge_count =
+            v[0] == 0 ? 0 : (std::int64_t{1} << (v[0] + 2)) - 4 - v[0];
+        inv.degree_bound = 5;  // parent + 2 children + 2 level neighbours
+        inv.connected = true;
+        inv.bipartite = false;  // parent/children triangles from depth >= 1
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_layered_tree(static_cast<int>(v[0]));
+      },
+  });
+
+  families.push_back(Family{
+      "pyramid",
+      "the paper's Appendix-A quadtree pyramid (Figure 3)",
+      {{"height", 3, 0, 9, "pyramid height h"}},
+      /*randomized=*/false,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>&) {
+        std::int64_t h = 0;
+        while (h < 9 && pyramid_nodes(h + 1) <= size) {
+          ++h;
+        }
+        v[0] = h;
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = pyramid_nodes(v[0]);
+        inv.edge_count = pyramid_edges(v[0]);
+        inv.degree_bound = 9;  // 4 grid + 1 parent + 4 children
+        inv.connected = true;
+        inv.bipartite = false;  // parent triangles from height >= 1
+        return inv;
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t) {
+        return graph::make_pyramid(static_cast<int>(v[0]));
+      },
+  });
+
+  families.push_back(Family{
+      "random-regular",
+      "random d-regular graph (deterministic pairing model)",
+      {{"n", 32, 1, 1 << 17, "node count (n * d must be even)"},
+       {"d", 3, 0, 5, "uniform degree (pairing-model rejection bound)"}},
+      /*randomized=*/true,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>&) {
+        v[0] = std::max<std::int64_t>(v[1] + 1, size);
+        if ((v[0] * v[1]) % 2 != 0) {
+          ++v[0];  // pairing model needs an even stub count
+        }
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = v[0];
+        inv.edge_count = v[0] * v[1] / 2;
+        inv.degree_bound = v[1];
+        return inv;  // connectivity/bipartiteness are not guaranteed
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t seed) {
+        return graph::make_random_regular(as_node(v[0]), as_node(v[1]), seed);
+      },
+  });
+
+  families.push_back(Family{
+      "gnp",
+      "Erdős–Rényi G(n, p) with p = permille / 1000",
+      {{"n", 32, 0, 1 << 15, "node count"},
+       {"permille", 150, 0, 1000, "edge probability in thousandths"}},
+      /*randomized=*/true,
+      +[](std::int64_t size, std::vector<std::int64_t>& v,
+          const std::vector<bool>&) {
+        v[0] = std::max<std::int64_t>(0, size);
+      },
+      +[](const std::vector<std::int64_t>& v) {
+        Invariants inv;
+        inv.node_count = v[0];
+        return inv;  // everything else is up to the coin flips
+      },
+      +[](const std::vector<std::int64_t>& v, std::uint64_t seed) {
+        return graph::make_random_gnp(as_node(v[0]),
+                                      static_cast<double>(v[1]) / 1000.0,
+                                      seed);
+      },
+  });
+
+  for (const Family& f : families) {
+    LOCALD_ASSERT(f.apply_size != nullptr && f.declared_invariants != nullptr &&
+                      f.build != nullptr,
+                  cat("family ", f.name, " is missing a hook"));
+  }
+  return families;
+}
+
+}  // namespace
+
+const std::vector<Family>& family_registry() {
+  static const std::vector<Family> registry = build_registry();
+  return registry;
+}
+
+}  // namespace locald::gen

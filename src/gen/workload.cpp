@@ -1,0 +1,205 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "graph/isomorphism.h"
+#include "local/algorithm.h"
+#include "local/ball.h"
+#include "local/labeled_graph.h"
+#include "local/simulator.h"
+#include "support/format.h"
+
+namespace locald::gen {
+
+namespace {
+
+// Canonicalizing a ball is an individualization–refinement search whose
+// leaf count explodes on highly symmetric balls — a star with k
+// interchangeable leaves (hypercube and complete-bipartite centres) visits
+// k! orderings. The census therefore gives each ball a bounded exact
+// attempt and falls back to a cheaper (sound but incomplete) isomorphism
+// invariant beyond the budget, so pathological families cost O(budget) per
+// ball instead of O(degree!). Both paths are pure functions of the ball,
+// and the "~" namespace keeps fallback keys disjoint from exact ones, so
+// the census stays deterministic at every thread count.
+constexpr std::size_t kCensusLeafBudget = 2000;
+
+// Cheap pre-check for the two shapes that are guaranteed to blow the
+// budget: big balls (every search leaf costs O(nodes + edges)) and k >= 7
+// interchangeable degree-1 leaves hanging off one node (refinement can
+// never split them, so the search visits k! >= 5040 orderings).
+bool exact_affordable(const graph::Graph& g) {
+  if (g.node_count() > 64) {
+    return false;
+  }
+  std::vector<int> leaves(static_cast<std::size_t>(g.node_count()), 0);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.degree(v) == 1 &&
+        ++leaves[static_cast<std::size_t>(g.neighbors(v).front())] >= 7) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Degree-profile summary: invariant under center-preserving isomorphism,
+// and discriminating enough for the symmetric balls that land here (their
+// orbits are what made them expensive).
+std::string summary_key(const graph::Graph& g, graph::NodeId center) {
+  std::vector<int> degrees;
+  degrees.reserve(static_cast<std::size_t>(g.node_count()));
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    degrees.push_back(g.degree(v));
+  }
+  std::sort(degrees.begin(), degrees.end());
+  std::string key = cat("~n=", g.node_count(), ";m=", g.edge_count(),
+                        ";c=", g.degree(center), ";d=");
+  for (int d : degrees) {
+    key += std::to_string(d);
+    key += ',';
+  }
+  return key;
+}
+
+std::string census_key(const graph::Graph& g, graph::NodeId center) {
+  if (!exact_affordable(g)) {
+    return summary_key(g, center);
+  }
+  std::vector<std::string> payloads;
+  payloads.reserve(static_cast<std::size_t>(g.node_count()));
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    payloads.emplace_back(v == center ? "C" : "N");
+  }
+  try {
+    return graph::canonical_form(g, payloads, kCensusLeafBudget).encoding;
+  } catch (const Error&) {
+    // A symmetric shape the pre-check did not anticipate blew the leaf
+    // budget; the summary is the same sound fallback.
+    return summary_key(g, center);
+  }
+}
+
+// The fixed Id-oblivious horizon-1 panel. All three are pure functions of
+// the stripped ball's isomorphism class, so they are memoization-safe and
+// their verdict counts are scheduling-deterministic.
+const std::vector<std::unique_ptr<local::LocalAlgorithm>>& panel() {
+  static const auto algorithms = [] {
+    std::vector<std::unique_ptr<local::LocalAlgorithm>> p;
+    p.push_back(local::make_oblivious(
+        "even-degree", 1, [](const local::Ball& ball) {
+          return ball.g.degree(ball.center) % 2 == 0 ? local::Verdict::yes
+                                                     : local::Verdict::no;
+        }));
+    p.push_back(local::make_oblivious(
+        "triangle-free", 1, [](const local::Ball& ball) {
+          const auto& nbrs = ball.g.neighbors(ball.center);
+          for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+              if (ball.g.has_edge(nbrs[i], nbrs[j])) {
+                return local::Verdict::no;
+              }
+            }
+          }
+          return local::Verdict::yes;
+        }));
+    p.push_back(local::make_oblivious(
+        "max-degree-4", 1, [](const local::Ball& ball) {
+          return ball.g.degree(ball.center) <= 4 ? local::Verdict::yes
+                                                 : local::Verdict::no;
+        }));
+    return p;
+  }();
+  return algorithms;
+}
+
+void check_invariants(const Invariants& declared, const graph::Graph& g,
+                      WorkloadResult& out) {
+  auto fail = [&out](std::string why) {
+    out.invariant_failures.push_back(std::move(why));
+  };
+  if (declared.node_count >= 0 && declared.node_count != out.nodes) {
+    fail(cat("declared node_count ", declared.node_count, ", built ",
+             out.nodes));
+  }
+  if (declared.edge_count >= 0 && declared.edge_count != out.edges) {
+    fail(cat("declared edge_count ", declared.edge_count, ", built ",
+             out.edges));
+  }
+  if (declared.degree_bound >= 0 && out.max_degree > declared.degree_bound) {
+    fail(cat("declared degree bound ", declared.degree_bound,
+             ", built max degree ", out.max_degree));
+  }
+  if (declared.connected && !graph::is_connected(g)) {
+    fail("declared connected, built instance is not");
+  }
+  if (declared.bipartite && !graph::is_bipartite(g)) {
+    fail("declared bipartite, built instance is not");
+  }
+  out.invariants_ok = out.invariant_failures.empty();
+}
+
+}  // namespace
+
+const std::vector<std::string>& workload_panel_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& algorithm : panel()) {
+      out.push_back(algorithm->name());
+    }
+    return out;
+  }();
+  return names;
+}
+
+WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
+                                   const WorkloadOptions& opts,
+                                   const exec::ExecContext& exec) {
+  WorkloadResult out;
+  out.family = spec.canonical();
+  const graph::Graph g = spec.build(opts.seed);
+  out.nodes = g.node_count();
+  out.edges = static_cast<std::int64_t>(g.edge_count());
+  out.max_degree = g.node_count() == 0 ? 0 : g.max_degree();
+  check_invariants(spec.invariants(), g, out);
+
+  const local::LabeledGraph instance(g);
+
+  // Ball census: keys are computed on the engine (the expensive part), the
+  // distinct count in node order afterwards — scheduling-deterministic.
+  std::vector<std::string> encodings(
+      static_cast<std::size_t>(g.node_count()));
+  exec.for_each(encodings.size(), [&](std::size_t v) {
+    const local::Ball ball = local::extract_ball(
+        instance, nullptr, static_cast<graph::NodeId>(v), 1);
+    encodings[v] = census_key(ball.g, ball.center);
+  });
+  std::unordered_set<std::string> classes(encodings.begin(), encodings.end());
+  out.ball_classes = static_cast<std::int64_t>(classes.size());
+
+  // Pool only, no cache (the fig2-gmr precedent): memoization would
+  // re-canonicalize every ball per algorithm, which is exactly the cost
+  // the census just bounded — the panel's own evaluations are cheap.
+  exec::ExecContext pool_only;
+  pool_only.pool = exec.pool;
+  for (const auto& algorithm : panel()) {
+    const local::RunResult run = local::run_oblivious(*algorithm, instance,
+                                                      pool_only);
+    PanelVerdict verdict;
+    verdict.algorithm = algorithm->name();
+    for (const local::Verdict v : run.outputs) {
+      verdict.yes_nodes += v == local::Verdict::yes ? 1 : 0;
+    }
+    verdict.accepted = run.accepted;
+    out.panel.push_back(std::move(verdict));
+  }
+  // Serial-equivalent memoization: each algorithm decides every distinct
+  // class once and hits on the rest.
+  out.memo_hits = static_cast<std::int64_t>(panel().size()) *
+                  (out.nodes - out.ball_classes);
+  return out;
+}
+
+}  // namespace locald::gen

@@ -1,0 +1,70 @@
+// The family workload: one deterministic measurement cell shared by the
+// `family-workload` scenario and the `locald bench` grid runner.
+//
+// Given a resolved family instance, the workload
+//  1. builds the graph from (canonical parameters, seed),
+//  2. checks every invariant the family declares (node/edge counts, degree
+//     bound, connectivity, bipartiteness) against the built instance,
+//  3. censuses the distinct radius-1 ball classes (centre-marked canonical
+//     forms — the unit the verdict cache memoizes on — with a bounded
+//     search budget per ball; pathologically symmetric balls fall back to
+//     a cheaper sound invariant, see workload.cpp), and
+//  4. runs a fixed panel of Id-oblivious horizon-1 algorithms over every
+//     node through the execution engine (pool only, no verdict cache —
+//     re-canonicalizing per algorithm is the cost the census bounds),
+//     producing per-algorithm verdict counts.
+//
+// Everything in `WorkloadResult` is a pure function of (family spec, seed):
+// verdict counts come from the engine's deterministic per-node outputs, and
+// `memo_hits` is the *serial-equivalent* memoization hit count — panel
+// evaluations minus distinct classes — rather than the scheduling-dependent
+// atomic counters of a live VerdictCache (those stay behind `--timing`,
+// like everywhere else in locald). This is what lets `locald bench` gate
+// byte-identity between `--threads 1` and `--threads N` on real fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/context.h"
+#include "gen/family.h"
+
+namespace locald::gen {
+
+struct WorkloadOptions {
+  std::uint64_t seed = 42;
+};
+
+struct PanelVerdict {
+  std::string algorithm;
+  std::int64_t yes_nodes = 0;  // nodes outputting yes
+  bool accepted = false;       // the paper's rule: yes everywhere
+};
+
+struct WorkloadResult {
+  std::string family;  // canonical parameter encoding
+  std::int64_t nodes = 0;
+  std::int64_t edges = 0;
+  std::int64_t max_degree = 0;
+  // Declared-invariant audit; failures name the violated declaration.
+  bool invariants_ok = false;
+  std::vector<std::string> invariant_failures;
+  // Distinct stripped radius-1 ball classes, and the serial-equivalent
+  // memo hit count: panel evaluations minus classes decided once.
+  std::int64_t ball_classes = 0;
+  std::int64_t memo_hits = 0;
+  std::vector<PanelVerdict> panel;
+
+  bool ok() const { return invariants_ok; }
+};
+
+// Names of the fixed oblivious panel, in evaluation order.
+const std::vector<std::string>& workload_panel_names();
+
+// Runs the cell. Deterministic at every `exec` thread count.
+WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
+                                   const WorkloadOptions& opts,
+                                   const exec::ExecContext& exec);
+
+}  // namespace locald::gen

@@ -3,7 +3,18 @@
 // These back the instance families of the paper's experiments: cycles for
 // the promise problems, grids for Turing-machine execution tables, complete
 // binary / layered trees for the Section-2 construction, plus generic
-// families used by tests and benchmarks.
+// families used by tests, benchmarks, and the gen/ workload generator.
+//
+// Randomized builders come in two flavours:
+//  - seed-based (`std::uint64_t seed`): every random draw is derived from a
+//    counter-based stream `Rng::stream(seed, stream_id, index)`, so the
+//    instance is a pure function of (seed, parameters) — independent of
+//    call order, thread scheduling, and whatever else the process drew
+//    before. The gen/ family registry builds exclusively through these.
+//  - legacy stateful (`Rng&`): draws depend on the generator's position,
+//    so two call sites sharing one Rng get correlated, order-dependent
+//    instances. Kept for the older experiments and tests that sample many
+//    instances from one sequential stream.
 #pragma once
 
 #include <cstdint>
@@ -13,10 +24,21 @@
 
 namespace locald::graph {
 
+// Stream-id constants for the seed-based builders: each family draws from
+// its own `Rng::stream(seed, kStream*, index)` plane, so two families built
+// from the same seed never share coins.
+inline constexpr std::uint64_t kStreamGnp = 0x01;
+inline constexpr std::uint64_t kStreamRandomTree = 0x02;
+inline constexpr std::uint64_t kStreamRandomChords = 0x03;
+inline constexpr std::uint64_t kStreamRandomRegular = 0x04;
+
 Graph make_path(NodeId n);
 Graph make_cycle(NodeId n);        // n >= 3
 Graph make_complete(NodeId n);
 Graph make_star(NodeId leaves);    // node 0 is the hub
+
+// K_{a,b}: parts {0..a-1} and {a..a+b-1}, every cross pair joined.
+Graph make_complete_bipartite(NodeId a, NodeId b);
 
 // width x height grid; node (x, y) has id y * width + x.
 Graph make_grid(NodeId width, NodeId height);
@@ -28,6 +50,15 @@ Graph make_torus(NodeId width, NodeId height);
 // (2^(depth+1) - 1 nodes). Heap indexing: children of v are 2v+1, 2v+2.
 Graph make_complete_binary_tree(int depth);
 
+// Complete `arity`-ary tree of `depth` levels below the root, heap-indexed:
+// children of v are arity*v + 1 .. arity*v + arity. arity = 2, depth = d is
+// exactly make_complete_binary_tree(d).
+Graph make_balanced_tree(NodeId arity, int depth);
+
+// Caterpillar: a spine path of `spine` nodes (ids 0..spine-1), each spine
+// node carrying `legs` leaves (appended after the spine in spine order).
+Graph make_caterpillar(NodeId spine, NodeId legs);
+
 // Complete binary tree of given depth where consecutive nodes of each level
 // are additionally joined by a path — the "layered tree" of Section 2
 // (Figure 1). Heap indexing as above: level y spans ids [2^y - 1, 2^(y+1) - 2].
@@ -36,14 +67,31 @@ Graph make_layered_tree(int depth);
 // d-dimensional hypercube (2^d nodes).
 Graph make_hypercube(int dims);
 
-// Erdős–Rényi G(n, p).
+// Erdős–Rényi G(n, p). The seed-based overload draws row u's coins from
+// stream (seed, kStreamGnp, u).
 Graph make_random_gnp(NodeId n, double p, Rng& rng);
+Graph make_random_gnp(NodeId n, double p, std::uint64_t seed);
 
-// Uniform random labelled tree via a Prüfer-like attachment.
+// Uniform random labelled tree via a Prüfer-like attachment. The seed-based
+// overload draws node v's parent from stream (seed, kStreamRandomTree, v).
 Graph make_random_tree(NodeId n, Rng& rng);
+Graph make_random_tree(NodeId n, std::uint64_t seed);
 
 // Connected random graph: random tree plus `extra_edges` random chords.
+// The seed-based overload draws chord attempt i from stream
+// (seed, kStreamRandomChords, i).
 Graph make_random_connected(NodeId n, NodeId extra_edges, Rng& rng);
+Graph make_random_connected(NodeId n, NodeId extra_edges, std::uint64_t seed);
+
+// Random d-regular graph via the pairing (configuration) model: n*d stubs
+// are shuffled with stream (seed, kStreamRandomRegular, round) and paired
+// consecutively; rounds producing a loop or a duplicate edge are discarded
+// wholesale and redrawn, so the accepted pairing is uniform over simple
+// pairings and a pure function of (n, d, seed). Requires 0 <= d < n and
+// n * d even. Per-round acceptance is ~exp(-(d*d - 1)/4), so keep d <= 5
+// (the gen/ family schema's bound) — there the retry budget fails with
+// probability ~e^-50; beyond it, Error becomes the expected outcome.
+Graph make_random_regular(NodeId n, NodeId d, std::uint64_t seed);
 
 // Position helpers for heap-indexed complete binary trees.
 struct TreeIndex {

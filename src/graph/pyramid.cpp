@@ -1,49 +1,49 @@
-#include "halting/pyramid.h"
+#include "graph/pyramid.h"
 
 #include <functional>
 
 #include "graph/isomorphism.h"
 
-namespace locald::halting {
+namespace locald::graph {
 
 PyramidIndexer::PyramidIndexer(int h) : h_(h) {
   LOCALD_CHECK(h >= 0 && h <= 12, "pyramid height out of supported range");
   level_offset_.resize(static_cast<std::size_t>(h_) + 1);
-  graph::NodeId offset = 0;
+  NodeId offset = 0;
   for (int z = 0; z <= h_; ++z) {
     level_offset_[static_cast<std::size_t>(z)] = offset;
-    const graph::NodeId s = static_cast<graph::NodeId>(side(z));
+    const NodeId s = static_cast<NodeId>(side(z));
     offset += s * s;
   }
   total_ = offset;
 }
 
-graph::NodeId PyramidIndexer::id(int x, int y, int z) const {
+NodeId PyramidIndexer::id(int x, int y, int z) const {
   const int s = side(z);
   LOCALD_CHECK(x >= 0 && x < s && y >= 0 && y < s,
                "pyramid coordinate out of range");
   return level_offset_[static_cast<std::size_t>(z)] +
-         static_cast<graph::NodeId>(y) * s + x;
+         static_cast<NodeId>(y) * s + x;
 }
 
-PyramidIndexer::Position PyramidIndexer::position(graph::NodeId v) const {
+PyramidIndexer::Position PyramidIndexer::position(NodeId v) const {
   LOCALD_CHECK(v >= 0 && v < total_, "pyramid node out of range");
   int z = h_;
   while (level_offset_[static_cast<std::size_t>(z)] > v) {
     --z;
   }
-  const graph::NodeId rel = v - level_offset_[static_cast<std::size_t>(z)];
+  const NodeId rel = v - level_offset_[static_cast<std::size_t>(z)];
   const int s = side(z);
   return Position{static_cast<int>(rel) % s, static_cast<int>(rel) / s, z};
 }
 
-graph::Graph build_pyramid(const PyramidIndexer& indexer) {
-  graph::Graph g(indexer.node_count());
+Graph build_pyramid(const PyramidIndexer& indexer) {
+  Graph g(indexer.node_count());
   for (int z = 0; z <= indexer.height(); ++z) {
     const int s = indexer.side(z);
     for (int y = 0; y < s; ++y) {
       for (int x = 0; x < s; ++x) {
-        const graph::NodeId v = indexer.id(x, y, z);
+        const NodeId v = indexer.id(x, y, z);
         if (x + 1 < s) {
           g.add_edge(v, indexer.id(x + 1, y, z));
         }
@@ -59,12 +59,13 @@ graph::Graph build_pyramid(const PyramidIndexer& indexer) {
   return g;
 }
 
-graph::NodeId attach_pyramid(
-    graph::Graph& g, const PyramidIndexer& indexer,
-    const std::function<graph::NodeId(int, int)>& base) {
-  const graph::NodeId first = g.node_count();
+Graph make_pyramid(int h) { return build_pyramid(PyramidIndexer(h)); }
+
+NodeId attach_pyramid(Graph& g, const PyramidIndexer& indexer,
+                      const std::function<NodeId(int, int)>& base) {
+  const NodeId first = g.node_count();
   // Ids of upper-level nodes, allocated level by level.
-  std::vector<std::vector<graph::NodeId>> level_ids(
+  std::vector<std::vector<NodeId>> level_ids(
       static_cast<std::size_t>(indexer.height()) + 1);
   for (int z = 1; z <= indexer.height(); ++z) {
     const int s = indexer.side(z);
@@ -88,7 +89,7 @@ graph::NodeId attach_pyramid(
     const int s = indexer.side(z);
     for (int y = 0; y < s; ++y) {
       for (int x = 0; x < s; ++x) {
-        const graph::NodeId v = node_at(x, y, z);
+        const NodeId v = node_at(x, y, z);
         if (x + 1 < s) {
           g.add_edge(v, node_at(x + 1, y, z));
         }
@@ -110,12 +111,12 @@ graph::NodeId attach_pyramid(
   return first;
 }
 
-bool is_pyramid(const graph::Graph& g, int h) {
+bool is_pyramid(const Graph& g, int h) {
   const PyramidIndexer indexer(h);
   if (g.node_count() != indexer.node_count()) {
     return false;
   }
-  return graph::isomorphic(g, build_pyramid(indexer));
+  return isomorphic(g, build_pyramid(indexer));
 }
 
-}  // namespace locald::halting
+}  // namespace locald::graph

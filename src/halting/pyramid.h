@@ -1,57 +1,20 @@
 // Quadtree pyramids (Appendix A, Figure 3).
 //
-// A pyramid over a 2^h x 2^h grid has levels z = 0..h; level z is a
-// 2^{h-z} x 2^{h-z} grid graph, and each node (x, y, z) with z < h is
-// additionally connected to its quadtree parent (x/2, y/2, z+1). Attaching
-// the pyramid to an execution table makes the table's global structure
-// locally checkable: every pyramid has a unique apex which fixes the
-// geometry (the paper's step 2).
+// The pyramid builders moved to graph/pyramid.h so the workload generator's
+// `pyramid` family and the pyramidal G(M, r) assembly share one
+// implementation; this header re-exports them under locald::halting for the
+// Section-3 call sites that think of pyramids as part of the halting
+// construction.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-
-#include "graph/graph.h"
+#include "graph/pyramid.h"
 
 namespace locald::halting {
 
-class PyramidIndexer {
- public:
-  explicit PyramidIndexer(int h);
+using graph::PyramidIndexer;
 
-  int height() const { return h_; }
-  int side(int z) const {
-    LOCALD_CHECK(z >= 0 && z <= h_, "level out of range");
-    return 1 << (h_ - z);
-  }
-
-  graph::NodeId node_count() const { return total_; }
-  graph::NodeId id(int x, int y, int z) const;
-  graph::NodeId apex() const { return id(0, 0, h_); }
-
-  struct Position {
-    int x = 0;
-    int y = 0;
-    int z = 0;
-  };
-  Position position(graph::NodeId v) const;
-
- private:
-  int h_;
-  std::vector<graph::NodeId> level_offset_;
-  graph::NodeId total_ = 0;
-};
-
-// The full pyramid graph (levels 0..h with grid + parent edges).
-graph::Graph build_pyramid(const PyramidIndexer& indexer);
-
-// Adds pyramid levels 1..h on top of an existing 2^h x 2^h level-0 grid
-// already present in `g` (node (x, y) at id base(x, y)). Returns the id of
-// the first added node.
-graph::NodeId attach_pyramid(graph::Graph& g, const PyramidIndexer& indexer,
-                             const std::function<graph::NodeId(int, int)>& base);
-
-// Exact structural oracle: is `g` the pyramid over a 2^h x 2^h grid?
-bool is_pyramid(const graph::Graph& g, int h);
+using graph::attach_pyramid;
+using graph::build_pyramid;
+using graph::is_pyramid;
 
 }  // namespace locald::halting

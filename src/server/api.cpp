@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "cli/sweep.h"
+#include "gen/family.h"
 #include "support/check.h"
 #include "support/format.h"
 #include "support/json.h"
@@ -47,6 +48,28 @@ std::string take_scenario_name(const JsonValue& root) {
   return name->as_string();
 }
 
+std::string take_family(const JsonValue& root) {
+  const JsonValue* family = root.find("family");
+  if (family == nullptr) {
+    return {};
+  }
+  LOCALD_CHECK(family->is_string(), "field \"family\" must be a string");
+  LOCALD_CHECK(!family->as_string().empty(),
+               "field \"family\" must be a non-empty selector "
+               "(see /v1/families)");
+  return family->as_string();
+}
+
+// A scenario must opt into family parameterization before a request may
+// select one; checked before running anything so the mistake surfaces as a
+// 400, not a half-run document.
+void check_family_supported(const cli::Scenario& scenario,
+                            const std::string& family) {
+  LOCALD_CHECK(family.empty() || !scenario.family_help.empty(),
+               cat("scenario ", json_quote(scenario.name),
+                   " does not take a family"));
+}
+
 void reject_unknown_fields(const JsonValue& root,
                            std::initializer_list<const char*> known) {
   for (const auto& [key, value] : root.members()) {
@@ -62,7 +85,7 @@ void reject_unknown_fields(const JsonValue& root,
 
 RunRequest parse_run_request(const std::string& body) {
   const JsonValue root = parse_object_body(body);
-  reject_unknown_fields(root, {"scenario", "seed", "size", "trials"});
+  reject_unknown_fields(root, {"scenario", "seed", "size", "trials", "family"});
   RunRequest req;
   req.scenario = take_scenario_name(root);
   if (const JsonValue* v = root.find("seed")) req.seed = take_seed(*v, "seed");
@@ -70,14 +93,16 @@ RunRequest parse_run_request(const std::string& body) {
   if (const JsonValue* v = root.find("trials")) {
     req.trials = take_count(*v, "trials");
   }
+  req.family = take_family(root);
   return req;
 }
 
 SweepRequest parse_sweep_request(const std::string& body) {
   const JsonValue root = parse_object_body(body);
-  reject_unknown_fields(root, {"scenario", "seed", "sizes", "trials"});
+  reject_unknown_fields(root, {"scenario", "seed", "sizes", "trials", "family"});
   SweepRequest req;
   req.scenario = take_scenario_name(root);
+  req.family = take_family(root);
   if (const JsonValue* v = root.find("seed")) req.seed = take_seed(*v, "seed");
   if (const JsonValue* v = root.find("trials")) {
     req.trials = take_count(*v, "trials");
@@ -123,17 +148,60 @@ std::string scenarios_document() {
   return out.str();
 }
 
+std::string families_document() {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("tool");
+  w.value("locald-families");
+  w.key("families");
+  w.begin_array();
+  for (const gen::Family& f : gen::family_registry()) {
+    w.begin_object();
+    w.key("name");
+    w.value(f.name);
+    w.key("summary");
+    w.value(f.summary);
+    w.key("randomized");
+    w.value(f.randomized);
+    w.key("params");
+    w.begin_array();
+    for (const gen::ParamSpec& p : f.params) {
+      w.begin_object();
+      w.key("name");
+      w.value(p.name);
+      w.key("default");
+      w.value(p.default_value);
+      w.key("min");
+      w.value(p.min_value);
+      w.key("max");
+      w.value(p.max_value);
+      w.key("help");
+      w.value(p.help);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  return out.str();
+}
+
 std::string run_document(const RunRequest& request,
                          const exec::ExecContext& exec, bool* ok_out) {
   const cli::Scenario* scenario = cli::find_scenario(request.scenario);
   LOCALD_CHECK(scenario != nullptr,
                cat("unknown scenario ", json_quote(request.scenario),
                    " (see /v1/scenarios or `locald list`)"));
+  check_family_supported(*scenario, request.family);
 
   cli::ScenarioOptions opts;
   opts.seed = request.seed;
   opts.size = request.size;
   opts.trials = request.trials;
+  opts.family = request.family;
   opts.format = cli::OutputFormat::csv;  // the machine-readable renderer
   opts.exec = exec;
 
@@ -162,6 +230,10 @@ std::string run_document(const RunRequest& request,
   w.value(request.size);
   w.key("trials");
   w.value(request.trials);
+  if (!request.family.empty()) {
+    w.key("family");
+    w.value(request.family);
+  }
   w.key("ok");
   w.value(ok);
   if (!error.empty()) {
@@ -181,13 +253,16 @@ std::string sweep_document(const SweepRequest& request,
                            exec::ThreadPool* pool, bool* ok_out) {
   // Existence is checked here so the HTTP layer can answer 404 before
   // running anything; run_sweep re-checks internally.
-  LOCALD_CHECK(cli::find_scenario(request.scenario) != nullptr,
+  const cli::Scenario* scenario = cli::find_scenario(request.scenario);
+  LOCALD_CHECK(scenario != nullptr,
                cat("unknown scenario ", json_quote(request.scenario),
                    " (see /v1/scenarios or `locald list`)"));
+  check_family_supported(*scenario, request.family);
   cli::SweepOptions sweep;
   sweep.seed = request.seed;
   sweep.sizes = request.sizes;
   sweep.trials = request.trials;
+  sweep.family = request.family;
   sweep.timing = false;  // scheduling-dependent fields never leave /v1/metrics
   sweep.pool = pool;
   std::ostringstream out;

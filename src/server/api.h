@@ -27,6 +27,9 @@ struct RunRequest {
   std::uint64_t seed = 42;
   int size = 0;    // 0 = scenario default
   int trials = 0;  // 0 = scenario default
+  // gen/family.h selector ("name:k=v,..."); empty = the scenario's built-in
+  // topology. Only family-aware scenarios accept it (400 otherwise).
+  std::string family;
 };
 
 // Body of POST /v1/sweep, mirroring `cli::SweepOptions` minus the
@@ -36,6 +39,7 @@ struct SweepRequest {
   std::uint64_t seed = 42;
   std::vector<int> sizes;  // empty = the scenario's default size
   int trials = 0;
+  std::string family;  // as in RunRequest; handed to every cell
 };
 
 // Decode a request body. Both throw `Error` (surfaced as HTTP 400) on
@@ -47,6 +51,11 @@ SweepRequest parse_sweep_request(const std::string& body);
 
 // The scenario catalog: GET /v1/scenarios and `locald list --format json`.
 std::string scenarios_document();
+
+// The workload generator's family catalog (names, parameter schemas, size
+// mapping availability): GET /v1/families and
+// `locald list --families --format json`.
+std::string families_document();
 
 // One scenario run: POST /v1/run and `locald run --format json`. Executes
 // the scenario with `exec` (shared pool + cache on the server; per-run on

@@ -307,6 +307,9 @@ HttpResponse Server::handle(const HttpRequest& request) {
     } else if (path == "/v1/scenarios") {
       if (request.method != "GET") return method_not_allowed("GET");
       response.body = scenarios_document();
+    } else if (path == "/v1/families") {
+      if (request.method != "GET") return method_not_allowed("GET");
+      response.body = families_document();
     } else if (path == "/v1/metrics") {
       if (request.method != "GET") return method_not_allowed("GET");
       response.body = metrics_document(metrics());
@@ -335,8 +338,8 @@ HttpResponse Server::handle(const HttpRequest& request) {
     } else {
       return error_response(
           404, cat("no such endpoint ", json_quote(path),
-                   "; endpoints: /v1/healthz /v1/scenarios /v1/metrics "
-                   "/v1/run /v1/sweep"));
+                   "; endpoints: /v1/healthz /v1/scenarios /v1/families "
+                   "/v1/metrics /v1/run /v1/sweep"));
     }
   } catch (const Error& e) {
     // Caller-facing precondition (bad JSON, bad field): the request's fault.

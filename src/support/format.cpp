@@ -17,6 +17,22 @@ std::string join(const std::vector<std::string>& parts,
   return out;
 }
 
+std::optional<std::int64_t> parse_int(const std::string& text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(text, &used);
+    if (used != text.size()) {
+      return std::nullopt;
+    }
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
 std::string fixed(double value, int digits) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(digits) << value;

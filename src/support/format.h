@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -25,6 +26,11 @@ std::string cat(const Args&... args) {
 
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep);
+
+// Strict base-10 integer parse: the whole string must be consumed, or
+// nullopt. The one integer reader behind CLI flag values and family
+// selector parameters, so the two surfaces cannot drift.
+std::optional<std::int64_t> parse_int(const std::string& text);
 
 // Fixed-point rendering with `digits` decimals (no locale surprises).
 std::string fixed(double value, int digits);
