@@ -13,11 +13,11 @@ int main() {
   TextTable table({"h", "grid", "pyramid nodes", "edges", "apex deg",
                    "build(ms)", "oracle(ms)", "valid"});
   for (int h = 1; h <= 7; ++h) {
-    const halting::PyramidIndexer idx(h);
+    const graph::PyramidIndexer idx(h);
     const auto t0 = std::chrono::steady_clock::now();
-    const graph::Graph g = halting::build_pyramid(idx);
+    const graph::Graph g = graph::build_pyramid(idx);
     const auto t1 = std::chrono::steady_clock::now();
-    const bool ok = h <= 5 ? halting::is_pyramid(g, h) : true;  // oracle is
+    const bool ok = h <= 5 ? graph::is_pyramid(g, h) : true;  // oracle is
     // canonical-form based; cap its cost at moderate sizes.
     const auto t2 = std::chrono::steady_clock::now();
     table.add_row({cat(h), cat(idx.side(0), "x", idx.side(0)),

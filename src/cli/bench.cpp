@@ -157,8 +157,26 @@ void write_cell(JsonWriter& w, const BenchCell& cell,
 
 }  // namespace
 
+const std::vector<std::string>& canonicalization_bench_families() {
+  // Hypercube and complete-bipartite balls are stars with interchangeable
+  // leaves (the shapes that cost k! search leaves without orbit pruning);
+  // `complete-bipartite:a=1` IS a star, so its hub ball has size-1 leaves;
+  // caterpillars hang leaf bundles off every spine node. These cells were
+  // inexact (degree-profile fallback) before the two-tier engine.
+  static const std::vector<std::string> families = {
+      "hypercube",
+      "complete-bipartite",
+      "complete-bipartite:a=1",
+      "caterpillar:legs=8",
+  };
+  return families;
+}
+
 int run_bench(const BenchOptions& bench_in, std::ostream& out) {
   BenchOptions bench = bench_in;
+  if (bench.canon) {
+    bench.families = canonicalization_bench_families();
+  }
   if (bench.families.empty()) {
     for (const gen::Family& f : gen::family_registry()) {
       bench.families.push_back(f.name);

@@ -25,6 +25,12 @@ namespace locald::cli {
 
 struct BenchOptions {
   std::uint64_t seed = 42;
+  // `--canon`: use the pinned canonicalization-bound grid (the families
+  // whose ball censuses are dominated by symmetric-ball canonicalization —
+  // hypercubes, complete-bipartite, stars, caterpillars) instead of
+  // `families`. This is the grid CI tracks as the BENCH_PR5 trajectory;
+  // see canonicalization_bench_families().
+  bool canon = false;
   // `--family` selectors in grid order; empty = every registered family.
   std::vector<std::string> families;
   // `--sizes` grid applied to each family's size mapping; empty = {0}
@@ -36,6 +42,11 @@ struct BenchOptions {
   std::vector<int> thread_grid;
   bool timing = false;  // include the volatile wall-time/cache fields
 };
+
+// The pinned `--canon` grid: family selectors whose workload cells are
+// canonicalization-bound (censuses over highly symmetric balls). Stable
+// across PRs so the BENCH_* artifacts graph one trajectory.
+const std::vector<std::string>& canonicalization_bench_families();
 
 // Runs the grid and writes the JSON document to `out`. Returns the process
 // exit code: 0 when every cell's invariants held and every thread count

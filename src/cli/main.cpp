@@ -66,6 +66,9 @@ int usage(std::ostream& out, int status) {
          "`locald list\n"
          "                  --families`); family-aware scenarios only; "
          "repeatable for bench\n"
+         "  --canon         bench: the pinned canonicalization-bound grid "
+         "(symmetric-ball\n"
+         "                  families exercising the census kernel)\n"
          "  --threads N     execution-engine threads (0 = all hardware "
          "threads; default 1);\n"
          "                  results are bit-identical at every thread "
@@ -303,6 +306,7 @@ int main_impl(int argc, char** argv) {
   int queue = -1;    // serve only
   bool run_all = false;
   bool timing = false;
+  bool canon = false;          // bench --canon
   bool families_flag = false;  // list --families
   bool seed_set = false;  // an explicit --seed 42 must still be rejectable
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -315,6 +319,8 @@ int main_impl(int argc, char** argv) {
       run_all = true;
     } else if (arg == "--timing") {
       timing = true;
+    } else if (arg == "--canon") {
+      canon = true;
     } else if (arg == "--families") {
       families_flag = true;
     } else if (arg == "--family") {
@@ -424,6 +430,11 @@ int main_impl(int argc, char** argv) {
     std::cerr << "--family is repeatable only for bench\n";
     return 2;
   }
+  if (command != "bench" && canon) {
+    std::cerr << "--canon selects the canonicalization-bound bench grid: "
+                 "`locald bench --canon`\n";
+    return 2;
+  }
   if ((command == "list" || command == "help") && !families.empty()) {
     std::cerr << "--family selects a workload for run/sweep/bench; to "
                  "enumerate families use `locald list --families`\n";
@@ -527,12 +538,17 @@ int main_impl(int argc, char** argv) {
   if (command == "bench") {
     if (!positional.empty() || run_all || !format.empty() || opts.size != 0 ||
         opts.trials != 0) {
-      std::cerr << "bench takes --family (repeatable), --sizes, --seed, "
-                   "--threads a,b,c, --timing\n";
+      std::cerr << "bench takes --canon, --family (repeatable), --sizes, "
+                   "--seed, --threads a,b,c, --timing\n";
+      return 2;
+    }
+    if (canon && !families.empty()) {
+      std::cerr << "--canon is a pinned grid; drop --family or --canon\n";
       return 2;
     }
     BenchOptions bench;
     bench.seed = opts.seed;
+    bench.canon = canon;
     bench.families = families;
     bench.sizes = sizes;
     bench.thread_grid = thread_grid;

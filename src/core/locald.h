@@ -15,6 +15,7 @@
 #include "graph/induced.h"
 #include "graph/io.h"
 #include "graph/isomorphism.h"
+#include "graph/pyramid.h"
 #include "support/format.h"
 #include "support/rng.h"
 
@@ -50,7 +51,6 @@
 #include "halting/analysis.h"
 #include "halting/gmr.h"
 #include "halting/promise_halting.h"
-#include "halting/pyramid.h"
 #include "halting/verifier.h"
 
 // The (¬B, ¬C) simulation and the Section-1.1 matrix

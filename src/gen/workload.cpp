@@ -1,86 +1,17 @@
 #include "gen/workload.h"
 
-#include <algorithm>
 #include <memory>
-#include <unordered_set>
 
 #include "graph/algorithms.h"
 #include "graph/isomorphism.h"
 #include "local/algorithm.h"
 #include "local/ball.h"
 #include "local/labeled_graph.h"
-#include "local/simulator.h"
 #include "support/format.h"
 
 namespace locald::gen {
 
 namespace {
-
-// Canonicalizing a ball is an individualization–refinement search whose
-// leaf count explodes on highly symmetric balls — a star with k
-// interchangeable leaves (hypercube and complete-bipartite centres) visits
-// k! orderings. The census therefore gives each ball a bounded exact
-// attempt and falls back to a cheaper (sound but incomplete) isomorphism
-// invariant beyond the budget, so pathological families cost O(budget) per
-// ball instead of O(degree!). Both paths are pure functions of the ball,
-// and the "~" namespace keeps fallback keys disjoint from exact ones, so
-// the census stays deterministic at every thread count.
-constexpr std::size_t kCensusLeafBudget = 2000;
-
-// Cheap pre-check for the two shapes that are guaranteed to blow the
-// budget: big balls (every search leaf costs O(nodes + edges)) and k >= 7
-// interchangeable degree-1 leaves hanging off one node (refinement can
-// never split them, so the search visits k! >= 5040 orderings).
-bool exact_affordable(const graph::Graph& g) {
-  if (g.node_count() > 64) {
-    return false;
-  }
-  std::vector<int> leaves(static_cast<std::size_t>(g.node_count()), 0);
-  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    if (g.degree(v) == 1 &&
-        ++leaves[static_cast<std::size_t>(g.neighbors(v).front())] >= 7) {
-      return false;
-    }
-  }
-  return true;
-}
-
-// Degree-profile summary: invariant under center-preserving isomorphism,
-// and discriminating enough for the symmetric balls that land here (their
-// orbits are what made them expensive).
-std::string summary_key(const graph::Graph& g, graph::NodeId center) {
-  std::vector<int> degrees;
-  degrees.reserve(static_cast<std::size_t>(g.node_count()));
-  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    degrees.push_back(g.degree(v));
-  }
-  std::sort(degrees.begin(), degrees.end());
-  std::string key = cat("~n=", g.node_count(), ";m=", g.edge_count(),
-                        ";c=", g.degree(center), ";d=");
-  for (int d : degrees) {
-    key += std::to_string(d);
-    key += ',';
-  }
-  return key;
-}
-
-std::string census_key(const graph::Graph& g, graph::NodeId center) {
-  if (!exact_affordable(g)) {
-    return summary_key(g, center);
-  }
-  std::vector<std::string> payloads;
-  payloads.reserve(static_cast<std::size_t>(g.node_count()));
-  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    payloads.emplace_back(v == center ? "C" : "N");
-  }
-  try {
-    return graph::canonical_form(g, payloads, kCensusLeafBudget).encoding;
-  } catch (const Error&) {
-    // A symmetric shape the pre-check did not anticipate blew the leaf
-    // budget; the summary is the same sound fallback.
-    return summary_key(g, center);
-  }
-}
 
 // The fixed Id-oblivious horizon-1 panel. All three are pure functions of
 // the stripped ball's isomorphism class, so they are memoization-safe and
@@ -167,32 +98,47 @@ WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
 
   const local::LabeledGraph instance(g);
 
-  // Ball census: keys are computed on the engine (the expensive part), the
-  // distinct count in node order afterwards — scheduling-deterministic.
-  std::vector<std::string> encodings(
-      static_cast<std::size_t>(g.node_count()));
-  exec.for_each(encodings.size(), [&](std::size_t v) {
-    const local::Ball ball = local::extract_ball(
-        instance, nullptr, static_cast<graph::NodeId>(v), 1);
-    encodings[v] = census_key(ball.g, ball.center);
-  });
-  std::unordered_set<std::string> classes(encodings.begin(), encodings.end());
-  out.ball_classes = static_cast<std::int64_t>(classes.size());
+  // Exact ball census on the two-tier canonicalization engine: byte-
+  // identical extracted balls share one canonicalization, and the orbit-
+  // pruned tier-2 search keeps even pathologically symmetric balls (a star
+  // with k interchangeable leaves — hypercube and complete-bipartite
+  // centres) near-linear instead of k!, so every cell reports exact
+  // isomorphism classes — no degree-profile fallback, on any family.
+  const graph::BallCensusResult census = graph::canonical_census(
+      g, std::vector<std::string>(static_cast<std::size_t>(g.node_count())),
+      /*radius=*/1, exec.pool);
+  out.ball_classes = census.distinct;
 
-  // Pool only, no cache (the fig2-gmr precedent): memoization would
-  // re-canonicalize every ball per algorithm, which is exactly the cost
-  // the census just bounded — the panel's own evaluations are cheap.
-  exec::ExecContext pool_only;
-  pool_only.pool = exec.pool;
-  for (const auto& algorithm : panel()) {
-    const local::RunResult run = local::run_oblivious(*algorithm, instance,
-                                                      pool_only);
-    PanelVerdict verdict;
-    verdict.algorithm = algorithm->name();
-    for (const local::Verdict v : run.outputs) {
-      verdict.yes_nodes += v == local::Verdict::yes ? 1 : 0;
+  // The panel is evaluated once per distinct class (its verdicts are pure
+  // functions of the class — that is what the census memoizes), then the
+  // per-class verdicts are scattered over the class members in node order:
+  // byte-identical to evaluating every node, at a fraction of the cost,
+  // and trivially scheduling-deterministic. The census hands over the
+  // class partition (class_of / class_representative) directly.
+  std::vector<std::vector<local::Verdict>> class_verdicts(
+      panel().size(), std::vector<local::Verdict>(
+                          census.class_representative.size(),
+                          local::Verdict::yes));
+  exec.for_each(census.class_representative.size(), [&](std::size_t k) {
+    const local::Ball ball = local::extract_ball(
+        instance, nullptr, census.class_representative[k], 1);
+    for (std::size_t a = 0; a < panel().size(); ++a) {
+      class_verdicts[a][k] = panel()[a]->evaluate(ball);
     }
-    verdict.accepted = run.accepted;
+  });
+
+  for (std::size_t a = 0; a < panel().size(); ++a) {
+    PanelVerdict verdict;
+    verdict.algorithm = panel()[a]->name();
+    bool all_yes = true;
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      const bool yes =
+          class_verdicts[a][census.class_of[static_cast<std::size_t>(v)]] ==
+          local::Verdict::yes;
+      verdict.yes_nodes += yes ? 1 : 0;
+      all_yes = all_yes && yes;
+    }
+    verdict.accepted = g.node_count() > 0 ? all_yes : true;
     out.panel.push_back(std::move(verdict));
   }
   // Serial-equivalent memoization: each algorithm decides every distinct

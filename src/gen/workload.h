@@ -5,14 +5,16 @@
 //  1. builds the graph from (canonical parameters, seed),
 //  2. checks every invariant the family declares (node/edge counts, degree
 //     bound, connectivity, bipartiteness) against the built instance,
-//  3. censuses the distinct radius-1 ball classes (centre-marked canonical
-//     forms — the unit the verdict cache memoizes on — with a bounded
-//     search budget per ball; pathologically symmetric balls fall back to
-//     a cheaper sound invariant, see workload.cpp), and
-//  4. runs a fixed panel of Id-oblivious horizon-1 algorithms over every
-//     node through the execution engine (pool only, no verdict cache —
-//     re-canonicalizing per algorithm is the cost the census bounds),
-//     producing per-algorithm verdict counts.
+//  3. censuses the radius-1 ball classes exactly on the two-tier
+//     canonicalization engine (graph/isomorphism.h): centre-marked
+//     canonical forms — the unit the verdict cache memoizes on — with
+//     byte-identical extracted balls deduplicated before any search and
+//     orbit pruning keeping even pathologically symmetric balls cheap, so
+//     every family reports exact isomorphism-class counts, and
+//  4. evaluates a fixed panel of Id-oblivious horizon-1 algorithms once
+//     per distinct ball class on the execution engine and scatters the
+//     per-class verdicts over the class members — byte-identical to
+//     evaluating every node, at one evaluation per (algorithm, class).
 //
 // Everything in `WorkloadResult` is a pure function of (family spec, seed):
 // verdict counts come from the engine's deterministic per-node outputs, and

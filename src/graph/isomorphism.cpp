@@ -1,8 +1,15 @@
 #include "graph/isomorphism.h"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
+#include <functional>
+#include <numeric>
+#include <string_view>
+#include <unordered_map>
 
+#include "exec/thread_pool.h"
+#include "graph/algorithms.h"
+#include "graph/induced.h"
 #include "support/hash.h"
 
 namespace locald::graph {
@@ -13,60 +20,159 @@ namespace {
 // equally coloured nodes see different multisets of neighbour colours.
 using Coloring = std::vector<int>;
 
-// Refine until stable. Rank order of the new colours is derived from
-// (old colour, sorted neighbour colours), which is isomorphism-invariant.
-void refine(const Graph& g, Coloring& color) {
-  const std::size_t n = color.size();
-  if (n == 0) {
-    return;
-  }
-  for (;;) {
-    using Key = std::pair<int, std::vector<int>>;
-    std::vector<Key> keys(n);
+std::atomic<std::uint64_t> g_forms{0};
+std::atomic<std::uint64_t> g_census_balls{0};
+std::atomic<std::uint64_t> g_census_raw_hits{0};
+
+// Discovered-generator cap: enough to collapse every orbit the experiments
+// meet; a bound so adversarial inputs cannot grow the list without limit.
+constexpr std::size_t kMaxAutomorphisms = 256;
+
+// Partition-refinement engine with scratch shared across a whole search:
+// one flat signature arena (neighbour colours per node) and one index
+// array, re-sorted per round — no per-round map or vector-of-vector
+// rebuilds. Rank order of the new colours is derived from
+// (old colour, degree, sorted neighbour colours), which is
+// isomorphism-invariant, so equal inputs refine identically.
+class Refiner {
+ public:
+  explicit Refiner(const Graph& g) : g_(g) {
+    const std::size_t n = static_cast<std::size_t>(g.node_count());
+    offsets_.resize(n + 1, 0);
     for (std::size_t v = 0; v < n; ++v) {
-      std::vector<int> around;
-      around.reserve(g.neighbors(static_cast<NodeId>(v)).size());
-      for (NodeId w : g.neighbors(static_cast<NodeId>(v))) {
-        around.push_back(color[static_cast<std::size_t>(w)]);
+      offsets_[v + 1] =
+          offsets_[v] + g.neighbors(static_cast<NodeId>(v)).size();
+    }
+    arena_.resize(offsets_[n]);
+    order_.resize(n);
+    next_color_.resize(n);
+  }
+
+  // Refines `color` in place to the coarsest stable partition at or below
+  // it, re-normalizing to dense ranks. Returns the number of colours.
+  int refine(Coloring& color, CanonicalStats* stats) {
+    const std::size_t n = color.size();
+    if (n == 0) {
+      return 0;
+    }
+    int classes_in = distinct_count(color);
+    for (;;) {
+      if (stats != nullptr) {
+        ++stats->refinement_rounds;
       }
-      std::sort(around.begin(), around.end());
-      keys[v] = {color[v], std::move(around)};
-    }
-    std::map<Key, int> rank;
-    for (const Key& k : keys) {
-      rank.emplace(k, 0);
-    }
-    int next = 0;
-    for (auto& [k, r] : rank) {
-      r = next++;
-    }
-    bool changed = false;
-    for (std::size_t v = 0; v < n; ++v) {
-      const int c = rank[keys[v]];
-      if (c != color[v]) {
-        changed = true;
+      for (std::size_t v = 0; v < n; ++v) {
+        std::size_t at = offsets_[v];
+        for (NodeId w : g_.neighbors(static_cast<NodeId>(v))) {
+          arena_[at++] = color[static_cast<std::size_t>(w)];
+        }
+        std::sort(arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+                  arena_.begin() + static_cast<std::ptrdiff_t>(at));
       }
-      color[v] = c;
-    }
-    if (!changed) {
-      return;
+      std::iota(order_.begin(), order_.end(), 0);
+      std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+        if (color[a] != color[b]) {
+          return color[a] < color[b];
+        }
+        const std::size_t da = offsets_[a + 1] - offsets_[a];
+        const std::size_t db = offsets_[b + 1] - offsets_[b];
+        if (da != db) {
+          return da < db;
+        }
+        return std::lexicographical_compare(
+            arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[a]),
+            arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[a + 1]),
+            arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[b]),
+            arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[b + 1]));
+      });
+      int next = 0;
+      next_color_[order_[0]] = 0;
+      for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t prev = order_[i - 1];
+        const std::size_t cur = order_[i];
+        if (color[prev] != color[cur] ||
+            !std::equal(
+                arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[prev]),
+                arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[prev + 1]),
+                arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[cur]),
+                arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[cur + 1]))) {
+          ++next;
+        }
+        next_color_[cur] = next;
+      }
+      for (std::size_t v = 0; v < n; ++v) {
+        color[v] = next_color_[v];
+      }
+      const int classes_out = next + 1;
+      if (classes_out == classes_in) {
+        return classes_out;
+      }
+      classes_in = classes_out;
     }
   }
+
+ private:
+  static int distinct_count(const Coloring& color) {
+    std::vector<int> sorted(color);
+    std::sort(sorted.begin(), sorted.end());
+    return static_cast<int>(
+        std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+  }
+
+  const Graph& g_;
+  std::vector<std::size_t> offsets_;
+  std::vector<int> arena_;
+  std::vector<std::size_t> order_;
+  std::vector<int> next_color_;
+};
+
+// Initial colouring groups nodes by payload (rank = sorted payload order,
+// an isomorphism-invariant assignment).
+Coloring payload_coloring(const std::vector<std::string>& payloads) {
+  const std::size_t n = payloads.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return payloads[a] < payloads[b];
+  });
+  Coloring color(n, 0);
+  int next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && payloads[idx[i]] != payloads[idx[i - 1]]) {
+      ++next;
+    }
+    color[idx[i]] = next;
+  }
+  return color;
 }
 
-// First colour class with more than one member, as a sorted node list;
-// empty when the colouring is discrete.
-std::vector<NodeId> first_non_singleton_class(const Coloring& color) {
-  std::map<int, std::vector<NodeId>> classes;
-  for (std::size_t v = 0; v < color.size(); ++v) {
-    classes[color[v]].push_back(static_cast<NodeId>(v));
+// The target cell: the first smallest non-singleton colour class (minimal
+// size, then minimal colour rank), members in ascending node order. Empty
+// when the colouring is discrete. The choice rule is isomorphism-invariant;
+// member iteration order need not be, because the search minimizes over
+// every non-pruned branch.
+std::vector<NodeId> target_cell(const Coloring& color, int classes) {
+  std::vector<int> size(static_cast<std::size_t>(classes), 0);
+  for (int c : color) {
+    ++size[static_cast<std::size_t>(c)];
   }
-  for (const auto& [c, members] : classes) {
-    if (members.size() > 1) {
-      return members;
+  int pick = -1;
+  for (int c = 0; c < classes; ++c) {
+    if (size[static_cast<std::size_t>(c)] > 1 &&
+        (pick < 0 || size[static_cast<std::size_t>(c)] <
+                         size[static_cast<std::size_t>(pick)])) {
+      pick = c;
     }
   }
-  return {};
+  std::vector<NodeId> cell;
+  if (pick < 0) {
+    return cell;
+  }
+  for (std::size_t v = 0; v < color.size(); ++v) {
+    if (color[v] == pick) {
+      cell.push_back(static_cast<NodeId>(v));
+    }
+  }
+  return cell;
 }
 
 std::string encode_discrete(const Graph& g,
@@ -114,88 +220,455 @@ std::string encode_discrete(const Graph& g,
   return enc;
 }
 
-struct SearchState {
-  const Graph* g = nullptr;
-  const std::vector<std::string>* payloads = nullptr;
-  std::size_t max_leaves = 0;
-  std::size_t leaves = 0;
-  std::string best;
-  std::vector<NodeId> best_order;
-  bool has_best = false;
+// Union-find over ball nodes; orbit checks live on this.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) { reset(); }
+  void reset() { std::iota(parent_.begin(), parent_.end(), 0); }
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  void merge(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
 };
 
-// Individualization–refinement over the first non-singleton class. Taking the
-// minimum over *all* branches keeps the result isomorphism-invariant.
-void search(SearchState& st, Coloring color) {
-  refine(*st.g, color);
-  const std::vector<NodeId> cell = first_non_singleton_class(color);
-  if (cell.empty()) {
-    LOCALD_CHECK(++st.leaves <= st.max_leaves,
+// Individualization–refinement with automorphism discovery and orbit
+// pruning (see the header for the strategy).
+class Canonicalizer {
+ public:
+  Canonicalizer(const Graph& g, const std::vector<std::string>& payloads,
+                std::size_t max_leaves, CanonicalStats* stats)
+      : g_(g),
+        payloads_(payloads),
+        max_leaves_(max_leaves),
+        stats_(stats),
+        refiner_(g),
+        uf_(static_cast<std::size_t>(g.node_count())) {}
+
+  CanonicalForm run() {
+    Coloring color = payload_coloring(payloads_);
+    search(std::move(color), 0);
+    LOCALD_ASSERT(has_best_ || g_.node_count() == 0,
+                  "canonical search produced no leaf");
+    CanonicalForm out;
+    if (g_.node_count() == 0) {
+      out.encoding = "n=0;";
+    } else {
+      out.order = std::move(best_order_);
+      out.encoding = std::move(best_);
+    }
+    out.fingerprint = hash_string(out.encoding);
+    return out;
+  }
+
+ private:
+  void bump(std::size_t CanonicalStats::* field) {
+    if (stats_ != nullptr) {
+      ++(stats_->*field);
+    }
+  }
+
+  // Merges cell members that are interchangeable by a transposition fixing
+  // everything else: equal open neighbourhoods (non-adjacent twins) or
+  // equal closed neighbourhoods (adjacent twins). Such a transposition is
+  // an automorphism that fixes any prefix (prefix nodes are singletons,
+  // never cell members), so one branch per twin class covers them all.
+  void merge_twins(const std::vector<NodeId>& cell, UnionFind& uf) {
+    const std::size_t m = cell.size();
+    std::vector<std::size_t> idx(m);
+    // Non-adjacent twins: identical sorted neighbour lists.
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return g_.neighbors(cell[a]) < g_.neighbors(cell[b]);
+    });
+    for (std::size_t i = 1; i < m; ++i) {
+      if (g_.neighbors(cell[idx[i]]) == g_.neighbors(cell[idx[i - 1]])) {
+        uf.merge(static_cast<std::size_t>(cell[idx[i]]),
+                 static_cast<std::size_t>(cell[idx[i - 1]]));
+      }
+    }
+    // Adjacent twins: identical closed neighbourhoods.
+    std::vector<std::vector<NodeId>> closed(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      closed[i] = g_.neighbors(cell[i]);
+      closed[i].insert(
+          std::lower_bound(closed[i].begin(), closed[i].end(), cell[i]),
+          cell[i]);
+    }
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return closed[a] < closed[b];
+    });
+    for (std::size_t i = 1; i < m; ++i) {
+      if (closed[idx[i]] == closed[idx[i - 1]]) {
+        uf.merge(static_cast<std::size_t>(cell[idx[i]]),
+                 static_cast<std::size_t>(cell[idx[i - 1]]));
+      }
+    }
+  }
+
+  // Rebuilds the orbit structure for a node at `depth`: twin merges plus
+  // every discovered generator that fixes the current prefix pointwise.
+  void rebuild_orbits(const std::vector<NodeId>& cell, std::size_t depth) {
+    uf_.reset();
+    merge_twins(cell, uf_);
+    for (const std::vector<NodeId>& a : autos_) {
+      bool fixes_prefix = true;
+      for (std::size_t i = 0; i < depth; ++i) {
+        if (a[static_cast<std::size_t>(path_[i])] != path_[i]) {
+          fixes_prefix = false;
+          break;
+        }
+      }
+      if (!fixes_prefix) {
+        continue;
+      }
+      for (std::size_t v = 0; v < a.size(); ++v) {
+        uf_.merge(v, static_cast<std::size_t>(a[v]));
+      }
+    }
+  }
+
+  void handle_leaf(const Coloring& color) {
+    ++leaves_;
+    bump(&CanonicalStats::leaves);
+    LOCALD_CHECK(leaves_ <= max_leaves_,
                  "canonical_form: too many automorphism branches");
     std::vector<NodeId> order;
-    std::string enc = encode_discrete(*st.g, *st.payloads, color, &order);
-    if (!st.has_best || enc < st.best) {
-      st.best = std::move(enc);
-      st.best_order = std::move(order);
-      st.has_best = true;
+    std::string enc = encode_discrete(g_, payloads_, color, &order);
+    if (!has_best_ || enc < best_) {
+      best_ = std::move(enc);
+      best_order_ = std::move(order);
+      best_path_ = path_;
+      has_best_ = true;
+      return;
     }
-    return;
-  }
-  for (NodeId v : cell) {
-    // Split {v} out of its class below the rest: double every colour, then
-    // lower v's. Refinement re-normalizes the ranks.
-    Coloring child = color;
-    for (int& c : child) {
-      c *= 2;
+    if (enc != best_) {
+      return;
     }
-    child[static_cast<std::size_t>(v)] -= 1;
-    search(st, std::move(child));
+    // Equal leaves certify the automorphism g(order[i]) = best_order[i].
+    const std::size_t n = order.size();
+    std::vector<NodeId> a(n);
+    bool identity = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      a[static_cast<std::size_t>(order[i])] = best_order_[i];
+      identity = identity && order[i] == best_order_[i];
+    }
+    if (identity) {
+      return;
+    }
+    if (autos_.size() < kMaxAutomorphisms) {
+      autos_.push_back(a);
+      bump(&CanonicalStats::automorphisms);
+    }
+    // Divergence unwind: if g fixes the shared prefix and maps this leaf's
+    // divergent branch onto the (already fully explored) branch the best
+    // leaf took, the rest of the current subtree is an isomorphic copy.
+    std::size_t d = 0;
+    while (d < path_.size() && d < best_path_.size() &&
+           path_[d] == best_path_[d]) {
+      ++d;
+    }
+    if (d >= path_.size() || d >= best_path_.size()) {
+      return;
+    }
+    for (std::size_t i = 0; i < d; ++i) {
+      if (a[static_cast<std::size_t>(path_[i])] != path_[i]) {
+        return;
+      }
+    }
+    if (a[static_cast<std::size_t>(path_[d])] == best_path_[d]) {
+      unwind_to_ = static_cast<int>(d);
+    }
   }
+
+  void search(Coloring color, std::size_t depth) {
+    bump(&CanonicalStats::nodes);
+    const int classes = refiner_.refine(color, stats_);
+    const std::vector<NodeId> cell = target_cell(color, classes);
+    if (cell.empty()) {
+      handle_leaf(color);
+      return;
+    }
+    // `uf_` is shared scratch: any child recursion rebuilds it for its own
+    // cell, so it must be repopulated for this node after every descent.
+    bool orbits_valid = false;
+    std::vector<NodeId> processed;
+    for (NodeId v : cell) {
+      if (!orbits_valid) {
+        rebuild_orbits(cell, depth);
+        orbits_valid = true;
+      }
+      bool duplicate = false;
+      for (NodeId w : processed) {
+        if (uf_.find(static_cast<std::size_t>(v)) ==
+            uf_.find(static_cast<std::size_t>(w))) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) {
+        // Same orbit as an explored sibling: its subtree encodings are a
+        // permuted copy — nothing new can beat the running best.
+        bump(autos_.empty() ? &CanonicalStats::twin_prunes
+                            : &CanonicalStats::orbit_prunes);
+        continue;
+      }
+      // Split {v} out of its class below the rest: double every colour,
+      // then lower v's. Refinement re-normalizes the ranks.
+      Coloring child = color;
+      for (int& c : child) {
+        c *= 2;
+      }
+      child[static_cast<std::size_t>(v)] -= 1;
+      path_.push_back(v);
+      search(std::move(child), depth + 1);
+      path_.pop_back();
+      processed.push_back(v);
+      orbits_valid = false;  // the descent clobbered uf_ (and may add autos)
+      if (unwind_to_ >= 0) {
+        if (static_cast<std::size_t>(unwind_to_) < depth) {
+          return;  // an ancestor owns the divergence level
+        }
+        unwind_to_ = -1;  // this level: skip deeper, continue with siblings
+      }
+    }
+  }
+
+  const Graph& g_;
+  const std::vector<std::string>& payloads_;
+  const std::size_t max_leaves_;
+  CanonicalStats* stats_;
+  Refiner refiner_;
+  UnionFind uf_;
+
+  std::size_t leaves_ = 0;
+  std::string best_;
+  std::vector<NodeId> best_order_;
+  std::vector<NodeId> best_path_;
+  bool has_best_ = false;
+  std::vector<NodeId> path_;
+  std::vector<std::vector<NodeId>> autos_;
+  int unwind_to_ = -1;
+};
+
+void run_indexed(exec::ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+  }
+}
+
+struct ExtractedBall {
+  Graph g;
+  NodeId center = 0;
+  std::vector<std::string> payloads;  // centre-marked: ("C"|"N") + host bytes
+};
+
+ExtractedBall extract_census_ball(const Graph& host,
+                                  const std::vector<std::string>& payloads,
+                                  NodeId v, int radius) {
+  const std::vector<NodeId> members = nodes_within(host, v, radius);
+  InducedSubgraph sub = induced_subgraph(host, members);
+  ExtractedBall ball;
+  ball.center = sub.from_parent.at(v);
+  ball.payloads.reserve(members.size());
+  for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
+    std::string p = (static_cast<NodeId>(i) == ball.center) ? "C" : "N";
+    p += payloads[static_cast<std::size_t>(sub.to_parent[i])];
+    ball.payloads.push_back(std::move(p));
+  }
+  ball.g = std::move(sub.graph);
+  return ball;
+}
+
+// Injective serialization of the extracted ball — two balls with equal raw
+// keys are byte-identical structures, hence share their canonical form.
+std::string raw_ball_key(const ExtractedBall& ball) {
+  std::string key;
+  key += std::to_string(ball.g.node_count());
+  key += "|";
+  key += std::to_string(ball.center);
+  key += "|";
+  for (const std::string& p : ball.payloads) {
+    key += std::to_string(p.size());
+    key += ":";
+    key += p;
+    key += ";";
+  }
+  key += "|";
+  for (NodeId v = 0; v < ball.g.node_count(); ++v) {
+    for (NodeId w : ball.g.neighbors(v)) {
+      if (w > v) {
+        key += std::to_string(v);
+        key += ",";
+        key += std::to_string(w);
+        key += ";";
+      }
+    }
+  }
+  return key;
 }
 
 }  // namespace
 
 CanonicalForm canonical_form(const Graph& g,
                              const std::vector<std::string>& payloads,
-                             std::size_t max_leaves) {
+                             std::size_t max_leaves, CanonicalStats* stats) {
   LOCALD_CHECK(payloads.size() == static_cast<std::size_t>(g.node_count()),
                "one payload required per node");
-  // Initial colouring groups nodes by payload.
-  std::map<std::string, int> payload_rank;
-  for (const auto& p : payloads) {
-    payload_rank.emplace(p, 0);
-  }
-  int next = 0;
-  for (auto& [p, r] : payload_rank) {
-    r = next++;
-  }
-  Coloring color(payloads.size());
-  for (std::size_t v = 0; v < payloads.size(); ++v) {
-    color[v] = payload_rank[payloads[v]];
-  }
-
-  SearchState st;
-  st.g = &g;
-  st.payloads = &payloads;
-  st.max_leaves = max_leaves;
-  search(st, std::move(color));
-  LOCALD_ASSERT(st.has_best || g.node_count() == 0,
-                "canonical search produced no leaf");
-  if (g.node_count() == 0) {
-    st.best = "n=0;";
-  }
-
-  CanonicalForm out;
-  out.order = std::move(st.best_order);
-  out.encoding = std::move(st.best);
-  out.fingerprint = hash_string(out.encoding);
-  return out;
+  g_forms.fetch_add(1, std::memory_order_relaxed);
+  Canonicalizer canonicalizer(g, payloads, max_leaves, stats);
+  return canonicalizer.run();
 }
 
 CanonicalForm canonical_form(const Graph& g, std::size_t max_leaves) {
   return canonical_form(
       g, std::vector<std::string>(static_cast<std::size_t>(g.node_count())),
       max_leaves);
+}
+
+std::string wl_certificate(const Graph& g,
+                           const std::vector<std::string>& payloads) {
+  LOCALD_CHECK(payloads.size() == static_cast<std::size_t>(g.node_count()),
+               "one payload required per node");
+  const std::size_t n = payloads.size();
+  if (n == 0) {
+    return "wl:n=0;";
+  }
+  Coloring color = payload_coloring(payloads);
+  Refiner refiner(g);
+  const int classes = refiner.refine(color, nullptr);
+  // One class description per colour, in rank order: size, the payload the
+  // class shares, and the sorted neighbour-colour multiset every member
+  // sees — all isomorphism-invariant at stability.
+  std::vector<std::string> lines(static_cast<std::size_t>(classes));
+  std::vector<int> size(static_cast<std::size_t>(classes), 0);
+  for (int c : color) {
+    ++size[static_cast<std::size_t>(c)];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto c = static_cast<std::size_t>(color[v]);
+    if (!lines[c].empty()) {
+      continue;
+    }
+    std::vector<int> around;
+    for (NodeId w : g.neighbors(static_cast<NodeId>(v))) {
+      around.push_back(color[static_cast<std::size_t>(w)]);
+    }
+    std::sort(around.begin(), around.end());
+    std::string line;
+    line += "C";
+    line += std::to_string(c);
+    line += "|n=";
+    line += std::to_string(size[c]);
+    line += "|L";
+    line += std::to_string(payloads[v].size());
+    line += ":";
+    line += payloads[v];
+    line += "|A";
+    for (int a : around) {
+      line += std::to_string(a);
+      line += ",";
+    }
+    line += ";";
+    lines[c] = std::move(line);
+  }
+  std::string cert = "wl:n=" + std::to_string(n) + ";";
+  for (const std::string& line : lines) {
+    cert += line;
+  }
+  return cert;
+}
+
+BallCensusResult canonical_census(const Graph& host,
+                                  const std::vector<std::string>& payloads,
+                                  int radius, exec::ThreadPool* pool,
+                                  std::size_t max_leaves) {
+  LOCALD_CHECK(payloads.size() == static_cast<std::size_t>(host.node_count()),
+               "one payload required per host node");
+  LOCALD_CHECK(radius >= 0, "radius must be non-negative");
+  const std::size_t n = static_cast<std::size_t>(host.node_count());
+  BallCensusResult result;
+  result.encodings.resize(n);
+  g_census_balls.fetch_add(n, std::memory_order_relaxed);
+  if (n == 0) {
+    return result;
+  }
+
+  // Stage 1 (parallel): extract every ball and serialize it exactly.
+  std::vector<std::string> raw(n);
+  run_indexed(pool, n, [&](std::size_t i) {
+    raw[i] = raw_ball_key(extract_census_ball(
+        host, payloads, static_cast<NodeId>(i), radius));
+  });
+
+  // Dedup in node order (scheduling-independent): byte-identical extracted
+  // structures share one canonicalization.
+  std::unordered_map<std::string_view, std::size_t> slot_of_key;
+  std::vector<NodeId> representative;
+  std::vector<std::size_t> slot(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [it, inserted] =
+        slot_of_key.emplace(raw[i], representative.size());
+    if (inserted) {
+      representative.push_back(static_cast<NodeId>(i));
+    } else {
+      g_census_raw_hits.fetch_add(1, std::memory_order_relaxed);
+      ++result.raw_duplicates;
+    }
+    slot[i] = it->second;
+  }
+  result.unique_structures = representative.size();
+
+  // Stage 2 (parallel): one tier-2 search per unique structure.
+  std::vector<std::string> encodings(representative.size());
+  run_indexed(pool, representative.size(), [&](std::size_t k) {
+    const ExtractedBall ball =
+        extract_census_ball(host, payloads, representative[k], radius);
+    encodings[k] =
+        canonical_form(ball.g, ball.payloads, max_leaves).encoding;
+  });
+
+  // Stage 3: fold unique structures into classes (distinct structures can
+  // share a canonical form) and scatter in node order. Slots are ordered
+  // by first-occurrence node, so the first slot of a class names the
+  // class's first host node as its representative.
+  std::vector<std::size_t> class_of_slot(representative.size());
+  std::unordered_map<std::string_view, std::size_t> class_ids;
+  for (std::size_t k = 0; k < representative.size(); ++k) {
+    const auto [it, inserted] = class_ids.emplace(encodings[k],
+                                                  class_ids.size());
+    if (inserted) {
+      result.class_representative.push_back(representative[k]);
+    }
+    class_of_slot[k] = it->second;
+  }
+  result.distinct = static_cast<std::int64_t>(class_ids.size());
+  result.class_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.encodings[i] = encodings[slot[i]];
+    result.class_of[i] = class_of_slot[slot[i]];
+  }
+  return result;
+}
+
+CanonicalizationCounters canonicalization_counters() {
+  CanonicalizationCounters out;
+  out.forms = g_forms.load(std::memory_order_relaxed);
+  out.census_balls = g_census_balls.load(std::memory_order_relaxed);
+  out.census_raw_hits = g_census_raw_hits.load(std::memory_order_relaxed);
+  return out;
 }
 
 bool isomorphic(const Graph& a, const std::vector<std::string>& payload_a,

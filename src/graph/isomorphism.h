@@ -1,13 +1,41 @@
-// Canonical forms for vertex-labelled graphs.
+// Canonical forms for vertex-labelled graphs — the two-tier
+// canonicalization engine behind every cache-keyed path in locald.
 //
 // The indistinguishability arguments of the paper compare radius-t balls up
 // to label-preserving isomorphism: an Id-oblivious algorithm is exactly a
 // function of the ball's isomorphism class. `canonical_form` computes a
 // complete invariant — two labelled graphs have equal encodings if and only
-// if they are isomorphic by a label-preserving bijection — via colour
-// refinement (1-WL) plus individualization–refinement search over the first
+// if they are isomorphic by a label-preserving bijection.
+//
+// Tier 1 is fast colour refinement (1-WL) on partition-refinement data
+// structures: per-round rank assignment over flat signature arenas instead
+// of per-round `std::map` rebuilds, with all scratch shared across the
+// whole search. The stable partition doubles as a cheap certificate
+// (`wl_certificate`): equal certificates are necessary (never sufficient)
+// for isomorphism, so certificate buckets bound which graphs can collide.
+//
+// Tier 2 is individualization–refinement over the first smallest
 // non-singleton colour class, taking the lexicographically least leaf
-// encoding.
+// encoding — upgraded with automorphism discovery and orbit pruning:
+//  - twin pruning: cell members with identical open or closed
+//    neighbourhoods are interchangeable by a transposition that fixes
+//    everything else, so only one per twin class is branched on (a star's
+//    k interchangeable leaves cost one branch instead of k! orderings);
+//  - leaf automorphisms: two leaves with equal encodings certify an
+//    automorphism; discovered generators merge branch targets into orbits
+//    (same orbit ⇒ same subtree encodings ⇒ skip), and the search unwinds
+//    to the divergence level whose subtree the automorphism maps onto an
+//    already-explored sibling.
+// Symmetric inputs therefore cost near-linear in the orbit structure of
+// the automorphism group instead of factorial in cell sizes.
+//
+// `canonical_census` is the bulk API: one call canonicalizes the radius-t
+// ball of every host node, deduplicating balls that are byte-identical as
+// extracted before any search runs (on structured families almost all of
+// them), then canonicalizing each distinct structure exactly once —
+// parallelized over the exec `ThreadPool` with byte-identical output at
+// any thread count. Census encodings agree byte-for-byte with per-ball
+// `canonical_form` on centre-marked payloads.
 //
 // Intended for the small graphs this project compares (balls, fragments,
 // instances up to a few thousand nodes). Labels carried as opaque byte
@@ -21,6 +49,10 @@
 
 #include "graph/graph.h"
 
+namespace locald::exec {
+class ThreadPool;
+}  // namespace locald::exec
+
 namespace locald::graph {
 
 struct CanonicalForm {
@@ -32,15 +64,79 @@ struct CanonicalForm {
   std::uint64_t fingerprint = 0;
 };
 
+// Search effort counters of one `canonical_form` call (exposed so tests can
+// pin the orbit pruning down: a symmetric input whose naive search visits
+// k! leaves must stay under a tight budget).
+struct CanonicalStats {
+  std::size_t leaves = 0;             // discrete colourings encoded
+  std::size_t nodes = 0;              // search-tree nodes visited
+  std::size_t automorphisms = 0;      // generators discovered at leaves
+  std::size_t orbit_prunes = 0;       // branches skipped as orbit duplicates
+  std::size_t twin_prunes = 0;        // branches skipped as cell twins
+  std::size_t refinement_rounds = 0;  // colour-refinement rounds run
+};
+
 // `payloads[v]` is the label of node v as opaque bytes (may be empty).
 // Throws locald::Error if the search would exceed `max_leaves` discrete
-// orderings (pathologically symmetric inputs).
+// orderings (pathologically symmetric inputs beyond what the orbit pruning
+// can collapse). `stats`, when non-null, receives the search counters.
 CanonicalForm canonical_form(const Graph& g,
                              const std::vector<std::string>& payloads,
-                             std::size_t max_leaves = 1 << 20);
+                             std::size_t max_leaves = 1 << 20,
+                             CanonicalStats* stats = nullptr);
 
 // Convenience: all payloads empty (pure topology).
 CanonicalForm canonical_form(const Graph& g, std::size_t max_leaves = 1 << 20);
+
+// Tier-1 certificate: the stable 1-WL colouring as an isomorphism-invariant
+// string. Equal on isomorphic inputs; cheap (no search); NOT complete —
+// non-isomorphic graphs may share a certificate, which is exactly when the
+// tier-2 search earns its keep. canonical_form-equal graphs always share a
+// certificate.
+std::string wl_certificate(const Graph& g,
+                           const std::vector<std::string>& payloads);
+
+// Bulk ball census over a host graph: the canonical class of B(v, radius)
+// for every host node v, centre-marked ("C"/"N" payload prefixes, matching
+// local::Ball's stripped-ball payload scheme) so the centre is
+// distinguished. `payloads[v]` contributes the host node's label bytes to
+// every ball containing v (pass empty strings for pure topology).
+struct BallCensusResult {
+  // encodings[v] = canonical encoding of the centre-marked ball B(v, radius);
+  // byte-identical to canonical_form on the extracted ball.
+  std::vector<std::string> encodings;
+  // class_of[v] = dense class id of node v's ball, numbered by first
+  // occurrence in node order; class_representative[c] = the first host
+  // node (in node order) whose ball is in class c. Consumers that decide
+  // once per class and scatter over members (the family workload) read
+  // these instead of re-deduplicating the encodings.
+  std::vector<std::size_t> class_of;
+  std::vector<NodeId> class_representative;
+  // Number of distinct encodings (= isomorphism classes of balls).
+  std::int64_t distinct = 0;
+  // Balls that were byte-identical as extracted and skipped the search.
+  std::size_t raw_duplicates = 0;
+  // Distinct extracted structures actually canonicalized.
+  std::size_t unique_structures = 0;
+};
+
+// Deterministic at every thread count: the ball population, the dedup, and
+// each structure's canonical form are pure functions of (host, payloads,
+// radius), and `pool` only changes who computes what. Null pool = serial.
+BallCensusResult canonical_census(const Graph& host,
+                                  const std::vector<std::string>& payloads,
+                                  int radius, exec::ThreadPool* pool = nullptr,
+                                  std::size_t max_leaves = 1 << 20);
+
+// Monotonic process-wide canonicalization counters (surfaced by the
+// server's /v1/metrics). Counts work done, not work saved: a census ball
+// answered by raw dedup increments census_raw_hits instead of forms.
+struct CanonicalizationCounters {
+  std::uint64_t forms = 0;            // canonical_form searches run
+  std::uint64_t census_balls = 0;     // balls passed through canonical_census
+  std::uint64_t census_raw_hits = 0;  // census balls answered by raw dedup
+};
+CanonicalizationCounters canonicalization_counters();
 
 bool isomorphic(const Graph& a, const std::vector<std::string>& payload_a,
                 const Graph& b, const std::vector<std::string>& payload_b);

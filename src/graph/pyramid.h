@@ -9,8 +9,7 @@
 //
 // The builders live here — in the graph layer — so the halting subsystem's
 // pyramidal G(M, r) assembly and the gen/ workload-generator's `pyramid`
-// family share one implementation (src/halting/pyramid.h re-exports these
-// names for its historical call sites).
+// family share one implementation.
 #pragma once
 
 #include <cstdint>

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <map>
 
-#include "halting/pyramid.h"
+#include "graph/pyramid.h"
 #include "support/format.h"
 #include "tm/run.h"
 
 namespace locald::halting {
+
+using graph::PyramidIndexer;
+using graph::attach_pyramid;
 
 local::Label cell_label(const tm::TuringMachine& m, int r, int x, int y,
                         int code, std::int64_t role) {

@@ -1,13 +1,47 @@
 #include "local/indistinguishability.h"
 
+#include "graph/isomorphism.h"
 #include "local/simulator.h"
+#include "support/hash.h"
 
 namespace locald::local {
 
-void BallProfile::add_graph(const LabeledGraph& g) {
+namespace {
+
+// Census over the stripped radius-r balls of `g`, byte-compatible with
+// Ball::canonical_encoding(): the census centre-marks ("C"/"N" prefixes)
+// the label payloads exactly as Ball does, so prefixing the radius yields
+// the identical encoding — and hence the identical fingerprint — that
+// add_ball/contains compute one ball at a time.
+std::vector<std::uint64_t> ball_fingerprints(const LabeledGraph& g, int radius,
+                                             const exec::ExecContext& ctx) {
+  std::vector<std::string> payloads;
+  payloads.reserve(static_cast<std::size_t>(g.node_count()));
   for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    const Ball ball = extract_ball(g, nullptr, v, radius_);
-    add_ball(ball);
+    payloads.push_back(g.label(v).payload());
+  }
+  const graph::BallCensusResult census =
+      graph::canonical_census(g.graph(), payloads, radius, ctx.pool);
+  const std::string prefix = "r=" + std::to_string(radius) + ";";
+  std::vector<std::uint64_t> fingerprints;
+  fingerprints.reserve(census.encodings.size());
+  for (const std::string& enc : census.encodings) {
+    fingerprints.push_back(hash_string(prefix + enc));
+  }
+  return fingerprints;
+}
+
+}  // namespace
+
+void BallProfile::add_graph(const LabeledGraph& g) {
+  add_graph(g, exec::ExecContext{});
+}
+
+void BallProfile::add_graph(const LabeledGraph& g,
+                            const exec::ExecContext& ctx) {
+  for (const std::uint64_t fp : ball_fingerprints(g, radius_, ctx)) {
+    fingerprints_.insert(fp);
+    ++balls_seen_;
   }
 }
 
@@ -33,13 +67,21 @@ BallProfile BallProfile::of_graph(const LabeledGraph& g, int radius) {
 AuditResult audit_indistinguishability(const LabeledGraph& no_instance,
                                        const BallProfile& yes_profile,
                                        std::size_t max_witnesses) {
+  return audit_indistinguishability(no_instance, yes_profile,
+                                    exec::ExecContext{}, max_witnesses);
+}
+
+AuditResult audit_indistinguishability(const LabeledGraph& no_instance,
+                                       const BallProfile& yes_profile,
+                                       const exec::ExecContext& ctx,
+                                       std::size_t max_witnesses) {
   AuditResult result;
   result.radius = yes_profile.radius();
+  const std::vector<std::uint64_t> fps =
+      ball_fingerprints(no_instance, yes_profile.radius(), ctx);
   std::unordered_set<std::uint64_t> seen;
   for (graph::NodeId v = 0; v < no_instance.node_count(); ++v) {
-    const Ball ball =
-        extract_ball(no_instance, nullptr, v, yes_profile.radius());
-    const std::uint64_t fp = ball.canonical_fingerprint();
+    const std::uint64_t fp = fps[static_cast<std::size_t>(v)];
     ++result.nodes_audited;
     seen.insert(fp);
     if (!yes_profile.contains(fp)) {

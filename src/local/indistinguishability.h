@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "exec/context.h"
 #include "local/algorithm.h"
 #include "local/labeled_graph.h"
 
@@ -31,8 +32,13 @@ class BallProfile {
 
   int radius() const { return radius_; }
 
-  // Adds the stripped ball of every node of `g`.
+  // Adds the stripped ball of every node of `g`. Both overloads route
+  // through the bulk census (graph/isomorphism.h) — byte-identical
+  // extracted balls canonicalize once; the ExecContext overload
+  // additionally fans the canonicalizations over `ctx.pool`. Fingerprints
+  // are identical to per-ball add_ball at any thread count.
   void add_graph(const LabeledGraph& g);
+  void add_graph(const LabeledGraph& g, const exec::ExecContext& ctx);
 
   // Adds one ball (must be stripped and of matching radius).
   void add_ball(const Ball& ball);
@@ -68,9 +74,14 @@ struct AuditResult {
 };
 
 // Checks whether every radius-(profile.radius()) ball of `no_instance`
-// occurs in `yes_profile`.
+// occurs in `yes_profile`. The ExecContext overload runs the no-instance
+// census on `ctx.pool`; results are identical at any thread count.
 AuditResult audit_indistinguishability(const LabeledGraph& no_instance,
                                        const BallProfile& yes_profile,
+                                       std::size_t max_witnesses = 5);
+AuditResult audit_indistinguishability(const LabeledGraph& no_instance,
+                                       const BallProfile& yes_profile,
+                                       const exec::ExecContext& ctx,
                                        std::size_t max_witnesses = 5);
 
 // Runs the oblivious algorithm on the no-instance and reports whether it

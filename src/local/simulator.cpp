@@ -12,6 +12,18 @@ namespace {
 // from the (trial, node) coin streams of estimate_acceptance under one seed.
 constexpr std::uint64_t kProbeIdStreamTag = 0x70726f6265ULL;  // "probe"
 
+// Hub balls above this size bypass the cache. Class-keying costs
+// Ω(ball bytes) per ball while the probability of meeting an isomorphic
+// ball collapses as balls grow (a high-degree hub drags its whole
+// neighbourhood — labels and all — into every nearby ball, and such balls
+// are nearly always unique). Measured on fig2-gmr: the pivot's ~2400-node
+// radius-2 balls cost ~4ms each to encode against sub-millisecond
+// verifier evaluations at a ~0% hit rate, while the graph's thousands of
+// small grid-cell balls encode in microseconds and do repeat. The cap is
+// a pure function of the ball, so memoized == unmemoized still holds at
+// every thread count.
+constexpr graph::NodeId kMemoBallCap = 256;
+
 // Evaluate through the memoization cache when one is wired up. The cache key
 // is the ball's full canonical encoding (the fingerprint only picks the
 // shard), so a fingerprint collision can never smuggle in a wrong verdict.
@@ -19,7 +31,8 @@ constexpr std::uint64_t kProbeIdStreamTag = 0x70726f6265ULL;  // "probe"
 // by definition while canonicalizing only once.
 Verdict decide_ball(const LocalAlgorithm& alg, const std::string& alg_name,
                     const Ball& ball, exec::VerdictCache* cache) {
-  if (cache == nullptr || !alg.memoization_safe()) {
+  if (cache == nullptr || !alg.memoization_safe() ||
+      ball.node_count() > kMemoBallCap) {
     return alg.evaluate(ball);
   }
   const std::string encoding = ball.canonical_encoding();

@@ -84,18 +84,34 @@ Verdict ObliviousSimulation::evaluate(const Ball& ball) const {
                "id universe smaller than the ball");
   const exec::ExecContext ctx{options_.pool, nullptr};
   SimulationStats stats;
+  std::string encoding;  // set in exhaustive mode; keys the verdict memo
   std::atomic<bool> rejected{false};
   std::atomic<std::size_t> tried{0};
 
   const std::size_t total =
       injection_count(options_.id_universe, b, options_.max_assignments);
   if (total <= options_.max_assignments) {
-    // Exhaustive enumeration, fanned out over the centre slot's id: every
-    // branch owns its chosen/used scratch, so branches are independent.
-    // Note the exhaustive path only triggers for small universes (the
-    // injection count fits the budget), so the per-branch O(universe)
-    // scratch is cheap.
     stats.exhaustive = true;
+    // An exhaustive verdict quantifies over EVERY injection, so it is a
+    // pure function of the ball's isomorphism class — memoize it per
+    // canonical encoding (the class-keyed route through the
+    // canonicalization engine; sampled mode below must stay unmemoized,
+    // see memoization_safe()). A hit skips the whole enumeration.
+    encoding = ball.canonical_encoding();
+    {
+      std::lock_guard<std::mutex> lk(memo_mu_);
+      const auto hit = exhaustive_memo_.find(encoding);
+      if (hit != exhaustive_memo_.end()) {
+        stats.memo_hit = true;
+        std::lock_guard<std::mutex> sk(stats_mu_);
+        stats_ = stats;
+        return hit->second ? Verdict::no : Verdict::yes;
+      }
+    }
+    // Enumeration fanned out over the centre slot's id: every branch owns
+    // its chosen/used scratch, so branches are independent. The exhaustive
+    // path only triggers for small universes (the injection count fits the
+    // budget), so the per-branch O(universe) scratch is cheap.
     ctx.for_each(static_cast<std::size_t>(options_.id_universe),
                  [&](std::size_t first) {
                    if (rejected.load(std::memory_order_relaxed)) {
@@ -138,6 +154,12 @@ Verdict ObliviousSimulation::evaluate(const Ball& ball) const {
   }
 
   stats.assignments_tried = tried.load();
+  if (stats.exhaustive) {
+    std::lock_guard<std::mutex> lk(memo_mu_);
+    // Concurrent misses of the same class insert the same verdict (the
+    // enumeration is exhaustive), so last-writer-wins is harmless.
+    exhaustive_memo_[encoding] = rejected.load();
+  }
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     stats_ = stats;

@@ -16,6 +16,8 @@
 
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "exec/thread_pool.h"
 #include "local/algorithm.h"
@@ -39,6 +41,7 @@ struct SimulationOptions {
 // last evaluation to finish.
 struct SimulationStats {
   bool exhaustive = false;          // full injection enumeration used
+  bool memo_hit = false;            // answered from the exhaustive-mode memo
   std::size_t assignments_tried = 0;
 };
 
@@ -54,7 +57,10 @@ class ObliviousSimulation final : public local::LocalAlgorithm {
   // the candidate id lists are applied by node index, so two isomorphic
   // balls with different numbering are probed with different effective
   // assignments. Memoizing per canonical class would be unsound for an
-  // id-dependent inner algorithm.
+  // id-dependent inner algorithm. Exhaustive-mode verdicts, by contrast,
+  // quantify over EVERY injection, so they ARE class-invariant — the
+  // simulation memoizes those internally per canonical encoding (below)
+  // even though the external cache must stay off.
   bool memoization_safe() const override { return false; }
 
   local::Verdict evaluate(const local::Ball& ball) const override;
@@ -69,6 +75,13 @@ class ObliviousSimulation final : public local::LocalAlgorithm {
   SimulationOptions options_;
   mutable std::mutex stats_mu_;
   mutable SimulationStats stats_;
+  // Exhaustive-mode verdict memo, keyed by the stripped ball's canonical
+  // encoding (graph/isomorphism.h): whether some injection rejects is a
+  // pure function of the ball's isomorphism class when every injection is
+  // enumerated, so a hit can never change a verdict — it only skips a
+  // full enumeration. Deterministic at any thread count for that reason.
+  mutable std::mutex memo_mu_;
+  mutable std::unordered_map<std::string, bool> exhaustive_memo_;
 };
 
 std::unique_ptr<ObliviousSimulation> make_oblivious_simulation(

@@ -64,6 +64,15 @@ std::string metrics_document(const MetricsSnapshot& m) {
   w.key("resets");
   w.value(m.cache_resets);
   w.end_object();
+  w.key("canon");
+  w.begin_object();
+  w.key("forms");
+  w.value(m.canon.forms);
+  w.key("census_balls");
+  w.value(m.canon.census_balls);
+  w.key("census_raw_hits");
+  w.value(m.canon.census_raw_hits);
+  w.end_object();
   w.end_object();
   out << "\n";
   return out.str();
@@ -294,6 +303,7 @@ MetricsSnapshot Server::metrics() const {
   m.max_queue = options_.max_queue;
   m.pool_parallelism = pool_ ? pool_->parallelism() : 1;
   m.cache = cache_.stats();
+  m.canon = graph::canonicalization_counters();
   return m;
 }
 

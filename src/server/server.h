@@ -34,6 +34,7 @@
 
 #include "exec/thread_pool.h"
 #include "exec/verdict_cache.h"
+#include "graph/isomorphism.h"
 #include "server/http.h"
 
 namespace locald::server {
@@ -62,6 +63,11 @@ struct MetricsSnapshot {
   int max_queue = 0;
   int pool_parallelism = 1;
   exec::VerdictCache::Stats cache;
+  // Process-wide canonicalization-engine counters (graph/isomorphism.h):
+  // tier-2 searches run, census balls seen, census balls answered by the
+  // raw-structure dedup before any search. Monotonic, scheduling-dependent
+  // — /v1/metrics is the one endpoint allowed to be volatile.
+  graph::CanonicalizationCounters canon;
 };
 
 class Server {

@@ -1,16 +1,25 @@
 // Scheduling-determinism of the execution engine: the counter-based RNG
 // streams, the parallel simulator entry points (bit-identical results at
 // any thread count), the ball-fingerprint memoization (memoized and
-// unmemoized runs agree), and the zero-trial acceptance-estimate guard.
+// unmemoized runs agree — including on the re-enabled fig2-gmr verifier
+// path), the bulk canonicalization census (byte-identical encodings at
+// 1/2/8 threads on the families whose cells used to take the
+// degree-profile fallback), and the zero-trial acceptance-estimate guard.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 
+#include "cli/bench.h"
 #include "exec/context.h"
 #include "graph/generators.h"
+#include "graph/isomorphism.h"
+#include "halting/gmr.h"
+#include "halting/verifier.h"
 #include "local/simulator.h"
 #include "oblivious/simulation.h"
 #include "support/rng.h"
+#include "tm/zoo.h"
 
 namespace locald::local {
 namespace {
@@ -240,6 +249,107 @@ TEST(Determinism, ObliviousSimulationVerdictIndependentOfPool) {
     pooled.pool = &pool;
     const auto pooled_sim = oblivious::make_oblivious_simulation(inner, pooled);
     EXPECT_EQ(pooled_sim->evaluate(ball), reference);
+  }
+}
+
+TEST(Determinism, CensusEncodingsByteIdenticalAt1And2And8Threads) {
+  // The two families whose census cells PR 4 kept off the exact path: the
+  // census must now be exact AND byte-identical at every thread count.
+  for (const graph::Graph& host :
+       {graph::make_hypercube(5), graph::make_complete_bipartite(7, 7)}) {
+    const std::vector<std::string> payloads(
+        static_cast<std::size_t>(host.node_count()));
+    const graph::BallCensusResult serial =
+        graph::canonical_census(host, payloads, 1, nullptr);
+    for (int threads : {1, 2, 8}) {
+      exec::ThreadPool pool(threads);
+      const graph::BallCensusResult pooled =
+          graph::canonical_census(host, payloads, 1, &pool);
+      ASSERT_EQ(pooled.encodings, serial.encodings) << threads << " threads";
+      EXPECT_EQ(pooled.distinct, serial.distinct);
+      EXPECT_EQ(pooled.unique_structures, serial.unique_structures);
+      EXPECT_EQ(pooled.raw_duplicates, serial.raw_duplicates);
+    }
+  }
+}
+
+TEST(Determinism, FamilyWorkloadCellsByteIdenticalNowThatTheFallbackIsGone) {
+  // `locald bench` documents over hypercube and complete-bipartite — the
+  // cells that previously used the sound-but-incomplete degree-profile
+  // key — byte-identical across a 1/2/8 thread grid.
+  cli::BenchOptions base;
+  base.seed = 13;
+  base.families = {"hypercube", "complete-bipartite",
+                   "complete-bipartite:a=1"};
+  base.sizes = {32, 64};
+  std::ostringstream serial;
+  std::ostringstream pooled;
+  cli::BenchOptions a = base;
+  a.thread_grid = {1};
+  EXPECT_EQ(cli::run_bench(a, serial), 0);
+  cli::BenchOptions b = base;
+  b.thread_grid = {2, 8};  // bench cross-checks the grid internally too
+  EXPECT_EQ(cli::run_bench(b, pooled), 0);
+  EXPECT_EQ(serial.str(), pooled.str());
+}
+
+TEST(CacheCorrectness, MemoizedAndUnmemoizedAgreeOnTheGmrVerifierPath) {
+  // The fig2-gmr scenario routes its verifier through the shared cache
+  // again (PR 3 had it bypass the cache because canonicalization was ~5x
+  // the evaluation cost); memoized == unmemoized is the contract that
+  // makes that re-enablement safe, asserted on a real G(M, r) instance.
+  tm::FragmentPolicy policy;
+  policy.max_fragments = 60;
+  policy.seed = 7;
+  halting::GmrParams params{tm::halt_after(2, 0), 1, 3, policy, false, 4096};
+  const auto inst = halting::build_gmr(params);
+  const auto verifier = halting::make_gmr_verifier(3, policy, false, 4096);
+
+  exec::ExecContext plain;
+  const auto unmemoized = run_oblivious(*verifier, inst.graph, plain);
+  for (int threads : {1, 8}) {
+    exec::ThreadPool pool(threads);
+    exec::VerdictCache cache;
+    exec::ExecContext memo{&pool, &cache};
+    const auto memoized = run_oblivious(*verifier, inst.graph, memo);
+    EXPECT_EQ(memoized.outputs, unmemoized.outputs) << threads << " threads";
+    EXPECT_EQ(memoized.accepted, unmemoized.accepted);
+    const auto stats = cache.stats();
+    EXPECT_GT(stats.hits + stats.misses, 0u);
+  }
+}
+
+TEST(Determinism, ExhaustiveSimulationMemoNeverChangesTheVerdict) {
+  // A*'s exhaustive-mode verdicts are class-invariant and internally
+  // memoized; re-evaluating isomorphic balls must hit the memo and return
+  // the identical verdict, serial or pooled.
+  auto inner = std::make_shared<LambdaAlgorithm>(
+      "center-max-rejects", 1, false, [](const Ball& ball) {
+        const Id c = ball.center_id();
+        for (graph::NodeId v = 0; v < ball.node_count(); ++v) {
+          if (v != ball.center && ball.id_of(v) > c) {
+            return Verdict::yes;
+          }
+        }
+        return Verdict::no;
+      });
+  oblivious::SimulationOptions options;
+  options.id_universe = 6;
+  options.max_assignments = 10'000;
+  const auto sim = oblivious::make_oblivious_simulation(inner, options);
+  const LabeledGraph cycle =
+      LabeledGraph::uniform(make_cycle(12), Label{});
+  exec::ExecContext plain;
+  const auto first = run_oblivious(*sim, cycle, plain);
+  EXPECT_TRUE(sim->last_stats().exhaustive);
+  // All 12 balls are isomorphic: the second run is answered by the memo.
+  const auto second = run_oblivious(*sim, cycle, plain);
+  EXPECT_EQ(second.outputs, first.outputs);
+  EXPECT_TRUE(sim->last_stats().memo_hit);
+  for (int threads : {2, 8}) {
+    exec::ThreadPool pool(threads);
+    exec::ExecContext ctx{&pool, nullptr};
+    EXPECT_EQ(run_oblivious(*sim, cycle, ctx).outputs, first.outputs);
   }
 }
 

@@ -294,6 +294,27 @@ TEST(Workload, CycleCellIsFullyDetermined) {
   EXPECT_TRUE(r.panel[0].accepted);
 }
 
+TEST(Workload, SymmetricFamilyCellsReportExactBallClassCounts) {
+  // PR 4's census fell back to a degree-profile invariant on these shapes
+  // (k >= 7 interchangeable star leaves); the two-tier engine censuses
+  // them exactly. The expected counts are forced by the topology: every
+  // radius-1 ball in a hypercube or K_{m,m} is a centre-marked star, so
+  // Q_d has one class, K_{m,m} one (m = m), K_{a,b} two (a != b), and a
+  // star host two (hub ball = the whole star, leaf ball = one edge).
+  const auto classes_of = [](const std::string& selector) {
+    WorkloadOptions opts;
+    const WorkloadResult r =
+        run_family_workload(resolve_family_text(selector), opts, {});
+    EXPECT_TRUE(r.invariants_ok) << selector;
+    return r.ball_classes;
+  };
+  EXPECT_EQ(classes_of("hypercube:dims=4"), 1);
+  EXPECT_EQ(classes_of("hypercube:dims=6"), 1);
+  EXPECT_EQ(classes_of("complete-bipartite:a=8,b=8"), 1);
+  EXPECT_EQ(classes_of("complete-bipartite:a=4,b=7"), 2);
+  EXPECT_EQ(classes_of("complete-bipartite:a=1,b=40"), 2);
+}
+
 TEST(Workload, PanelCountsMatchBetweenSerialAndPooledRuns) {
   const FamilyInstanceSpec spec = resolve_family_text("gnp:n=40,permille=200");
   WorkloadOptions opts;

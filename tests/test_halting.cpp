@@ -4,12 +4,12 @@
 // Corollary-1 randomized decider, and the promise problem.
 #include <gtest/gtest.h>
 
+#include "graph/generators.h"
+#include "graph/pyramid.h"
 #include "halting/analysis.h"
 #include "halting/gmr.h"
 #include "halting/promise_halting.h"
-#include "halting/pyramid.h"
 #include "halting/verifier.h"
-#include "graph/generators.h"
 #include "local/property.h"
 #include "local/simulator.h"
 #include "tm/run.h"
@@ -18,6 +18,10 @@
 namespace locald::halting {
 namespace {
 
+using graph::PyramidIndexer;
+using graph::attach_pyramid;
+using graph::build_pyramid;
+using graph::is_pyramid;
 using local::LabeledGraph;
 using local::Verdict;
 

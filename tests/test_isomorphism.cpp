@@ -109,8 +109,16 @@ TEST(Canonical, HighlySymmetricFamiliesAgree) {
 }
 
 TEST(Canonical, LeafBudgetEnforced) {
-  const Graph k8 = make_complete(8);
-  EXPECT_THROW(canonical_form(k8, blank_payloads(k8), 3), Error);
+  // A complete graph no longer exhausts budgets (twin pruning collapses it
+  // to one leaf); a torus genuinely branches — its orbits are discovered
+  // from leaf automorphisms, so several leaves must be visited.
+  const Graph torus = make_torus(4, 4);
+  EXPECT_THROW(canonical_form(torus, blank_payloads(torus), 2), Error);
+  // The same search completes (and stays exact) under a realistic budget.
+  CanonicalStats stats;
+  const auto c = canonical_form(torus, blank_payloads(torus), 64, &stats);
+  EXPECT_FALSE(c.encoding.empty());
+  EXPECT_LE(stats.leaves, 64u);
 }
 
 TEST(Canonical, CycleLengthsSeparate) {

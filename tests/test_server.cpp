@@ -469,6 +469,11 @@ TEST(ServerSocket, SecondIdenticalRequestHitsTheSharedCache) {
   EXPECT_GT(cache->find("hits")->as_integer(), 0);
   EXPECT_GT(cache->find("entries")->as_integer(), 0);
   EXPECT_EQ(m.find("requests_total")->as_integer(), 3);
+  // The canonicalization-engine counters ride along (process-wide
+  // monotonic: the cache-keyed runs above canonicalized balls).
+  const JsonValue* canon = m.find("canon");
+  ASSERT_NE(canon, nullptr);
+  EXPECT_GT(canon->find("forms")->as_integer(), 0);
   server.stop();
 }
 
