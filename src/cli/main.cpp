@@ -9,6 +9,7 @@
 //   locald bench [--family spec]... [--sizes a,b,c] [--seed N]
 //                [--threads a,b,c] [--timing]
 //   locald serve [--port P] [--threads N] [--workers N] [--queue N]
+//                [--store DIR]
 //   locald help [scenario]
 //
 // Exit status: 0 when every executed scenario reproduced the paper's
@@ -89,7 +90,10 @@ int usage(std::ostream& out, int status) {
          "(default 4)\n"
          "  --queue N       serve only: accepted-connection bound; beyond "
          "it requests\n"
-         "                  are shed with 503 + Retry-After (default 64)\n";
+         "                  are shed with 503 + Retry-After (default 64)\n"
+         "  --store DIR     serve only: persistent verdict store backing "
+         "the shared\n"
+         "                  cache; a restarted server starts warm\n";
   return status;
 }
 
@@ -207,8 +211,11 @@ int run_serve(const server::ServeOptions& serve_opts) {
   }
   std::cout << "locald serve: http://" << serve_opts.host << ":" << srv.port()
             << " (workers=" << serve_opts.workers
-            << ", queue=" << serve_opts.max_queue << "); Ctrl-C to stop\n"
-            << std::flush;
+            << ", queue=" << serve_opts.max_queue;
+  if (!serve_opts.store_path.empty()) {
+    std::cout << ", store=" << serve_opts.store_path;
+  }
+  std::cout << "); Ctrl-C to stop\n" << std::flush;
   std::signal(SIGINT, on_shutdown_signal);
   std::signal(SIGTERM, on_shutdown_signal);
   while (!g_shutdown.load()) {
@@ -304,6 +311,7 @@ int main_impl(int argc, char** argv) {
   int port = -1;     // serve only; -1 = default
   int workers = -1;  // serve only
   int queue = -1;    // serve only
+  std::string store;  // serve only; persistent verdict-store directory
   bool run_all = false;
   bool timing = false;
   bool canon = false;          // bench --canon
@@ -345,6 +353,13 @@ int main_impl(int argc, char** argv) {
       } else {
         queue = static_cast<int>(*parsed);
       }
+    } else if (arg == "--store") {
+      const auto value = take_value();
+      if (!value || value->empty()) {
+        std::cerr << "--store needs a directory path\n";
+        return 2;
+      }
+      store = *value;
     } else if (arg == "--seed" || arg == "--size" || arg == "--trials") {
       const auto value = take_value();
       const auto parsed = value ? parse_int(*value) : std::nullopt;
@@ -413,8 +428,9 @@ int main_impl(int argc, char** argv) {
     }
   }
 
-  if (command != "serve" && (port != -1 || workers != -1 || queue != -1)) {
-    std::cerr << "--port/--workers/--queue are serve options\n";
+  if (command != "serve" &&
+      (port != -1 || workers != -1 || queue != -1 || !store.empty())) {
+    std::cerr << "--port/--workers/--queue/--store are serve options\n";
     return 2;
   }
   if (command != "bench" && thread_grid.size() > 1) {
@@ -491,12 +507,14 @@ int main_impl(int argc, char** argv) {
     if (!positional.empty() || run_all || timing || !sizes.empty() ||
         !format.empty() || opts.size != 0 || opts.trials != 0 || seed_set ||
         !families.empty()) {
-      std::cerr << "serve takes only --port, --threads, --workers, --queue\n";
+      std::cerr << "serve takes only --port, --threads, --workers, --queue, "
+                   "--store\n";
       return 2;
     }
     server::ServeOptions serve_opts;
     if (port != -1) serve_opts.port = port;
     serve_opts.threads = threads;
+    serve_opts.store_path = store;
     if (workers != -1) {
       if (workers == 0) {
         std::cerr << "--workers must be at least 1\n";

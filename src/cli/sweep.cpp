@@ -55,7 +55,7 @@ CellResult run_cell(const Scenario& scenario, const SweepOptions& sweep,
 }  // namespace
 
 int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
-              std::ostream& out) {
+              std::ostream& out, const std::function<void()>& flush) {
   const Scenario* scenario = find_scenario(scenario_name);
   if (scenario == nullptr) {
     std::cerr << "unknown scenario: " << scenario_name
@@ -79,27 +79,12 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
     pool = &*owned_pool;
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
-  std::vector<CellResult> cells;
-  cells.reserve(sizes.size());
-  // Cells run in grid order on one thread; parallelism lives inside the
-  // scenario's hot paths, which keeps nested pools out of the picture and
-  // the JSON cell order fixed.
-  for (int size : sizes) {
-    cells.push_back(run_cell(*scenario, sweep, size, pool));
-  }
-  const double total_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t0)
-          .count();
-
-  bool all_ok = true;
-  for (const CellResult& cell : cells) {
-    all_ok = all_ok && cell.ok;
-  }
-
-  // Deterministic fields first; everything scheduling-dependent is gated on
-  // --timing (see sweep.h for the byte-identity contract).
+  // The document is emitted incrementally — prelude, one object per cell as
+  // it finishes, postlude — so a `flush` hook can ship each piece the
+  // moment it exists (the serving layer's streamed /v1/sweep). Emission
+  // order is exactly the buffered order; the bytes cannot differ.
+  // Deterministic fields only, unless --timing opts into the volatile ones
+  // (see sweep.h for the byte-identity contract).
   JsonWriter w(out, 2);
   w.begin_object();
   w.key("tool");
@@ -123,12 +108,19 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
   if (sweep.timing) {
     w.key("threads");
     w.value(pool ? pool->parallelism() : 1);
-    w.key("total_wall_ms");
-    w.value(total_ms, 3);
   }
   w.key("cells");
   w.begin_array();
-  for (const CellResult& cell : cells) {
+  if (flush) flush();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  bool all_ok = true;
+  // Cells run in grid order on one thread; parallelism lives inside the
+  // scenario's hot paths, which keeps nested pools out of the picture and
+  // the JSON cell order fixed.
+  for (int size : sizes) {
+    const CellResult cell = run_cell(*scenario, sweep, size, pool);
+    all_ok = all_ok && cell.ok;
     w.begin_object();
     w.key("size");
     w.value(cell.size);
@@ -149,12 +141,24 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
       w.value(cell.cache.hit_rate(), 4);
     }
     w.end_object();
+    if (flush) flush();
   }
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
   w.end_array();
+  if (sweep.timing) {
+    // Known only once every cell has run, so it lives in the postlude.
+    w.key("total_wall_ms");
+    w.value(total_ms, 3);
+  }
   w.key("all_ok");
   w.value(all_ok);
   w.end_object();
   out << "\n";
+  if (flush) flush();
   return all_ok ? 0 : 1;
 }
 

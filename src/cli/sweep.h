@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -38,7 +39,18 @@ struct SweepOptions {
 // Runs every cell and writes the JSON document to `out`. Returns the
 // process exit code: 0 when every cell reproduced the paper's prediction,
 // 1 otherwise.
+//
+// The document is written incrementally: the prelude (everything before the
+// cells array), then one cell object as each cell finishes, then the
+// postlude. `flush`, when set, is invoked after each of those writes — the
+// serving layer's chunked-transfer hook (each flush boundary becomes one
+// chunk, so `/v1/sweep` streams cells as they finish). The bytes written to
+// `out` are identical whether or not `flush` is set: streaming changes only
+// WHEN bytes leave, never WHICH bytes — the byte-identity contract above
+// extends across the streamed/buffered split. A `flush` that throws aborts
+// the sweep (the exception propagates; the serving layer uses this to stop
+// computing for a disconnected client).
 int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
-              std::ostream& out);
+              std::ostream& out, const std::function<void()>& flush = {});
 
 }  // namespace locald::cli

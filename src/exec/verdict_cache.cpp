@@ -1,5 +1,6 @@
 #include "exec/verdict_cache.h"
 
+#include "exec/verdict_store.h"
 #include "support/check.h"
 
 namespace locald::exec {
@@ -30,12 +31,22 @@ std::optional<bool> VerdictCache::lookup(std::uint64_t fingerprint,
   const Shard& shard = shard_for(fingerprint);
   std::lock_guard<std::mutex> lk(shard.mu);
   const auto it = shard.map.find(key(algorithm, encoding));
-  if (it == shard.map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+  if (it != shard.map.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  if (store_ != nullptr) {
+    // Memory miss: fall through to the disk tier, and promote a hit back
+    // into the memory tier so the detour is paid once per eviction.
+    if (const auto stored = store_->lookup(fingerprint, algorithm, encoding)) {
+      const_cast<Shard&>(shard).map.emplace(key(algorithm, encoding),
+                                            *stored);
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      return stored;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
 void VerdictCache::insert(std::uint64_t fingerprint,
@@ -49,9 +60,17 @@ void VerdictCache::insert(std::uint64_t fingerprint,
   // Two threads can race to decide the same class; they must agree.
   LOCALD_ASSERT(inserted || it->second == accepted,
                 "conflicting verdicts memoized for one canonical class");
+  if (store_ != nullptr && inserted) {
+    // Write-through: the store dedups replays, so a promote-then-reinsert
+    // never grows the log.
+    store_->append(fingerprint, algorithm, encoding, accepted);
+  }
 }
 
 void VerdictCache::clear() {
+  // Every entry was appended to the store at insert time; eviction only
+  // needs the log durable before the memory tier forgets it.
+  if (store_ != nullptr) store_->sync();
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard.mu);
     shard.map.clear();
@@ -61,6 +80,7 @@ void VerdictCache::clear() {
 VerdictCache::Stats VerdictCache::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
+  s.store_hits = store_hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard.mu);

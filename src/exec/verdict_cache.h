@@ -20,6 +20,13 @@
 // a pure function of the ball's isomorphism class — deterministic, and
 // either id-oblivious or invariant under ball-node renumbering. Randomized
 // algorithms must never be memoized (their verdict depends on the coins).
+//
+// With `attach_store`, a persistent `VerdictStore` becomes the disk tier:
+// every insert writes through to the store, a memory miss falls through to
+// a store lookup (counted as `store_hits`, and the verdict is promoted back
+// into the memory tier), and `clear()` syncs the store before dropping
+// entries — so eviction trades memory for a disk detour, never for
+// recomputation. `locald serve --store PATH` rides on this to start warm.
 #pragma once
 
 #include <atomic>
@@ -32,12 +39,19 @@
 
 namespace locald::exec {
 
+class VerdictStore;
+
 class VerdictCache {
  public:
   explicit VerdictCache(std::size_t shard_count = 16);
 
   VerdictCache(const VerdictCache&) = delete;
   VerdictCache& operator=(const VerdictCache&) = delete;
+
+  // Backs this cache with a persistent store (non-owning; the store must
+  // outlive the cache). Call before the cache is shared across threads.
+  void attach_store(VerdictStore* store) { store_ = store; }
+  VerdictStore* store() const { return store_; }
 
   // `accepted` for the class named by (algorithm, encoding), if decided.
   std::optional<bool> lookup(std::uint64_t fingerprint,
@@ -48,12 +62,14 @@ class VerdictCache {
               const std::string& encoding, bool accepted);
 
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;        // answered from the memory tier
+    std::uint64_t store_hits = 0;  // answered from the attached store
+    std::uint64_t misses = 0;      // answered by neither tier
     std::uint64_t entries = 0;
     double hit_rate() const {
-      const std::uint64_t total = hits + misses;
-      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+      const std::uint64_t total = hits + store_hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits + store_hits) / total;
     }
   };
   Stats stats() const;
@@ -63,7 +79,10 @@ class VerdictCache {
   // serving layer keeps ONE cache for the whole process — call this when
   // `stats().entries` crosses their memory budget: dropping entries can
   // never change a verdict (memoized == unmemoized is the engine's
-  // contract), it only costs re-deciding classes.
+  // contract), it only costs re-deciding classes. With a store attached
+  // every entry was written through at insert time, so clear() fsyncs the
+  // store before dropping — evicted classes are answered from disk, not
+  // recomputed.
   void clear();
 
   std::size_t shard_count() const { return shards_.size(); }
@@ -79,7 +98,9 @@ class VerdictCache {
                          const std::string& encoding);
 
   std::vector<Shard> shards_;
+  VerdictStore* store_ = nullptr;
   mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> store_hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
 };
 

@@ -1,0 +1,324 @@
+#include "exec/verdict_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/check.h"
+#include "support/format.h"
+#include "support/hash.h"
+
+namespace locald::exec {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'D', 'V', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint32_t shard_index;
+  std::uint32_t shard_count;
+};
+static_assert(sizeof(FileHeader) == 16);
+
+struct RecordHeader {
+  std::uint32_t checksum;
+  std::uint32_t algo_len;
+  std::uint32_t enc_len;
+  std::uint8_t verdict;
+  std::uint8_t pad[3];
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+// A canonical encoding is bounded by the memo ball cap upstream; anything
+// near this bound in a length field is log corruption, not a real record.
+constexpr std::uint32_t kMaxKeyBytes = 1u << 24;
+
+std::uint32_t fold32(std::uint64_t h) {
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+// Checksum over everything after the checksum field: the rest of the
+// header, then the key bytes.
+std::uint32_t record_checksum(const RecordHeader& header,
+                              const std::string& algorithm,
+                              const std::string& encoding) {
+  std::uint64_t h =
+      fnv1a(reinterpret_cast<const char*>(&header) + sizeof(std::uint32_t),
+            sizeof(RecordHeader) - sizeof(std::uint32_t));
+  h = fnv1a(algorithm.data(), algorithm.size(), h);
+  h = fnv1a(encoding.data(), encoding.size(), h);
+  return fold32(h);
+}
+
+std::uint32_t record_checksum_raw(const char* record, std::size_t len) {
+  return fold32(fnv1a(record + sizeof(std::uint32_t),
+                      len - sizeof(std::uint32_t)));
+}
+
+std::uint64_t key_hash(const std::string& algorithm,
+                       const std::string& encoding) {
+  std::uint64_t h = fnv1a(algorithm.data(), algorithm.size());
+  h = fnv1a("\0", 1, h);
+  return fnv1a(encoding.data(), encoding.size(), h);
+}
+
+void write_fully(int fd, const char* data, std::size_t len,
+                 const std::string& what) {
+  std::size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(cat("verdict store: write(", what,
+                      "): ", std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+std::string shard_file(const std::string& path, std::size_t index) {
+  return cat(path, "/shard-", index < 10 ? "0" : "", index, ".log");
+}
+
+}  // namespace
+
+VerdictStore::VerdictStore(std::string path, std::size_t shard_count)
+    : path_(std::move(path)), shards_(shard_count == 0 ? 1 : shard_count) {
+  LOCALD_CHECK(!path_.empty(), "verdict store path must be non-empty");
+  LOCALD_CHECK(shards_.size() <= 256,
+               "verdict store shard count must be at most 256");
+  if (::mkdir(path_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw Error(cat("verdict store: cannot create directory ", path_, ": ",
+                    std::strerror(errno)));
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    open_shard(shards_[i], i);
+  }
+}
+
+VerdictStore::~VerdictStore() {
+  sync();
+  for (Shard& shard : shards_) {
+    if (shard.map != nullptr) {
+      ::munmap(const_cast<char*>(shard.map), shard.map_size);
+    }
+    if (shard.fd >= 0) ::close(shard.fd);
+  }
+}
+
+void VerdictStore::open_shard(Shard& shard, std::size_t index) {
+  const std::string file = shard_file(path_, index);
+  shard.fd = ::open(file.c_str(), O_RDWR | O_CREAT, 0644);
+  if (shard.fd < 0) {
+    throw Error(cat("verdict store: cannot open ", file, ": ",
+                    std::strerror(errno)));
+  }
+  struct stat st{};
+  LOCALD_CHECK(::fstat(shard.fd, &st) == 0,
+               cat("verdict store: fstat(", file, ")"));
+  std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
+
+  if (file_size == 0) {
+    FileHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.version = kVersion;
+    header.shard_index = static_cast<std::uint32_t>(index);
+    header.shard_count = static_cast<std::uint32_t>(shards_.size());
+    write_fully(shard.fd, reinterpret_cast<const char*>(&header),
+                sizeof(header), file);
+    shard.size = sizeof(header);
+    return;
+  }
+
+  if (file_size < sizeof(FileHeader)) {
+    // Crash before even the header landed: start the shard over.
+    LOCALD_CHECK(::ftruncate(shard.fd, 0) == 0,
+                 cat("verdict store: ftruncate(", file, ")"));
+    dropped_bytes_ += file_size;
+    open_shard(shard, index);
+    return;
+  }
+
+  // Recovery scan over a private read-only mapping of the whole log.
+  void* mapped = ::mmap(nullptr, static_cast<std::size_t>(file_size),
+                        PROT_READ, MAP_PRIVATE, shard.fd, 0);
+  if (mapped == MAP_FAILED) {
+    throw Error(cat("verdict store: mmap(", file, "): ",
+                    std::strerror(errno)));
+  }
+  const char* base = static_cast<const char*>(mapped);
+
+  FileHeader header{};
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 ||
+      header.version != kVersion ||
+      header.shard_index != static_cast<std::uint32_t>(index) ||
+      header.shard_count != static_cast<std::uint32_t>(shards_.size())) {
+    ::munmap(mapped, static_cast<std::size_t>(file_size));
+    throw Error(cat("verdict store: ", file,
+                    " is not a shard of this store (wrong magic, version, "
+                    "or shard layout)"));
+  }
+
+  std::uint64_t offset = sizeof(FileHeader);
+  while (offset < file_size) {
+    if (file_size - offset < sizeof(RecordHeader)) break;  // torn tail
+    RecordHeader rec{};
+    std::memcpy(&rec, base + offset, sizeof(rec));
+    if (rec.algo_len > kMaxKeyBytes || rec.enc_len > kMaxKeyBytes) {
+      break;  // garbage lengths: unwalkable tail, drop from here
+    }
+    const std::uint64_t record_len =
+        sizeof(RecordHeader) + rec.algo_len + rec.enc_len;
+    if (file_size - offset < record_len) break;  // torn tail
+    const std::uint32_t expected =
+        record_checksum_raw(base + offset, record_len);
+    if (rec.checksum != expected) {
+      // Quarantine: the lengths walked us past exactly this record; what
+      // follows is intact and keeps loading.
+      quarantined_ += 1;
+      offset += record_len;
+      continue;
+    }
+    const std::string algorithm(base + offset + sizeof(RecordHeader),
+                                rec.algo_len);
+    const std::string encoding(
+        base + offset + sizeof(RecordHeader) + rec.algo_len, rec.enc_len);
+    shard.index.emplace(key_hash(algorithm, encoding), offset);
+    records_loaded_ += 1;
+    offset += record_len;
+  }
+
+  if (offset < file_size) {
+    // Torn or unwalkable tail: truncate so new appends start on a clean
+    // record boundary.
+    dropped_bytes_ += file_size - offset;
+    LOCALD_CHECK(::ftruncate(shard.fd, static_cast<off_t>(offset)) == 0,
+                 cat("verdict store: ftruncate(", file, ")"));
+    ::munmap(mapped, static_cast<std::size_t>(file_size));
+    if (offset > sizeof(FileHeader)) {
+      mapped = ::mmap(nullptr, static_cast<std::size_t>(offset), PROT_READ,
+                      MAP_PRIVATE, shard.fd, 0);
+      if (mapped == MAP_FAILED) {
+        throw Error(cat("verdict store: mmap(", file, "): ",
+                        std::strerror(errno)));
+      }
+      shard.map = static_cast<const char*>(mapped);
+      shard.map_size = static_cast<std::size_t>(offset);
+    }
+  } else {
+    shard.map = base;
+    shard.map_size = static_cast<std::size_t>(file_size);
+  }
+  shard.size = offset;
+  // Appends go through the fd's own offset; position it at the log's end
+  // (O_APPEND is avoided so a truncated fd and the logical size agree).
+  LOCALD_CHECK(::lseek(shard.fd, static_cast<off_t>(shard.size), SEEK_SET) >=
+                   0,
+               cat("verdict store: lseek(", file, ")"));
+}
+
+std::optional<bool> VerdictStore::match_record(
+    const Shard& shard, std::uint64_t offset, const std::string& algorithm,
+    const std::string& encoding) const {
+  const std::size_t record_len =
+      sizeof(RecordHeader) + algorithm.size() + encoding.size();
+  std::vector<char> scratch;
+  const char* record = nullptr;
+  if (offset + record_len <= shard.map_size) {
+    record = shard.map + offset;
+  } else {
+    scratch.resize(record_len);
+    const ssize_t n = ::pread(shard.fd, scratch.data(), record_len,
+                              static_cast<off_t>(offset));
+    if (n != static_cast<ssize_t>(record_len)) return std::nullopt;
+    record = scratch.data();
+  }
+  RecordHeader rec{};
+  std::memcpy(&rec, record, sizeof(rec));
+  if (rec.algo_len != algorithm.size() || rec.enc_len != encoding.size()) {
+    return std::nullopt;  // hash collision with a different key
+  }
+  const char* keys = record + sizeof(RecordHeader);
+  if (std::memcmp(keys, algorithm.data(), algorithm.size()) != 0 ||
+      std::memcmp(keys + algorithm.size(), encoding.data(),
+                  encoding.size()) != 0) {
+    return std::nullopt;
+  }
+  return rec.verdict != 0;
+}
+
+std::optional<bool> VerdictStore::lookup(std::uint64_t fingerprint,
+                                         const std::string& algorithm,
+                                         const std::string& encoding) const {
+  const Shard& shard =
+      shards_[static_cast<std::size_t>(fingerprint % shards_.size())];
+  const std::uint64_t hash = key_hash(algorithm, encoding);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  const auto [begin, end] = shard.index.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (const auto verdict =
+            match_record(shard, it->second, algorithm, encoding)) {
+      return verdict;
+    }
+  }
+  return std::nullopt;
+}
+
+void VerdictStore::append(std::uint64_t fingerprint,
+                          const std::string& algorithm,
+                          const std::string& encoding, bool accepted) {
+  LOCALD_CHECK(algorithm.size() < kMaxKeyBytes && encoding.size() < kMaxKeyBytes,
+               "verdict store: key too large");
+  Shard& shard =
+      shards_[static_cast<std::size_t>(fingerprint % shards_.size())];
+  const std::uint64_t hash = key_hash(algorithm, encoding);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  const auto [begin, end] = shard.index.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (match_record(shard, it->second, algorithm, encoding)) {
+      return;  // already persisted; replays must not grow the log
+    }
+  }
+  RecordHeader rec{};
+  rec.algo_len = static_cast<std::uint32_t>(algorithm.size());
+  rec.enc_len = static_cast<std::uint32_t>(encoding.size());
+  rec.verdict = accepted ? 1 : 0;
+  rec.checksum = record_checksum(rec, algorithm, encoding);
+  std::string bytes;
+  bytes.reserve(sizeof(rec) + algorithm.size() + encoding.size());
+  bytes.append(reinterpret_cast<const char*>(&rec), sizeof(rec));
+  bytes += algorithm;
+  bytes += encoding;
+  write_fully(shard.fd, bytes.data(), bytes.size(),
+              shard_file(path_, static_cast<std::size_t>(
+                                    fingerprint % shards_.size())));
+  shard.index.emplace(hash, shard.size);
+  shard.size += bytes.size();
+  appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void VerdictStore::sync() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    if (shard.fd >= 0) ::fsync(shard.fd);
+  }
+}
+
+VerdictStore::Stats VerdictStore::stats() const {
+  Stats s;
+  s.records_loaded = records_loaded_;
+  s.quarantined = quarantined_;
+  s.dropped_bytes = dropped_bytes_;
+  s.appended = appended_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace locald::exec

@@ -1,0 +1,113 @@
+// Persistent, checksummed append-log store for canonical-class verdicts.
+//
+// A verdict is a pure function of (algorithm, canonical ball encoding), so
+// it is the ideal durable artifact: once decided it is correct forever, and
+// a restarted server can answer from disk what a cold one would recompute.
+// The store is the disk tier under `VerdictCache` (attach_store): cache
+// inserts append write-through, cache misses fall through to the store, and
+// hits promote back into memory — `locald serve --store PATH` starts warm.
+//
+// Layout: `PATH/` is a directory of per-shard append logs, sharded by the
+// same fingerprint discipline `VerdictCache` uses (fingerprint mod shard
+// count picks the file), so independent classes never contend on one lock
+// or one file and multi-process workers can split shards between them.
+// Each shard file is
+//
+//   header  : "LDVS" magic, u32 version, u32 shard index, u32 shard count
+//   record* : u32 checksum   — 32-bit fold of FNV-1a over the rest
+//             u32 algo_len, u32 enc_len
+//             u8 verdict, u8 pad[3]
+//             algo_len bytes algorithm name, enc_len bytes encoding
+//
+// (platform-endian: the store is a per-host cache, not an interchange
+// format). Appends are plain write()s under the shard lock, so a crash can
+// tear at most the final record. Recovery on open memory-maps each shard
+// and walks it: a truncated or garbage tail is dropped (the file is
+// truncated back to the last whole record), and a record whose checksum
+// fails is quarantined — skipped by its declared length, costing exactly
+// that record and nothing after it.
+//
+// Lookups verify key bytes against the log (the in-memory index maps a
+// 64-bit key hash to a file offset, keeping resident memory at ~16 bytes
+// per record with the mmap as the backing key storage), so a hash collision
+// costs a detour, never a wrong verdict — the same contract the cache's
+// fingerprint sharding keeps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace locald::exec {
+
+class VerdictStore {
+ public:
+  // Opens (creating if absent) the sharded store in directory `path`.
+  // Throws `Error` when the directory cannot be created, a shard file
+  // cannot be opened, or an existing store declares a different shard
+  // count or version.
+  explicit VerdictStore(std::string path, std::size_t shard_count = 16);
+  ~VerdictStore();
+
+  VerdictStore(const VerdictStore&) = delete;
+  VerdictStore& operator=(const VerdictStore&) = delete;
+
+  // The verdict persisted for (algorithm, encoding), if any. `fingerprint`
+  // picks the shard exactly as in VerdictCache::lookup.
+  std::optional<bool> lookup(std::uint64_t fingerprint,
+                             const std::string& algorithm,
+                             const std::string& encoding) const;
+
+  // Appends one verdict record (write-through: durable up to OS buffering
+  // immediately, fsync'd by sync()). A key already present in the shard is
+  // skipped — replaying warm traffic must not grow the log.
+  void append(std::uint64_t fingerprint, const std::string& algorithm,
+              const std::string& encoding, bool accepted);
+
+  // fsync every shard. Called by VerdictCache::clear() before entries are
+  // dropped (the eviction write-through hook) and by the destructor.
+  void sync();
+
+  struct Stats {
+    std::uint64_t records_loaded = 0;  // valid records indexed at open
+    std::uint64_t quarantined = 0;     // checksum-failed records skipped
+    std::uint64_t dropped_bytes = 0;   // truncated-tail bytes discarded
+    std::uint64_t appended = 0;        // records written by this process
+  };
+  Stats stats() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    int fd = -1;
+    std::uint64_t size = 0;       // logical end of the log
+    const char* map = nullptr;    // mapping of [0, map_size) made at open
+    std::size_t map_size = 0;
+    // key-hash → record offset; multimap so a 64-bit collision keeps both
+    // records reachable (lookups verify key bytes before trusting one).
+    std::unordered_multimap<std::uint64_t, std::uint64_t> index;
+  };
+
+  void open_shard(Shard& shard, std::size_t index);
+  // Reads the record at `offset` and returns its verdict iff its key
+  // equals (algorithm, encoding).
+  std::optional<bool> match_record(const Shard& shard, std::uint64_t offset,
+                                   const std::string& algorithm,
+                                   const std::string& encoding) const;
+
+  std::string path_;
+  std::vector<Shard> shards_;
+  std::uint64_t records_loaded_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  std::atomic<std::uint64_t> appended_{0};
+};
+
+}  // namespace locald::exec

@@ -60,16 +60,6 @@ std::string take_family(const JsonValue& root) {
   return family->as_string();
 }
 
-// A scenario must opt into family parameterization before a request may
-// select one; checked before running anything so the mistake surfaces as a
-// 400, not a half-run document.
-void check_family_supported(const cli::Scenario& scenario,
-                            const std::string& family) {
-  LOCALD_CHECK(family.empty() || !scenario.family_help.empty(),
-               cat("scenario ", json_quote(scenario.name),
-                   " does not take a family"));
-}
-
 void reject_unknown_fields(const JsonValue& root,
                            std::initializer_list<const char*> known) {
   for (const auto& [key, value] : root.members()) {
@@ -82,6 +72,16 @@ void reject_unknown_fields(const JsonValue& root,
 }
 
 }  // namespace
+
+// A scenario must opt into family parameterization before a request may
+// select one; checked before running anything so the mistake surfaces as a
+// 400, not a half-run document (or a half-streamed one).
+void check_family_supported(const cli::Scenario& scenario,
+                            const std::string& family) {
+  LOCALD_CHECK(family.empty() || !scenario.family_help.empty(),
+               cat("scenario ", json_quote(scenario.name),
+                   " does not take a family"));
+}
 
 RunRequest parse_run_request(const std::string& body) {
   const JsonValue root = parse_object_body(body);
@@ -249,10 +249,12 @@ std::string run_document(const RunRequest& request,
   return out.str();
 }
 
-std::string sweep_document(const SweepRequest& request,
-                           exec::ThreadPool* pool, bool* ok_out) {
+namespace {
+
+cli::SweepOptions sweep_options_for(const SweepRequest& request,
+                                    exec::ThreadPool* pool) {
   // Existence is checked here so the HTTP layer can answer 404 before
-  // running anything; run_sweep re-checks internally.
+  // running (or streaming) anything; run_sweep re-checks internally.
   const cli::Scenario* scenario = cli::find_scenario(request.scenario);
   LOCALD_CHECK(scenario != nullptr,
                cat("unknown scenario ", json_quote(request.scenario),
@@ -265,10 +267,37 @@ std::string sweep_document(const SweepRequest& request,
   sweep.family = request.family;
   sweep.timing = false;  // scheduling-dependent fields never leave /v1/metrics
   sweep.pool = pool;
+  return sweep;
+}
+
+}  // namespace
+
+std::string sweep_document(const SweepRequest& request,
+                           exec::ThreadPool* pool, bool* ok_out) {
+  const cli::SweepOptions sweep = sweep_options_for(request, pool);
   std::ostringstream out;
   const int exit_code = cli::run_sweep(request.scenario, sweep, out);
   if (ok_out != nullptr) *ok_out = exit_code == 0;
   return out.str();
+}
+
+void sweep_document_stream(
+    const SweepRequest& request, exec::ThreadPool* pool,
+    const std::function<void(const std::string&)>& emit, bool* ok_out) {
+  const cli::SweepOptions sweep = sweep_options_for(request, pool);
+  // One buffer, drained at every flush boundary: the emitted pieces are a
+  // partition of exactly the bytes the buffered path returns, because both
+  // paths run the identical writer over the identical stream.
+  std::ostringstream out;
+  const auto flush = [&] {
+    std::string piece = out.str();
+    if (!piece.empty()) {
+      out.str({});
+      emit(piece);
+    }
+  };
+  const int exit_code = cli::run_sweep(request.scenario, sweep, out, flush);
+  if (ok_out != nullptr) *ok_out = exit_code == 0;
 }
 
 std::string error_document(int status, const std::string& message) {

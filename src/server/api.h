@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,23 @@ std::string run_document(const RunRequest& request,
 // process-wide pool (null = serial). `ok_out` as above.
 std::string sweep_document(const SweepRequest& request,
                            exec::ThreadPool* pool, bool* ok_out);
+
+// Streamed form of `sweep_document`: the SAME bytes, handed to `emit` in
+// pieces as cells finish (prelude, one piece per cell, postlude) instead of
+// buffered whole — the chunked-transfer payload of a streamed /v1/sweep.
+// Concatenating every `emit` piece reproduces `sweep_document`'s return
+// value byte for byte. An `emit` that throws aborts the sweep and
+// propagates (the serving layer stops computing for a vanished client).
+void sweep_document_stream(const SweepRequest& request,
+                           exec::ThreadPool* pool,
+                           const std::function<void(const std::string&)>& emit,
+                           bool* ok_out);
+
+// Throws `Error` (HTTP 400) when `family` is non-empty but `scenario` is
+// not family-parameterized. The serving layer runs this before committing
+// to a streamed response head; the document builders re-check internally.
+void check_family_supported(const cli::Scenario& scenario,
+                            const std::string& family);
 
 // {"error": ..., "status": N} — the uniform 4xx/5xx body.
 std::string error_document(int status, const std::string& message);

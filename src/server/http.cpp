@@ -44,6 +44,33 @@ bool is_token(const std::string& s) {
   return true;
 }
 
+// Chunk-size lines and trailer fields are framing overhead with no reason
+// to be large; a bound keeps a hostile peer from growing them unboundedly.
+constexpr std::size_t kMaxFramingLine = 1024;
+
+// Incremental reader over (leftover bytes, then the ByteSource), tracking
+// the consumed prefix so pipelined bytes past one request survive into the
+// caller's leftover buffer.
+struct WireReader {
+  const ByteSource& source;
+  std::string buf;
+  std::size_t pos = 0;
+  bool any_bytes = false;  // any byte of THIS request seen (incl. leftover)
+
+  enum class Pull { ok, eof, err };
+  Pull pull() {
+    char chunk[4096];
+    const long n = source(chunk, sizeof(chunk));
+    if (n < 0) return Pull::err;
+    if (n == 0) return Pull::eof;
+    any_bytes = true;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    return Pull::ok;
+  }
+
+  std::size_t available() const { return buf.size() - pos; }
+};
+
 }  // namespace
 
 const std::string* HttpRequest::header(const std::string& lower_name) const {
@@ -59,34 +86,52 @@ std::string HttpRequest::path() const {
 }
 
 ParseResult read_http_request(const ByteSource& source,
-                              const HttpLimits& limits) {
-  std::string buffer;
-  char chunk[4096];
+                              const HttpLimits& limits,
+                              std::string* leftover) {
+  WireReader in{source, {}};
+  if (leftover != nullptr && !leftover->empty()) {
+    in.buf = std::move(*leftover);
+    in.any_bytes = true;
+    leftover->clear();
+  }
 
   // Phase 1: accumulate until the blank line ending the head.
   std::size_t head_end = std::string::npos;
   while (true) {
-    head_end = buffer.find("\r\n\r\n");
+    head_end = in.buf.find("\r\n\r\n", in.pos);
     if (head_end != std::string::npos) break;
-    if (buffer.size() > limits.max_head_bytes) {
+    if (in.available() > limits.max_head_bytes) {
       return fail(431, "request head exceeds the supported maximum");
     }
-    const long n = source(chunk, sizeof(chunk));
-    if (n < 0) return fail(408, "timed out reading the request head");
-    if (n == 0) {
-      return fail(400, buffer.empty() ? "empty request"
-                                      : "connection closed mid-head");
+    const WireReader::Pull p = in.pull();
+    if (p == WireReader::Pull::err) {
+      if (!in.any_bytes) {
+        ParseResult r = fail(408, "idle connection timed out");
+        r.idle_close = true;
+        return r;
+      }
+      return fail(408, "timed out reading the request head");
     }
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (p == WireReader::Pull::eof) {
+      if (in.available() == 0) {
+        // A clean EOF before any byte is the client hanging up between
+        // requests, never a malformed request.
+        ParseResult r = fail(400, "connection closed between requests");
+        r.idle_close = true;
+        return r;
+      }
+      return fail(400, "connection closed mid-head");
+    }
   }
-  if (head_end > limits.max_head_bytes) {
+  if (head_end - in.pos > limits.max_head_bytes) {
     return fail(431, "request head exceeds the supported maximum");
   }
 
   // Phase 2: request line.
   ParseResult result;
   HttpRequest& req = result.request;
-  const std::string head = buffer.substr(0, head_end);
+  const std::string head = in.buf.substr(in.pos, head_end - in.pos);
+  in.pos = head_end + 4;
   std::size_t line_start = 0;
   auto next_line = [&]() -> std::string {
     if (line_start > head.size()) return std::string();
@@ -129,43 +174,154 @@ ParseResult read_http_request(const ByteSource& source,
     req.headers.emplace_back(to_lower(name), trim(line.substr(colon + 1)));
   }
 
-  if (req.header("transfer-encoding") != nullptr) {
-    return fail(501, "transfer encodings are not implemented");
+  // Phase 4: the body — Content-Length or chunked, never both (a message
+  // with two length declarations is the classic smuggling vector).
+  const std::string* te = req.header("transfer-encoding");
+  const std::string* cl = req.header("content-length");
+  if (te != nullptr && cl != nullptr) {
+    return fail(400, "both Transfer-Encoding and Content-Length present");
   }
 
-  // Phase 4: body, gated by Content-Length before any of it is buffered.
-  std::size_t content_length = 0;
-  if (const std::string* cl = req.header("content-length")) {
-    if (cl->empty() ||
-        cl->find_first_not_of("0123456789") != std::string::npos ||
-        cl->size() > 12) {
-      return fail(400, "malformed Content-Length");
+  // Reads a CRLF-terminated framing line (chunk size or trailer field).
+  // Returns 0 on success or the failure status.
+  auto read_line = [&](std::string* line) -> int {
+    while (true) {
+      const std::size_t eol = in.buf.find("\r\n", in.pos);
+      if (eol != std::string::npos) {
+        if (eol - in.pos > kMaxFramingLine) return 400;
+        *line = in.buf.substr(in.pos, eol - in.pos);
+        in.pos = eol + 2;
+        return 0;
+      }
+      if (in.available() > kMaxFramingLine) return 400;
+      const WireReader::Pull p = in.pull();
+      if (p == WireReader::Pull::err) return 408;
+      if (p == WireReader::Pull::eof) return 400;
     }
-    content_length = static_cast<std::size_t>(std::stoull(*cl));
-    if (content_length > limits.max_body_bytes) {
-      return fail(413, cat("request body of ", content_length,
-                           " bytes exceeds the ", limits.max_body_bytes,
-                           "-byte maximum"));
+  };
+
+  if (te != nullptr) {
+    if (to_lower(trim(*te)) != "chunked") {
+      return fail(501, cat("transfer coding ", *te, " is not implemented"));
+    }
+    while (true) {
+      std::string line;
+      if (const int s = read_line(&line)) {
+        return fail(s, s == 408 ? "timed out reading a chunk size"
+                                : "malformed chunk-size line");
+      }
+      // Chunk extensions (";name=value") are legal framing noise: ignored.
+      std::string size_str = trim(line.substr(0, line.find(';')));
+      if (size_str.empty() || size_str.size() > 8 ||
+          size_str.find_first_not_of("0123456789abcdefABCDEF") !=
+              std::string::npos) {
+        return fail(400, "malformed chunk size");
+      }
+      const std::size_t chunk_len = std::stoull(size_str, nullptr, 16);
+      if (chunk_len == 0) break;
+      if (req.body.size() + chunk_len > limits.max_body_bytes) {
+        return fail(413, cat("chunked body exceeds the ",
+                             limits.max_body_bytes, "-byte maximum"));
+      }
+      while (in.available() < chunk_len + 2) {
+        const WireReader::Pull p = in.pull();
+        if (p == WireReader::Pull::err) {
+          return fail(408, "timed out reading chunk data");
+        }
+        if (p == WireReader::Pull::eof) {
+          return fail(400, "connection closed mid-chunk");
+        }
+      }
+      req.body.append(in.buf, in.pos, chunk_len);
+      in.pos += chunk_len;
+      if (in.buf.compare(in.pos, 2, "\r\n") != 0) {
+        return fail(400, "chunk data not terminated by CRLF");
+      }
+      in.pos += 2;
+    }
+    // Trailer section: fields are read and discarded, bounded like the
+    // size lines; the blank line ends the message.
+    std::size_t trailer_bytes = 0;
+    while (true) {
+      std::string line;
+      if (const int s = read_line(&line)) {
+        return fail(s, s == 408 ? "timed out reading trailers"
+                                : "malformed trailer section");
+      }
+      if (line.empty()) break;
+      trailer_bytes += line.size();
+      if (trailer_bytes > kMaxFramingLine) {
+        return fail(400, "oversized trailer section");
+      }
+    }
+  } else {
+    // Content-Length (or no body), gated before any of it is buffered.
+    std::size_t content_length = 0;
+    if (cl != nullptr) {
+      if (cl->empty() ||
+          cl->find_first_not_of("0123456789") != std::string::npos ||
+          cl->size() > 12) {
+        return fail(400, "malformed Content-Length");
+      }
+      content_length = static_cast<std::size_t>(std::stoull(*cl));
+      if (content_length > limits.max_body_bytes) {
+        return fail(413, cat("request body of ", content_length,
+                             " bytes exceeds the ", limits.max_body_bytes,
+                             "-byte maximum"));
+      }
+    }
+    const std::size_t take = std::min(content_length, in.available());
+    req.body.assign(in.buf, in.pos, take);
+    in.pos += take;
+    while (req.body.size() < content_length) {
+      const WireReader::Pull p = in.pull();
+      if (p == WireReader::Pull::err) {
+        return fail(408, "timed out reading the request body");
+      }
+      if (p == WireReader::Pull::eof) {
+        return fail(400, "connection closed mid-body");
+      }
+      const std::size_t want =
+          std::min(content_length - req.body.size(), in.available());
+      req.body.append(in.buf, in.pos, want);
+      in.pos += want;
     }
   }
-  req.body = buffer.substr(head_end + 4);
-  if (req.body.size() > content_length) {
-    // One request per connection: bytes beyond the declared body have no
-    // meaning here and hint at request smuggling, so reject them.
+
+  // Bytes past this request: pipelined next request on a keep-alive
+  // connection, request smuggling on a one-shot one.
+  if (leftover != nullptr) {
+    leftover->assign(in.buf, in.pos, in.buf.size() - in.pos);
+  } else if (in.available() > 0) {
     return fail(400, "bytes beyond the declared Content-Length");
-  }
-  while (req.body.size() < content_length) {
-    const std::size_t want = std::min(
-        sizeof(chunk), content_length - req.body.size());
-    const long n = source(chunk, want);
-    if (n < 0) return fail(408, "timed out reading the request body");
-    if (n == 0) return fail(400, "connection closed mid-body");
-    req.body.append(chunk, static_cast<std::size_t>(n));
   }
   return result;
 }
 
-std::string serialize_http_response(const HttpResponse& response) {
+bool request_keep_alive(const HttpRequest& request) {
+  bool close_token = false;
+  bool keep_token = false;
+  if (const std::string* conn = request.header("connection")) {
+    // The Connection header is a comma-separated token list.
+    std::size_t start = 0;
+    while (start <= conn->size()) {
+      std::size_t comma = conn->find(',', start);
+      if (comma == std::string::npos) comma = conn->size();
+      const std::string token =
+          to_lower(trim(conn->substr(start, comma - start)));
+      close_token = close_token || token == "close";
+      keep_token = keep_token || token == "keep-alive";
+      start = comma + 1;
+    }
+  }
+  if (close_token) return false;
+  if (request.version == "HTTP/1.0") return keep_token;
+  return true;  // HTTP/1.1 default
+}
+
+namespace {
+
+std::string serialize_head_common(const HttpResponse& response) {
   std::string out;
   out += cat("HTTP/1.1 ", response.status, " ", status_reason(response.status),
              "\r\n");
@@ -175,11 +331,47 @@ std::string serialize_http_response(const HttpResponse& response) {
   for (const auto& [name, value] : response.extra_headers) {
     out += cat(name, ": ", value, "\r\n");
   }
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_http_response(const HttpResponse& response,
+                                    bool keep_alive) {
+  std::string out = serialize_head_common(response);
   out += cat("Content-Length: ", response.body.size(), "\r\n");
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += response.body;
   return out;
 }
+
+std::string serialize_http_response_head(const HttpResponse& response,
+                                         bool keep_alive) {
+  std::string out = serialize_head_common(response);
+  out += "Transfer-Encoding: chunked\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
+  return out;
+}
+
+std::string encode_chunk(const std::string& data) {
+  if (data.empty()) return {};
+  static const char* hex = "0123456789abcdef";
+  std::string size_hex;
+  for (std::size_t v = data.size(); v != 0; v >>= 4) {
+    size_hex.insert(size_hex.begin(), hex[v & 0xf]);
+  }
+  std::string out;
+  out.reserve(size_hex.size() + data.size() + 4);
+  out += size_hex;
+  out += "\r\n";
+  out += data;
+  out += "\r\n";
+  return out;
+}
+
+std::string last_chunk() { return "0\r\n\r\n"; }
 
 const char* status_reason(int status) {
   switch (status) {

@@ -1,13 +1,20 @@
-// Minimal HTTP/1.1 message layer for the embedded serving subsystem.
+// HTTP/1.1 message layer for the embedded serving subsystem.
 //
-// `locald serve` speaks just enough HTTP for a JSON API behind curl or a
-// load balancer: request line + headers + Content-Length body in, status
-// line + headers + body out, one request per connection (`Connection:
-// close` on every response). There is deliberately no keep-alive, no
-// chunked transfer, no TLS — the server sits behind localhost or a fronting
-// proxy, and every feature left out is attack surface and nondeterminism
-// left out. Responses carry no Date header so identical requests produce
-// byte-identical responses, the serving layer's core contract.
+// `locald serve` speaks the subset of HTTP a JSON API needs behind curl or
+// a load balancer: request line + headers + body in (Content-Length or
+// chunked transfer coding), status line + headers + body out, persistent
+// connections per RFC 7230 semantics. Keep-alive is negotiated per request
+// (`request_keep_alive`): HTTP/1.1 persists unless the client sends
+// `Connection: close`, HTTP/1.0 closes unless it sends
+// `Connection: keep-alive`, and every response states the decision
+// explicitly. Bytes a client pipelines beyond one request's end are carried
+// into the next parse through the caller-owned `leftover` buffer instead of
+// being discarded. Responses are either sized by Content-Length or streamed
+// with `Transfer-Encoding: chunked` (the sweep endpoint emits one JSON cell
+// per chunk); either way they carry no Date header, so identical requests
+// produce byte-identical bytes-on-the-wire — the serving layer's core
+// contract. There is still deliberately no TLS and no content negotiation:
+// the server sits behind localhost or a fronting proxy.
 //
 // Parsing is fed through a `ByteSource` pull callback so the same code path
 // is exercised by unit tests (string-backed source) and by the socket layer
@@ -44,8 +51,9 @@ struct HttpResponse {
 };
 
 // Bounds enforced while reading a request. Head covers the request line
-// plus all headers; body is gated by Content-Length before it is read, so
-// an oversized upload is rejected without buffering it.
+// plus all headers; a Content-Length body is gated by the declared length
+// before it is read, so an oversized upload is rejected without buffering
+// it; a chunked body is gated cumulatively as chunks arrive.
 struct HttpLimits {
   std::size_t max_head_bytes = 8 * 1024;
   std::size_t max_body_bytes = 1024 * 1024;
@@ -62,19 +70,56 @@ struct ParseResult {
   int status = 200;
   std::string error;
   HttpRequest request;
+  // True when the connection ended (orderly EOF or timeout) before ANY
+  // byte of this request arrived — the normal end of a keep-alive
+  // conversation, not a protocol error. The caller closes silently instead
+  // of writing a 4xx into a connection nobody is speaking on.
+  bool idle_close = false;
 };
 
 // Reads and parses exactly one request from `source` under `limits`.
-// Failure statuses: 400 (malformed framing or header syntax), 408 (the
-// source reported timeout/error mid-request), 413 (Content-Length beyond
-// the body bound), 431 (head larger than the head bound), 501 (transfer
-// encodings this layer does not implement).
+//
+// `leftover`, when non-null, is the keep-alive pipelining buffer: bytes it
+// holds are consumed before `source` is pulled, and bytes past this
+// request's end (the start of a pipelined next request) are left in it for
+// the next call. When null, the connection is one-shot and any bytes
+// beyond the declared body are rejected as request smuggling.
+//
+// Bodies arrive via Content-Length or `Transfer-Encoding: chunked` (chunk
+// extensions are ignored, trailer fields are read and discarded); a request
+// carrying both length declarations is rejected as a smuggling vector.
+//
+// Failure statuses: 400 (malformed framing, header syntax, or chunk
+// framing), 408 (the source reported timeout/error mid-request), 413 (body
+// beyond the body bound, declared or accumulated), 431 (head larger than
+// the head bound), 501 (a transfer coding other than chunked).
 ParseResult read_http_request(const ByteSource& source,
-                              const HttpLimits& limits);
+                              const HttpLimits& limits,
+                              std::string* leftover = nullptr);
+
+// RFC 7230 persistence negotiation for a parsed request: HTTP/1.1 persists
+// unless the Connection header lists `close`; HTTP/1.0 closes unless it
+// lists `keep-alive`.
+bool request_keep_alive(const HttpRequest& request);
 
 // Serializes status line, standard headers (Content-Type, Content-Length,
-// Connection: close), any extra headers, and the body.
-std::string serialize_http_response(const HttpResponse& response);
+// Connection: keep-alive|close), any extra headers, and the body.
+std::string serialize_http_response(const HttpResponse& response,
+                                    bool keep_alive = false);
+
+// The head of a chunked-streamed response: like serialize_http_response but
+// with `Transfer-Encoding: chunked` in place of Content-Length and no body
+// bytes. Follow with encode_chunk(...) frames and close with last_chunk().
+std::string serialize_http_response_head(const HttpResponse& response,
+                                         bool keep_alive);
+
+// One chunked-transfer frame: hex size, CRLF, data, CRLF. Empty data
+// returns an empty string (a zero-size frame is the terminator, which only
+// last_chunk() may emit).
+std::string encode_chunk(const std::string& data);
+
+// The terminating zero chunk (no trailers).
+std::string last_chunk();
 
 // Canonical reason phrase for the status codes this server emits.
 const char* status_reason(int status);

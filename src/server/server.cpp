@@ -37,6 +37,8 @@ std::string metrics_document(const MetricsSnapshot& m) {
   w.value("locald-serve");
   w.key("requests_total");
   w.value(m.requests_total);
+  w.key("connections_total");
+  w.value(m.connections_total);
   w.key("rejected_total");
   w.value(m.rejected_total);
   w.key("errors_total");
@@ -55,6 +57,8 @@ std::string metrics_document(const MetricsSnapshot& m) {
   w.begin_object();
   w.key("hits");
   w.value(m.cache.hits);
+  w.key("store_hits");
+  w.value(m.cache.store_hits);
   w.key("misses");
   w.value(m.cache.misses);
   w.key("entries");
@@ -64,6 +68,21 @@ std::string metrics_document(const MetricsSnapshot& m) {
   w.key("resets");
   w.value(m.cache_resets);
   w.end_object();
+  if (m.store_attached) {
+    w.key("store");
+    w.begin_object();
+    w.key("path");
+    w.value(m.store_path);
+    w.key("records_loaded");
+    w.value(m.store.records_loaded);
+    w.key("quarantined");
+    w.value(m.store.quarantined);
+    w.key("dropped_bytes");
+    w.value(m.store.dropped_bytes);
+    w.key("appended");
+    w.value(m.store.appended);
+    w.end_object();
+  }
   w.key("canon");
   w.begin_object();
   w.key("forms");
@@ -91,6 +110,13 @@ HttpResponse method_not_allowed(const std::string& allow) {
   return r;
 }
 
+void set_recv_timeout(int fd, int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
 Server::Server(ServeOptions options) : options_(std::move(options)) {
@@ -107,6 +133,13 @@ void Server::start() {
   LOCALD_CHECK(listen_fd_ < 0, "server already started");
   if (options_.threads != 1) {
     pool_.emplace(options_.threads);
+  }
+  if (!options_.store_path.empty()) {
+    // Opened (and recovered) before the socket exists: a server that
+    // advertises --store either starts warm or fails loudly, never serves
+    // cold by accident.
+    store_.emplace(options_.store_path, options_.store_shards);
+    cache_.attach_store(&*store_);
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -154,6 +187,13 @@ void Server::stop() {
   if (listen_fd_ >= 0) {
     // Unblocks the acceptor's accept(); it observes stopping_ and exits.
     ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  {
+    // Unblock workers parked in recv() waiting for a keep-alive client's
+    // next request: shutdown makes the recv return 0 (idle close) so the
+    // connection loop exits without waiting out the idle timeout.
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   queue_cv_.notify_all();
   if (acceptor_.joinable()) acceptor_.join();
@@ -243,42 +283,162 @@ void Server::worker_loop() {
 
 void Server::serve_connection(int fd) {
   in_flight_.fetch_add(1, std::memory_order_relaxed);
-  const ByteSource source = [fd](char* buf, std::size_t len) -> long {
+  connections_total_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    active_fds_.insert(fd);
+  }
+
+  // Two recv deadlines per request: the idle timeout while waiting for its
+  // first byte (a keep-alive client may legitimately sit quiet between
+  // requests), the read timeout once the request has started arriving (a
+  // started-then-stalled request is a misbehaving client, not an idle one).
+  bool request_started = false;
+  const ByteSource source = [&](char* buf, std::size_t len) -> long {
     while (true) {
       const ssize_t n = ::recv(fd, buf, len, 0);
+      if (n > 0 && !request_started) {
+        request_started = true;
+        set_recv_timeout(fd, options_.read_timeout_ms);
+      }
       if (n >= 0) return static_cast<long>(n);
       if (errno == EINTR) continue;
       return -1;  // timeout (EAGAIN under SO_RCVTIMEO) or hard error
     }
   };
-  const ParseResult parsed = read_http_request(source, options_.limits);
-  // Counted before routing so a /v1/metrics response includes itself.
-  requests_total_.fetch_add(1, std::memory_order_relaxed);
-  HttpResponse response;
-  if (parsed.status != 200) {
-    response = error_response(parsed.status, parsed.error);
-  } else {
-    response = handle(parsed.request);
+
+  std::string leftover;  // pipelined bytes carried between requests
+  int handled = 0;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (stopping_) break;
+    }
+    request_started = false;
+    set_recv_timeout(fd, handled == 0 ? options_.read_timeout_ms
+                                      : options_.idle_timeout_ms);
+    const ParseResult parsed =
+        read_http_request(source, options_.limits, &leftover);
+    if (parsed.idle_close) break;  // client hung up between requests
+    // Counted before routing so a /v1/metrics response includes itself.
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+    ++handled;
+
+    if (parsed.status != 200) {
+      // After a framing error the byte stream is unreliable; answer and
+      // close regardless of what the client asked for.
+      errors_total_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, serialize_http_response(
+                       error_response(parsed.status, parsed.error), false));
+      break;
+    }
+
+    const bool keep_alive = request_keep_alive(parsed.request) &&
+                            handled < options_.max_requests_per_connection;
+
+    if (parsed.request.method == "POST" &&
+        parsed.request.path() == "/v1/sweep" &&
+        parsed.request.version == "HTTP/1.1") {
+      // Streamed: cells leave as chunks while later cells still compute.
+      // (HTTP/1.0 clients cannot parse chunked framing and fall through to
+      // the buffered path below.)
+      bool io_failed = false;
+      const std::optional<HttpResponse> early =
+          stream_sweep(fd, parsed.request, keep_alive, &io_failed);
+      if (!early.has_value()) {
+        maybe_reset_cache();
+        if (io_failed || !keep_alive) break;
+        continue;
+      }
+      errors_total_.fetch_add(1, std::memory_order_relaxed);
+      if (!send_all(fd, serialize_http_response(*early, keep_alive))) break;
+      if (!keep_alive) break;
+      continue;
+    }
+
+    const HttpResponse response = handle(parsed.request);
+    if (response.status >= 400) {
+      errors_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const bool sent =
+        send_all(fd, serialize_http_response(response, keep_alive));
+    maybe_reset_cache();
+    if (!sent || !keep_alive) break;
   }
-  if (response.status >= 400) {
-    errors_total_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    active_fds_.erase(fd);
   }
-  send_all(fd, serialize_http_response(response));
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
-  maybe_reset_cache();
 }
 
-void Server::send_all(int fd, const std::string& bytes) {
+std::optional<HttpResponse> Server::stream_sweep(int fd,
+                                                 const HttpRequest& request,
+                                                 bool keep_alive,
+                                                 bool* io_failed) {
+  *io_failed = false;
+  SweepRequest sweep;
+  try {
+    sweep = parse_sweep_request(request.body);
+  } catch (const Error& e) {
+    return error_response(400, e.what());
+  }
+  // Everything that can fail is checked before the 200 head is committed
+  // to the wire; past this point errors can only abort the connection.
+  const cli::Scenario* scenario = cli::find_scenario(sweep.scenario);
+  if (scenario == nullptr) {
+    return error_response(404, cat("unknown scenario ",
+                                   json_quote(sweep.scenario),
+                                   " (see /v1/scenarios)"));
+  }
+  try {
+    check_family_supported(*scenario, sweep.family);
+  } catch (const Error& e) {
+    return error_response(400, e.what());
+  }
+
+  if (!send_all(fd, serialize_http_response_head(HttpResponse{}, keep_alive))) {
+    *io_failed = true;
+    return std::nullopt;
+  }
+  struct ClientGone {};
+  try {
+    sweep_document_stream(
+        sweep, pool_ ? &*pool_ : nullptr,
+        [&](const std::string& piece) {
+          if (!send_all(fd, encode_chunk(piece))) throw ClientGone{};
+        },
+        nullptr);
+  } catch (const ClientGone&) {
+    // Mid-stream disconnect: stop computing cells nobody will read. The
+    // connection is unusable (the response is incomplete) so it closes,
+    // releasing this worker back to the queue.
+    *io_failed = true;
+    return std::nullopt;
+  } catch (const std::exception&) {
+    // The head already promised a 200; a failure now cannot be reported
+    // in-band. Closing without the terminating chunk tells the client the
+    // body is truncated (chunked framing makes truncation detectable).
+    *io_failed = true;
+    return std::nullopt;
+  }
+  if (!send_all(fd, last_chunk())) *io_failed = true;
+  return std::nullopt;
+}
+
+bool Server::send_all(int fd, const std::string& bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // client went away; nothing useful to do
+      return false;  // client went away; nothing useful to do
     }
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
 void Server::maybe_reset_cache() {
@@ -291,6 +451,7 @@ void Server::maybe_reset_cache() {
 MetricsSnapshot Server::metrics() const {
   MetricsSnapshot m;
   m.requests_total = requests_total_.load(std::memory_order_relaxed);
+  m.connections_total = connections_total_.load(std::memory_order_relaxed);
   m.rejected_total = rejected_total_.load(std::memory_order_relaxed);
   m.errors_total = errors_total_.load(std::memory_order_relaxed);
   m.cache_resets = cache_resets_.load(std::memory_order_relaxed);
@@ -303,6 +464,11 @@ MetricsSnapshot Server::metrics() const {
   m.max_queue = options_.max_queue;
   m.pool_parallelism = pool_ ? pool_->parallelism() : 1;
   m.cache = cache_.stats();
+  if (store_.has_value()) {
+    m.store_attached = true;
+    m.store_path = store_->path();
+    m.store = store_->stats();
+  }
   m.canon = graph::canonicalization_counters();
   return m;
 }

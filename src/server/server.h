@@ -17,9 +17,23 @@
 // share no mutable state, so concurrent identical requests produce
 // byte-identical bodies (tested, and smoke-checked in CI).
 //
+// Connections are persistent (HTTP/1.1 keep-alive): a worker serves
+// requests off one connection in a loop until the client closes or sends
+// `Connection: close`, the negotiated protocol demands it, the
+// per-connection request cap is reached, or the connection idles past
+// `idle_timeout_ms` between requests. Bytes a client pipelines beyond one
+// request carry into the next parse. `POST /v1/sweep` over HTTP/1.1
+// streams its response with chunked transfer coding — one chunk per flush
+// boundary (prelude / each finished cell / postlude) — and the
+// concatenated chunks are byte-identical to the buffered document, so
+// streaming never weakens the byte-identity contract.
+//
 // The shared cache is reset (entries dropped, monotonic counters kept)
 // whenever it outgrows `cache_reset_entries`, bounding the resident memory
-// of an arbitrarily long serving life.
+// of an arbitrarily long serving life. With `store_path` set, a persistent
+// `VerdictStore` backs the cache: inserts write through, resets only drop
+// the memory tier, and a restarted server answers previously-decided
+// canonical classes from disk (warm start).
 #pragma once
 
 #include <atomic>
@@ -30,10 +44,12 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "exec/thread_pool.h"
 #include "exec/verdict_cache.h"
+#include "exec/verdict_store.h"
 #include "graph/isomorphism.h"
 #include "server/http.h"
 
@@ -45,24 +61,38 @@ struct ServeOptions {
   int threads = 1;                 // exec-pool size; 0 = hardware, 1 = serial
   int workers = 4;                 // concurrent request handlers
   int max_queue = 64;              // accepted-but-unserved connection bound
-  int read_timeout_ms = 10000;     // per-recv deadline on request sockets
+  int read_timeout_ms = 10000;     // per-recv deadline inside one request
+  int idle_timeout_ms = 5000;      // keep-alive: wait for the next request
+  // Requests served on one connection before it is closed (Connection:
+  // close on the final response); bounds how long a client can pin a
+  // worker.
+  int max_requests_per_connection = 100;
   HttpLimits limits;
   std::uint64_t cache_reset_entries = 1u << 20;  // shared-cache entry budget
+  // Directory of the persistent verdict store (`locald serve --store`);
+  // empty = in-memory cache only, verdicts die with the process.
+  std::string store_path;
+  std::size_t store_shards = 16;
 };
 
 // A point-in-time view for GET /v1/metrics. Counters are monotonic over the
 // server's life except the two gauges (in_flight, queue_depth).
 struct MetricsSnapshot {
-  std::uint64_t requests_total = 0;  // responses written by workers
-  std::uint64_t rejected_total = 0;  // 503s shed by the acceptor
-  std::uint64_t errors_total = 0;    // worker responses with status >= 400
+  std::uint64_t requests_total = 0;     // responses written by workers
+  std::uint64_t connections_total = 0;  // connections served by workers
+  std::uint64_t rejected_total = 0;     // 503s shed by the acceptor
+  std::uint64_t errors_total = 0;       // worker responses with status >= 400
   std::uint64_t cache_resets = 0;
-  std::uint64_t in_flight = 0;       // gauge: requests being handled now
+  std::uint64_t in_flight = 0;       // gauge: connections being served now
   std::uint64_t queue_depth = 0;     // gauge: connections awaiting a worker
   int workers = 0;
   int max_queue = 0;
   int pool_parallelism = 1;
   exec::VerdictCache::Stats cache;
+  // Persistent-store section; meaningful only when `store_attached`.
+  bool store_attached = false;
+  std::string store_path;
+  exec::VerdictStore::Stats store;
   // Process-wide canonicalization-engine counters (graph/isomorphism.h):
   // tier-2 searches run, census balls seen, census balls answered by the
   // raw-structure dedup before any search. Monotonic, scheduling-dependent
@@ -100,7 +130,13 @@ class Server {
   void accept_loop();
   void worker_loop();
   void serve_connection(int fd);
-  void send_all(int fd, const std::string& bytes);
+  // Streams POST /v1/sweep with chunked transfer coding. Engaged result:
+  // a pre-head validation failure (400/404) for the caller to answer
+  // buffered. nullopt: the response left on the wire (or the client went
+  // away mid-stream — `*io_failed` true, caller must close).
+  std::optional<HttpResponse> stream_sweep(int fd, const HttpRequest& request,
+                                           bool keep_alive, bool* io_failed);
+  bool send_all(int fd, const std::string& bytes);
   void maybe_reset_cache();
 
   ServeOptions options_;
@@ -108,6 +144,7 @@ class Server {
   int bound_port_ = 0;
 
   std::optional<exec::ThreadPool> pool_;  // engaged unless threads == 1
+  std::optional<exec::VerdictStore> store_;  // engaged when store_path set
   exec::VerdictCache cache_;
 
   std::thread acceptor_;
@@ -116,9 +153,13 @@ class Server {
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<int> queue_;  // accepted fds awaiting a worker
+  // Connections currently inside serve_connection; stop() shuts them down
+  // so workers blocked waiting for a next keep-alive request wake promptly.
+  std::unordered_set<int> active_fds_;
   bool stopping_ = false;
 
   std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> connections_total_{0};
   std::atomic<std::uint64_t> rejected_total_{0};
   std::atomic<std::uint64_t> errors_total_{0};
   std::atomic<std::uint64_t> cache_resets_{0};

@@ -3,13 +3,18 @@
 // simulator entry points built on them is covered in test_determinism.cpp.
 #include <gtest/gtest.h>
 
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "exec/context.h"
 #include "exec/thread_pool.h"
 #include "exec/verdict_cache.h"
+#include "exec/verdict_store.h"
 
 namespace locald::exec {
 namespace {
@@ -168,6 +173,48 @@ TEST(VerdictCache, ClearDropsEntriesButKeepsMonotonicCounters) {
   EXPECT_FALSE(cache.lookup(1, "alg", "ball-a").has_value());
   cache.insert(1, "alg", "ball-a", true);
   EXPECT_TRUE(*cache.lookup(1, "alg", "ball-a"));
+}
+
+TEST(VerdictCache, EvictedEntriesComeBackFromTheStoreNotRecomputation) {
+  // clear() only drops the MEMORY tier: with a store attached, every insert
+  // wrote through to disk, so an evicted-then-requeried class is a store
+  // hit (a promotion), never a miss forcing recomputation.
+  char tmpl[] = "/tmp/locald-exec-store-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  {
+    VerdictStore store(dir, 2);
+    VerdictCache cache(4);
+    cache.attach_store(&store);
+    cache.insert(1, "alg", "ball-a", true);
+    cache.insert(2, "alg", "ball-b", false);
+
+    cache.clear();  // the serving layer's memory-bound reset
+    const auto evicted = cache.stats();
+    EXPECT_EQ(evicted.entries, 0u);
+    EXPECT_EQ(evicted.misses, 0u);
+
+    const auto a = cache.lookup(1, "alg", "ball-a");
+    const auto b = cache.lookup(2, "alg", "ball-b");
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_TRUE(*a);
+    EXPECT_FALSE(*b);
+    const auto after = cache.stats();
+    EXPECT_EQ(after.store_hits, 2u);
+    EXPECT_EQ(after.misses, 0u);  // the store answered; nothing to recompute
+    // The store hit promoted both classes back into the memory tier: the
+    // next lookup is an ordinary memory hit.
+    EXPECT_EQ(after.entries, 2u);
+    EXPECT_TRUE(*cache.lookup(1, "alg", "ball-a"));
+    EXPECT_EQ(cache.stats().store_hits, 2u);
+    cache.attach_store(nullptr);
+  }
+  // Best-effort scratch cleanup (two shard logs + the directory).
+  for (const char* shard : {"/shard-00.log", "/shard-01.log"}) {
+    ::unlink((dir + shard).c_str());
+  }
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace

@@ -107,13 +107,52 @@ ClientResponse request(int port, const std::string& bytes) {
   return split_response(raw);
 }
 
+// One-shot request builders: `Connection: close` keeps the read-to-EOF
+// client model working now that the server defaults to keep-alive (the
+// keep-alive conversation itself is covered by test_http_conformance).
 std::string get(const std::string& path) {
-  return "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n";
+  return "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
 }
 
 std::string post(const std::string& path, const std::string& body) {
-  return "POST " + path + " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
-         std::to_string(body.size()) + "\r\n\r\n" + body;
+  return "POST " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n" +
+         "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// Decoded chunked-transfer response: the data frames in arrival order and
+// their concatenation.
+struct StreamedResponse {
+  int status = 0;
+  std::string head;
+  std::vector<std::string> chunks;
+  std::string body;
+};
+
+StreamedResponse decode_chunked(const std::string& raw) {
+  StreamedResponse r;
+  const std::size_t cut = raw.find("\r\n\r\n");
+  LOCALD_CHECK(cut != std::string::npos, "response has no head terminator");
+  r.head = raw.substr(0, cut);
+  LOCALD_CHECK(raw.rfind("HTTP/1.1 ", 0) == 0, "bad status line");
+  r.status = std::stoi(raw.substr(9, 3));
+  LOCALD_CHECK(r.head.find("Transfer-Encoding: chunked") != std::string::npos,
+               "response is not chunked");
+  std::size_t pos = cut + 4;
+  while (true) {
+    const std::size_t eol = raw.find("\r\n", pos);
+    LOCALD_CHECK(eol != std::string::npos, "truncated chunk-size line");
+    const std::size_t len =
+        std::stoull(raw.substr(pos, eol - pos), nullptr, 16);
+    pos = eol + 2;
+    if (len == 0) break;
+    LOCALD_CHECK(pos + len + 2 <= raw.size(), "truncated chunk data");
+    LOCALD_CHECK(raw.compare(pos + len, 2, "\r\n") == 0,
+                 "chunk data not CRLF-terminated");
+    r.chunks.push_back(raw.substr(pos, len));
+    r.body += r.chunks.back();
+    pos += len + 2;
+  }
+  return r;
 }
 
 // ---------------------------------------------------------------------------
@@ -189,10 +228,20 @@ TEST(Http, RejectsOversizedHead) {
   EXPECT_EQ(r.status, 431);
 }
 
-TEST(Http, RejectsTransferEncoding) {
-  EXPECT_EQ(
-      parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").status,
-      501);
+TEST(Http, ParsesChunkedBodiesAndRejectsOtherCodings) {
+  const ParseResult r = parse(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n");
+  ASSERT_EQ(r.status, 200) << r.error;
+  EXPECT_EQ(r.request.body, "hello world");
+  // Only chunked is implemented; other codings are answered 501, and a
+  // message carrying both length declarations is a smuggling vector.
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n").status,
+            501);
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                  "Content-Length: 3\r\n\r\n0\r\n\r\n")
+                .status,
+            400);
 }
 
 TEST(Http, ReportsTimeoutAs408) {
@@ -523,6 +572,102 @@ TEST(ServerSocket, ShedsLoadWith503WhenTheQueueIsFull) {
   send_raw(queued, get("/v1/healthz"));
   EXPECT_EQ(split_response(read_to_eof(queued)).status, 200);
   ::close(queued);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Streamed sweeps
+// ---------------------------------------------------------------------------
+
+TEST(ServerSocket, StreamedSweepChunksReassembleToTheBufferedDocument) {
+  const std::string body =
+      R"({"scenario": "promise-cycle", "sizes": [6, 8], "trials": 2, "seed": 7})";
+  // The determinism contract's fixed point: the in-process document built
+  // with no pool and no cache. Every transport below must reproduce it.
+  const std::string reference =
+      sweep_document(parse_sweep_request(body), nullptr, nullptr);
+  ASSERT_FALSE(reference.empty());
+
+  for (const int threads : {1, 2}) {
+    ServeOptions options = test_options();
+    options.threads = threads;
+    Server server{options};
+    server.start();
+
+    // HTTP/1.1: chunked transfer, one chunk per flush boundary (prelude,
+    // each finished cell, postlude) — at least 4 frames for a 2-cell grid.
+    const int fd = connect_to(server.port());
+    send_raw(fd, post("/v1/sweep", body));
+    const StreamedResponse streamed = decode_chunked(read_to_eof(fd));
+    ::close(fd);
+    EXPECT_EQ(streamed.status, 200) << "threads=" << threads;
+    EXPECT_GE(streamed.chunks.size(), 4u) << "threads=" << threads;
+    EXPECT_EQ(streamed.body, reference) << "threads=" << threads;
+
+    // HTTP/1.0 clients cannot parse chunked framing; they get the same
+    // bytes buffered behind a Content-Length.
+    const int fd10 = connect_to(server.port());
+    send_raw(fd10, "POST /v1/sweep HTTP/1.0\r\nContent-Length: " +
+                       std::to_string(body.size()) + "\r\n\r\n" + body);
+    const ClientResponse buffered = split_response(read_to_eof(fd10));
+    ::close(fd10);
+    EXPECT_EQ(buffered.status, 200) << "threads=" << threads;
+    EXPECT_NE(buffered.head.find("Content-Length: "), std::string::npos);
+    EXPECT_EQ(buffered.body, reference) << "threads=" << threads;
+    server.stop();
+  }
+}
+
+TEST(ServerSocket, StreamedSweepValidationFailuresAnswerBuffered) {
+  Server server{test_options()};
+  server.start();
+  // Pre-head validation failures must arrive as ordinary Content-Length
+  // error documents, never as a committed 200 chunk stream.
+  const ClientResponse unknown = request(
+      server.port(), post("/v1/sweep", R"({"scenario": "no-such"})"));
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_EQ(unknown.head.find("Transfer-Encoding"), std::string::npos);
+  const ClientResponse malformed =
+      request(server.port(), post("/v1/sweep", "{"));
+  EXPECT_EQ(malformed.status, 400);
+  EXPECT_EQ(malformed.head.find("Transfer-Encoding"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServerSocket, MidStreamDisconnectLeavesGaugesConsistent) {
+  ServeOptions options = test_options();
+  options.workers = 1;  // a leaked slot would visibly wedge this server
+  Server server{options};
+  server.start();
+
+  // A sweep big enough to still be streaming when the client vanishes.
+  const std::string body =
+      R"({"scenario": "promise-cycle", "sizes": [6, 8, 10, 12, 14], "trials": 48, "seed": 3})";
+  const int fd = connect_to(server.port());
+  send_raw(fd, post("/v1/sweep", body));
+  char buf[128];
+  ASSERT_GT(::recv(fd, buf, sizeof(buf), 0), 0);  // the stream has started
+  ::close(fd);  // ...and the client is gone mid-stream
+
+  // The worker notices on a failed chunk write, abandons the sweep, and
+  // releases its slot: both gauges must return to zero, nothing leaked.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool settled = false;
+  while (std::chrono::steady_clock::now() < deadline && !settled) {
+    const MetricsSnapshot m = server.metrics();
+    settled = m.in_flight == 0 && m.queue_depth == 0;
+    if (!settled) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(settled);
+
+  // The single worker is free again and /v1/metrics agrees with itself:
+  // the metrics connection is the only one in flight, the queue is empty.
+  const ClientResponse metrics = request(server.port(), get("/v1/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  const JsonValue m = parse_json(metrics.body);
+  EXPECT_EQ(m.find("in_flight")->as_integer(), 1);
+  EXPECT_EQ(m.find("queue_depth")->as_integer(), 0);
   server.stop();
 }
 

@@ -1,0 +1,362 @@
+// Crash-recovery and corruption battery for the persistent verdict store.
+//
+// The store's contract (exec/verdict_store.h) is that a crash can cost at
+// most the torn tail record and a corrupted record costs exactly itself:
+// recovery walks the checksummed append log, truncates unwalkable tails,
+// and quarantines checksum failures without losing what follows. These
+// tests inflict the damage byte-by-byte on real shard files and assert the
+// blast radius, then pin the end-to-end warm-start property: a reloaded
+// store answers byte-identically to recomputation on every registered
+// graph family.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/context.h"
+#include "exec/verdict_cache.h"
+#include "exec/verdict_store.h"
+#include "gen/family.h"
+#include "local/algorithm.h"
+#include "local/labeled_graph.h"
+#include "local/simulator.h"
+#include "support/check.h"
+#include "support/hash.h"
+
+namespace locald::exec {
+namespace {
+
+// A self-cleaning temporary store directory.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string tmpl = "/tmp/locald-store-XXXXXX";
+    LOCALD_CHECK(::mkdtemp(tmpl.data()) != nullptr, "mkdtemp failed");
+    path = tmpl;
+  }
+  ~TempDir() {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir != nullptr) {
+      while (dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name != "." && name != "..") {
+          ::unlink((path + "/" + name).c_str());
+        }
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+std::uint64_t fp(const std::string& encoding) {
+  return hash_string(encoding);
+}
+
+// File-level surgery helpers for the corruption tests. Single-shard stores
+// keep the record layout deterministic: FileHeader (16 bytes), then records
+// in append order, each 16-byte RecordHeader + algorithm + encoding with
+// the checksum as the header's first 4 bytes.
+constexpr std::size_t kFileHeaderBytes = 16;
+constexpr std::size_t kRecordHeaderBytes = 16;
+
+std::string only_shard(const std::string& dir) { return dir + "/shard-00.log"; }
+
+off_t file_size(const std::string& file) {
+  struct stat st{};
+  LOCALD_CHECK(::stat(file.c_str(), &st) == 0, "stat failed");
+  return st.st_size;
+}
+
+void flip_byte(const std::string& file, off_t offset) {
+  const int fd = ::open(file.c_str(), O_RDWR);
+  LOCALD_CHECK(fd >= 0, "open for corruption failed");
+  char byte = 0;
+  LOCALD_CHECK(::pread(fd, &byte, 1, offset) == 1, "pread failed");
+  byte = static_cast<char>(byte ^ 0xFF);
+  LOCALD_CHECK(::pwrite(fd, &byte, 1, offset) == 1, "pwrite failed");
+  ::close(fd);
+}
+
+void truncate_by(const std::string& file, off_t bytes) {
+  const off_t size = file_size(file);
+  LOCALD_CHECK(size > bytes, "file too small to truncate");
+  LOCALD_CHECK(::truncate(file.c_str(), size - bytes) == 0, "truncate failed");
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(VerdictStore, RoundTripsAcrossReopen) {
+  TempDir dir;
+  {
+    VerdictStore store(dir.path, 4);
+    store.append(fp("ball-a"), "alg", "ball-a", true);
+    store.append(fp("ball-b"), "alg", "ball-b", false);
+    store.append(fp("ball-a"), "other-alg", "ball-a", false);
+    EXPECT_EQ(store.stats().appended, 3u);
+    ASSERT_TRUE(store.lookup(fp("ball-a"), "alg", "ball-a").has_value());
+    EXPECT_TRUE(*store.lookup(fp("ball-a"), "alg", "ball-a"));
+  }
+  VerdictStore reopened(dir.path, 4);
+  EXPECT_EQ(reopened.stats().records_loaded, 3u);
+  EXPECT_EQ(reopened.stats().quarantined, 0u);
+  EXPECT_EQ(reopened.stats().dropped_bytes, 0u);
+  EXPECT_TRUE(*reopened.lookup(fp("ball-a"), "alg", "ball-a"));
+  EXPECT_FALSE(*reopened.lookup(fp("ball-b"), "alg", "ball-b"));
+  EXPECT_FALSE(*reopened.lookup(fp("ball-a"), "other-alg", "ball-a"));
+  EXPECT_FALSE(
+      reopened.lookup(fp("ball-c"), "alg", "ball-c").has_value());
+}
+
+TEST(VerdictStore, ReplayedAppendsDoNotGrowTheLog) {
+  TempDir dir;
+  {
+    VerdictStore store(dir.path, 1);
+    store.append(fp("ball-a"), "alg", "ball-a", true);
+    store.append(fp("ball-a"), "alg", "ball-a", true);  // replay: skipped
+    EXPECT_EQ(store.stats().appended, 1u);
+  }
+  const off_t size_after_two = file_size(only_shard(dir.path));
+  {
+    // A whole second serving life replaying the same verdict.
+    VerdictStore store(dir.path, 1);
+    store.append(fp("ball-a"), "alg", "ball-a", true);
+    EXPECT_EQ(store.stats().appended, 0u);
+  }
+  EXPECT_EQ(file_size(only_shard(dir.path)), size_after_two);
+  VerdictStore reopened(dir.path, 1);
+  EXPECT_EQ(reopened.stats().records_loaded, 1u);
+}
+
+TEST(VerdictStore, RejectsAForeignOrReshardedStore) {
+  TempDir dir;
+  { VerdictStore store(dir.path, 4); }
+  // Same directory, different shard layout: refusing loudly beats serving
+  // from the wrong shard files.
+  EXPECT_THROW(VerdictStore(dir.path, 8), Error);
+
+  TempDir garbage_dir;
+  {
+    const std::string file = only_shard(garbage_dir.path);
+    const int fd = ::open(file.c_str(), O_WRONLY | O_CREAT, 0644);
+    LOCALD_CHECK(fd >= 0, "open failed");
+    const char junk[] = "this is not a verdict store shard at all";
+    LOCALD_CHECK(::write(fd, junk, sizeof(junk)) ==
+                     static_cast<ssize_t>(sizeof(junk)),
+                 "write failed");
+    ::close(fd);
+  }
+  EXPECT_THROW(VerdictStore(garbage_dir.path, 1), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: torn tails and corrupted records
+// ---------------------------------------------------------------------------
+
+TEST(VerdictStore, TruncatedTailRecordIsDroppedOnOpen) {
+  TempDir dir;
+  {
+    VerdictStore store(dir.path, 1);
+    store.append(fp("ball-a"), "alg", "ball-a", true);
+    store.append(fp("ball-b"), "alg", "ball-b", false);
+  }
+  // A crash mid-write tears the final record; everything before it is
+  // untouched.
+  truncate_by(only_shard(dir.path), 3);
+
+  VerdictStore recovered(dir.path, 1);
+  EXPECT_EQ(recovered.stats().records_loaded, 1u);
+  EXPECT_GT(recovered.stats().dropped_bytes, 0u);
+  EXPECT_TRUE(*recovered.lookup(fp("ball-a"), "alg", "ball-a"));
+  EXPECT_FALSE(recovered.lookup(fp("ball-b"), "alg", "ball-b").has_value());
+
+  // Recovery truncated back to a record boundary, so the store keeps
+  // working: the lost verdict can be re-appended and survives the next
+  // reopen.
+  recovered.append(fp("ball-b"), "alg", "ball-b", false);
+  VerdictStore again(dir.path, 1);
+  EXPECT_EQ(again.stats().records_loaded, 2u);
+  EXPECT_EQ(again.stats().dropped_bytes, 0u);
+  EXPECT_FALSE(*again.lookup(fp("ball-b"), "alg", "ball-b"));
+}
+
+TEST(VerdictStore, TornTailShorterThanARecordHeaderIsDropped) {
+  TempDir dir;
+  {
+    VerdictStore store(dir.path, 1);
+    store.append(fp("ball-a"), "alg", "ball-a", true);
+  }
+  const off_t intact = file_size(only_shard(dir.path));
+  {
+    // Simulate a crash that wrote only a few bytes of the next record's
+    // header.
+    const int fd = ::open(only_shard(dir.path).c_str(), O_WRONLY | O_APPEND);
+    LOCALD_CHECK(fd >= 0, "open failed");
+    const char torn[] = {0x01, 0x02, 0x03};
+    LOCALD_CHECK(::write(fd, torn, sizeof(torn)) == 3, "write failed");
+    ::close(fd);
+  }
+  VerdictStore recovered(dir.path, 1);
+  EXPECT_EQ(recovered.stats().records_loaded, 1u);
+  EXPECT_EQ(recovered.stats().dropped_bytes, 3u);
+  EXPECT_EQ(file_size(only_shard(dir.path)), intact);
+}
+
+TEST(VerdictStore, FlippedChecksumByteQuarantinesOnlyThatRecord) {
+  TempDir dir;
+  {
+    VerdictStore store(dir.path, 1);
+    store.append(fp("ball-a"), "alg", "ball-a", true);
+    store.append(fp("ball-b"), "alg", "ball-b", false);
+    store.append(fp("ball-c"), "alg", "ball-c", true);
+  }
+  // Flip a byte of the FIRST record's checksum. Its length fields are
+  // intact, so recovery can step over exactly this record and keep loading
+  // the two behind it.
+  flip_byte(only_shard(dir.path), kFileHeaderBytes);
+
+  VerdictStore recovered(dir.path, 1);
+  EXPECT_EQ(recovered.stats().quarantined, 1u);
+  EXPECT_EQ(recovered.stats().records_loaded, 2u);
+  EXPECT_EQ(recovered.stats().dropped_bytes, 0u);
+  // The quarantined record is gone; its neighbors answer as before.
+  EXPECT_FALSE(recovered.lookup(fp("ball-a"), "alg", "ball-a").has_value());
+  EXPECT_FALSE(*recovered.lookup(fp("ball-b"), "alg", "ball-b"));
+  EXPECT_TRUE(*recovered.lookup(fp("ball-c"), "alg", "ball-c"));
+}
+
+TEST(VerdictStore, FlippedKeyByteQuarantinesOnlyThatRecord) {
+  TempDir dir;
+  {
+    VerdictStore store(dir.path, 1);
+    store.append(fp("ball-a"), "alg", "ball-a", true);
+    store.append(fp("ball-b"), "alg", "ball-b", false);
+  }
+  // Corrupt a key byte of the middle of record one (its checksum no longer
+  // matches), leaving record two byte-identical.
+  flip_byte(only_shard(dir.path),
+            static_cast<off_t>(kFileHeaderBytes + kRecordHeaderBytes + 1));
+  VerdictStore recovered(dir.path, 1);
+  EXPECT_EQ(recovered.stats().quarantined, 1u);
+  EXPECT_EQ(recovered.stats().records_loaded, 1u);
+  EXPECT_FALSE(*recovered.lookup(fp("ball-b"), "alg", "ball-b"));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: the store under the cache's write-through traffic
+// ---------------------------------------------------------------------------
+
+TEST(VerdictStore, ConcurrentWritersFromEightThreadsReloadEqualToTheCache) {
+  TempDir dir;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kClasses = 96;
+  VerdictCache cache;
+  {
+    VerdictStore store(dir.path, 16);
+    cache.attach_store(&store);
+    // Every thread covers an overlapping window of the key space, so the
+    // same class races between threads both in the cache shard and in the
+    // store shard behind it.
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&cache, t] {
+        for (std::uint64_t i = 0; i < kClasses; ++i) {
+          const std::uint64_t cls = (i + static_cast<std::uint64_t>(t) * 7) %
+                                    kClasses;
+          const std::string enc = "ball-" + std::to_string(cls);
+          const bool accepted = cls % 3 == 0;
+          if (const auto hit = cache.lookup(fp(enc), "alg", enc)) {
+            EXPECT_EQ(*hit, accepted);
+          } else {
+            cache.insert(fp(enc), "alg", enc, accepted);
+          }
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+    cache.attach_store(nullptr);  // store dies first; detach before it does
+  }
+
+  // The reloaded store holds exactly the cache's contents: every class,
+  // the right verdict, no duplicates.
+  VerdictStore reloaded(dir.path, 16);
+  EXPECT_EQ(reloaded.stats().records_loaded, cache.stats().entries);
+  EXPECT_EQ(reloaded.stats().quarantined, 0u);
+  for (std::uint64_t cls = 0; cls < kClasses; ++cls) {
+    const std::string enc = "ball-" + std::to_string(cls);
+    const auto stored = reloaded.lookup(fp(enc), "alg", enc);
+    const auto cached = cache.lookup(fp(enc), "alg", enc);
+    ASSERT_TRUE(stored.has_value()) << enc;
+    ASSERT_TRUE(cached.has_value()) << enc;
+    EXPECT_EQ(*stored, *cached) << enc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: warm-reload verdicts == recomputation on every family
+// ---------------------------------------------------------------------------
+
+TEST(VerdictStore, WarmReloadMatchesRecomputationOnEveryFamily) {
+  TempDir dir;
+  // A deterministic, isomorphism-invariant probe algorithm: memoization-
+  // safe by construction (ball size is a canonical-class invariant), with
+  // both verdicts realized across the registry's topologies — interior and
+  // boundary balls differ in parity in most families.
+  const local::LambdaAlgorithm probe(
+      "store-probe", 1, /*oblivious=*/true, [](const local::Ball& ball) {
+        return ball.node_count() % 2 == 0 ? local::Verdict::yes
+                                          : local::Verdict::no;
+      });
+
+  for (const gen::Family& family : gen::family_registry()) {
+    const gen::FamilyInstanceSpec spec =
+        gen::resolve_family_text(family.name, 24);
+    const local::LabeledGraph g(spec.build(/*seed=*/7));
+
+    // Reference: recomputation, no cache anywhere.
+    const local::RunResult reference = run_oblivious(probe, g);
+
+    // First life: decide every class through a store-backed cache.
+    {
+      VerdictStore store(dir.path, 4);
+      VerdictCache cache;
+      cache.attach_store(&store);
+      ExecContext ctx;
+      ctx.cache = &cache;
+      const local::RunResult first = run_oblivious(probe, g, ctx);
+      EXPECT_EQ(first.outputs, reference.outputs) << family.name;
+    }
+
+    // Second life: a fresh cache over the reloaded store. Every verdict
+    // must come from disk (zero recomputation-misses) and match the
+    // reference exactly — the restart-warm contract.
+    {
+      VerdictStore store(dir.path, 4);
+      VerdictCache cache;
+      cache.attach_store(&store);
+      ExecContext ctx;
+      ctx.cache = &cache;
+      const local::RunResult warm = run_oblivious(probe, g, ctx);
+      EXPECT_EQ(warm.outputs, reference.outputs) << family.name;
+      EXPECT_EQ(warm.accepted, reference.accepted) << family.name;
+      const VerdictCache::Stats stats = cache.stats();
+      EXPECT_EQ(stats.misses, 0u) << family.name;
+      EXPECT_GT(stats.store_hits, 0u) << family.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace locald::exec
