@@ -21,11 +21,11 @@ using namespace locald;
 
 namespace legacy {
 
-using graph::Graph;
+using graph::CsrGraph;
 using graph::NodeId;
 using Coloring = std::vector<int>;
 
-void refine(const Graph& g, Coloring& color) {
+void refine(const CsrGraph& g, Coloring& color) {
   const std::size_t n = color.size();
   if (n == 0) return;
   for (;;) {
@@ -65,7 +65,7 @@ std::vector<NodeId> first_non_singleton_class(const Coloring& color) {
   return {};
 }
 
-std::string encode_discrete(const Graph& g,
+std::string encode_discrete(const CsrGraph& g,
                             const std::vector<std::string>& payloads,
                             const Coloring& color) {
   const std::size_t n = color.size();
@@ -95,7 +95,7 @@ std::string encode_discrete(const Graph& g,
 }
 
 struct SearchState {
-  const Graph* g = nullptr;
+  const CsrGraph* g = nullptr;
   const std::vector<std::string>* payloads = nullptr;
   std::string best;
   bool has_best = false;
@@ -120,7 +120,7 @@ void search(SearchState& st, Coloring color) {
   }
 }
 
-std::string canonical_encoding(const Graph& g,
+std::string canonical_encoding(const CsrGraph& g,
                                const std::vector<std::string>& payloads) {
   std::map<std::string, int> payload_rank;
   for (const auto& p : payloads) payload_rank.emplace(p, 0);
@@ -138,7 +138,7 @@ std::string canonical_encoding(const Graph& g,
 }
 
 // The pre-PR census: one independent canonical_form per ball, no dedup.
-std::size_t census_classes(const Graph& host, int radius) {
+std::size_t census_classes(const CsrGraph& host, int radius) {
   std::unordered_set<std::string> classes;
   for (NodeId v = 0; v < host.node_count(); ++v) {
     const auto members = graph::nodes_within(host, v, radius);
@@ -185,11 +185,11 @@ int main() {
   TextTable single({"input", "legacy(ms)", "engine(ms)", "speedup"});
   struct Shape {
     std::string name;
-    graph::Graph g;
+    graph::CsrGraph g;
   };
-  Rng rng(5);
   std::vector<Shape> shapes;
-  shapes.push_back({"random n=24 m=40", graph::make_random_connected(24, 17, rng)});
+  shapes.push_back(
+      {"random n=24 m=40", graph::make_random_connected(24, 17, 5)});
   shapes.push_back({"Q4 (16 nodes)", graph::make_hypercube(4)});
   shapes.push_back({"K_{6,6}", graph::make_complete_bipartite(6, 6)});
   shapes.push_back({"star k=8", graph::make_star(8)});
@@ -221,7 +221,7 @@ int main() {
                     "classes"});
   struct Cell {
     std::string name;
-    graph::Graph g;
+    graph::CsrGraph g;
   };
   std::vector<Cell> cells;
   cells.push_back({"hypercube:dims=6", graph::make_hypercube(6)});

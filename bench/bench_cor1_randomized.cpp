@@ -14,7 +14,7 @@ int main() {
   policy.max_fragments = 60;
   const auto decider =
       halting::make_randomized_gmr_decider(3, policy, false, 4096);
-  Rng rng(31337);
+  const std::uint64_t seed = 31337;
   const int trials = 40;
 
   TextTable table({"instance", "n", "truth", "accepted/trials",
@@ -24,8 +24,8 @@ int main() {
     halting::GmrParams params{tm::halt_after(2, 0), 1, 3, policy, false,
                               4096};
     const auto inst = halting::build_gmr(params).graph;
-    const auto est =
-        local::estimate_acceptance(*decider, inst, nullptr, trials, rng);
+    const auto est = local::estimate_acceptance(*decider, inst, nullptr,
+                                                trials, {{}, seed});
     table.add_row({cat("G(", params.machine.name(), ")"),
                    cat(inst.node_count()), "member",
                    cat(est.accepted, "/", est.trials), "-"});
@@ -35,8 +35,9 @@ int main() {
     halting::GmrParams params{tm::zigzag_halt(rounds, 1), 1, 3, policy,
                               false, 4096};
     const auto inst = halting::build_gmr(params).graph;
-    const auto est =
-        local::estimate_acceptance(*decider, inst, nullptr, trials, rng);
+    const auto est = local::estimate_acceptance(
+        *decider, inst, nullptr, trials,
+        {{}, seed + static_cast<std::uint64_t>(rounds)});
     table.add_row(
         {cat("G(", params.machine.name(), ")"), cat(inst.node_count()),
          "non-member", cat(est.accepted, "/", est.trials),

@@ -42,8 +42,8 @@ int main() {
     exec::ExecContext ctx{&pool, nullptr};
     local::AcceptanceEstimate est;
     const double ms = wall_ms([&] {
-      est = local::estimate_acceptance(*decider, inst, nullptr, kTrials, kSeed,
-                                       ctx);
+      est = local::estimate_acceptance(*decider, inst, nullptr, kTrials,
+                                       {ctx, kSeed});
     });
     if (threads == 1) serial_ms = ms;
     scaling.add_row({cat(threads), fixed(ms, 1), fixed(serial_ms / ms, 2),
@@ -55,7 +55,7 @@ int main() {
 
   // Cache effect: A* over a cycle, where every stripped ball is isomorphic.
   auto reading = std::make_shared<local::LambdaAlgorithm>(
-      "parity-with-ids", 1, false, [](const local::Ball& ball) {
+      "parity-with-ids", 1, false, [](const local::BallView& ball) {
         (void)ball.center_id();
         return ball.g.degree(ball.center) == 2 ? local::Verdict::yes
                                                : local::Verdict::no;
@@ -71,7 +71,7 @@ int main() {
   // for asserting that.
   const auto wrapped = local::make_oblivious(
       "A*-degree-check-classpure", 1,
-      [&](const local::Ball& ball) { return sim->evaluate(ball); });
+      [&](const local::BallView& ball) { return sim->evaluate(ball); });
   const local::LabeledGraph cycle =
       local::LabeledGraph::uniform(graph::make_cycle(64), local::Label{});
 
@@ -79,14 +79,14 @@ int main() {
   {
     exec::ExecContext plain;
     const double ms =
-        wall_ms([&] { (void)local::run_oblivious(*wrapped, cycle, plain); });
+        wall_ms([&] { (void)local::run_oblivious(*wrapped, cycle, {plain}); });
     memo.add_row({"unmemoized", fixed(ms, 1), "-", "-"});
   }
   {
     exec::VerdictCache cache;
     exec::ExecContext memoized{nullptr, &cache};
     const double ms =
-        wall_ms([&] { (void)local::run_oblivious(*wrapped, cycle, memoized); });
+        wall_ms([&] { (void)local::run_oblivious(*wrapped, cycle, {memoized}); });
     const auto stats = cache.stats();
     memo.add_row({"memoized", fixed(ms, 1), cat(stats.hits),
                   cat(stats.entries)});

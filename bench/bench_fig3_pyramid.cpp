@@ -15,7 +15,7 @@ int main() {
   for (int h = 1; h <= 7; ++h) {
     const graph::PyramidIndexer idx(h);
     const auto t0 = std::chrono::steady_clock::now();
-    const graph::Graph g = graph::build_pyramid(idx);
+    const graph::CsrGraph g = graph::build_pyramid(idx);
     const auto t1 = std::chrono::steady_clock::now();
     const bool ok = h <= 5 ? graph::is_pyramid(g, h) : true;  // oracle is
     // canonical-form based; cap its cost at moderate sizes.

@@ -12,7 +12,7 @@ namespace {
 void BM_BallExtraction(benchmark::State& state) {
   const int radius = static_cast<int>(state.range(0));
   Rng rng(1);
-  local::LabeledGraph g(graph::make_random_connected(2000, 3000, rng));
+  local::LabeledGraph g(graph::make_random_connected(2000, 3000, 1));
   for (graph::NodeId v = 0; v < g.node_count(); ++v) {
     g.set_label(v, local::Label{static_cast<std::int64_t>(rng.below(4))});
   }
@@ -26,7 +26,7 @@ BENCHMARK(BM_BallExtraction)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_CanonicalBall(benchmark::State& state) {
   Rng rng(2);
-  local::LabeledGraph g(graph::make_random_connected(500, 800, rng));
+  local::LabeledGraph g(graph::make_random_connected(500, 800, 2));
   for (graph::NodeId v = 0; v < g.node_count(); ++v) {
     g.set_label(v, local::Label{static_cast<std::int64_t>(rng.below(4))});
   }

@@ -11,7 +11,7 @@ using namespace locald;
 int main() {
   // 1. A* reproduces an id-reading but id-independent decider exactly.
   auto reading = std::make_shared<local::LambdaAlgorithm>(
-      "agreement-with-ids", 1, false, [](const local::Ball& ball) {
+      "agreement-with-ids", 1, false, [](const local::BallView& ball) {
         (void)ball.center_id();  // reads identifiers, never uses them
         const auto x = ball.center_label().at(0);
         for (graph::NodeId w : ball.g.neighbors(ball.center)) {

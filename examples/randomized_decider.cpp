@@ -21,12 +21,11 @@ int main() {
   const auto yes_inst = halting::build_gmr(yes).graph;
   const auto no_inst = halting::build_gmr(no).graph;
 
-  Rng rng(99);
   const int trials = 30;
-  const auto p_yes =
-      local::estimate_acceptance(*decider, yes_inst, nullptr, trials, rng);
-  const auto p_no =
-      local::estimate_acceptance(*decider, no_inst, nullptr, trials, rng);
+  const auto p_yes = local::estimate_acceptance(*decider, yes_inst, nullptr,
+                                                trials, {{}, 99});
+  const auto p_no = local::estimate_acceptance(*decider, no_inst, nullptr,
+                                               trials, {{}, 100});
 
   std::cout << "randomized Id-oblivious decider: " << decider->name() << "\n";
   std::cout << "yes-instance G(" << yes.machine.name() << "): accepted "

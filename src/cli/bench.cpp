@@ -1,11 +1,14 @@
 #include "cli/bench.h"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <optional>
 
 #include "exec/context.h"
 #include "gen/workload.h"
 #include "support/format.h"
+#include "support/schema.h"
 
 namespace locald::cli {
 
@@ -19,7 +22,19 @@ struct BenchCell {
   gen::WorkloadResult result;   // from the first thread count
   bool threads_agree = true;    // later counts reproduced `result`
   std::vector<double> wall_ms;  // per thread-grid entry
+  // Process peak RSS observed right after the cell's runs, in KiB.
+  // ru_maxrss is a process-lifetime high-water mark, so the sequence is
+  // monotone across cells; the jump at a cell is that cell's contribution.
+  long peak_rss_kb = 0;
 };
+
+long process_peak_rss_kb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return usage.ru_maxrss;
+}
 
 bool deterministic_fields_equal(const gen::WorkloadResult& a,
                                 const gen::WorkloadResult& b) {
@@ -81,6 +96,7 @@ BenchCell run_cell(const std::string& selector, int size,
       cell.threads_agree = false;
     }
   }
+  cell.peak_rss_kb = process_peak_rss_kb();
   return cell;
 }
 
@@ -151,6 +167,9 @@ void write_cell(JsonWriter& w, const BenchCell& cell,
       w.end_object();
     }
     w.end_array();
+    // Scheduling- and allocator-dependent like wall time, so --timing only.
+    w.key("peak_rss_kb");
+    w.value(static_cast<std::int64_t>(cell.peak_rss_kb));
   }
   w.end_object();
 }
@@ -214,6 +233,10 @@ int run_bench(const BenchOptions& bench_in, std::ostream& out) {
   w.begin_object();
   w.key("tool");
   w.value("locald-bench");
+  w.key("schema_version");
+  w.value(kSchemaVersion);
+  w.key("graph_core");
+  w.value(kGraphCoreId);
   w.key("seed");
   w.value(bench.seed);
   w.key("panel");
@@ -234,6 +257,8 @@ int run_bench(const BenchOptions& bench_in, std::ostream& out) {
     w.end_array();
     w.key("total_wall_ms");
     w.value(total_ms, 3);
+    w.key("peak_rss_kb");
+    w.value(static_cast<std::int64_t>(process_peak_rss_kb()));
   }
   w.key("cells");
   w.begin_array();

@@ -61,7 +61,7 @@ bool run_fig2(const ScenarioOptions& opts, std::ostream& out) {
       // cache (see decide_ball in local/simulator.cpp), so caching costs
       // ~nothing here and pays across requests in the serving layer.
       const bool verified =
-          local::run_oblivious(*verifier, inst.graph, opts.exec).accepted;
+          local::run_oblivious(*verifier, inst.graph, {opts.exec}).accepted;
       verify = verified ? "accept" : "REJECT";
       const auto ids = local::make_consecutive(inst.graph.node_count());
       const bool acc = local::accepts(*decider, inst.graph, ids);
@@ -115,7 +115,7 @@ bool run_fig3(const ScenarioOptions& opts, std::ostream& out) {
   for (int h = 1; h <= max_h; ++h) {
     const graph::PyramidIndexer idx(h);
     const auto t0 = std::chrono::steady_clock::now();
-    const graph::Graph g = graph::build_pyramid(idx);
+    const graph::CsrGraph g = graph::build_pyramid(idx);
     const auto t1 = std::chrono::steady_clock::now();
     const bool valid = h <= 5 ? graph::is_pyramid(g, h) : true;
     ok = ok && valid;
@@ -174,8 +174,8 @@ bool run_cor1(const ScenarioOptions& opts, std::ostream& out) {
     const auto inst = halting::build_gmr(params).graph;
     // Instance 0 of the sweep cell: coins come from counter streams under
     // (seed, instance), so trials parallelize without changing the counts.
-    const auto est = local::estimate_acceptance(*decider, inst, nullptr,
-                                                trials, opts.seed, opts.exec);
+    const auto est = local::estimate_acceptance(
+        *decider, inst, nullptr, trials, {opts.exec, opts.seed});
     ok = ok && est.accepted == est.trials;  // perfect completeness
     table.add_row({cat("G(", params.machine.name(), ")"),
                    cat(inst.node_count()), "member",
@@ -187,7 +187,7 @@ bool run_cor1(const ScenarioOptions& opts, std::ostream& out) {
     const auto inst = halting::build_gmr(params).graph;
     const auto est = local::estimate_acceptance(
         *decider, inst, nullptr, trials,
-        opts.seed + static_cast<std::uint64_t>(rounds), opts.exec);
+        {opts.exec, opts.seed + static_cast<std::uint64_t>(rounds)});
     const double bound = halting::corollary1_failure_bound(
         static_cast<double>(inst.node_count()));
     // Soundness w.h.p.: the empirical acceptance rate of a no-instance must
@@ -238,10 +238,10 @@ bool run_promise_halting(const ScenarioOptions& opts, std::ostream& out) {
                    e.halts ? cat(tm::run_machine(e.machine, 100000).steps)
                            : std::string("-"),
                    cat(n), id_ok ? "correct" : "WRONG",
-                   local::run_oblivious(*cand4, inst, opts.exec).accepted
+                   local::run_oblivious(*cand4, inst, {opts.exec}).accepted
                        ? std::string("accept")
                        : std::string("reject"),
-                   local::run_oblivious(*cand16, inst, opts.exec).accepted
+                   local::run_oblivious(*cand16, inst, {opts.exec}).accepted
                        ? std::string("accept")
                        : std::string("reject")});
   }
@@ -271,7 +271,7 @@ bool run_ablation(const ScenarioOptions& opts, std::ostream& out) {
     // Memoized (see run_fig2): back on the shared cache, with the engine's
     // hub-ball size cap keeping the pivot balls out of the keying cost.
     const bool verified =
-        local::run_oblivious(*verifier, inst.graph, opts.exec).accepted;
+        local::run_oblivious(*verifier, inst.graph, {opts.exec}).accepted;
     ok = ok && verified;
     caps.add_row({cat(cap), cat(inst.exact_fragment_count),
                   cat(inst.fragment_count),

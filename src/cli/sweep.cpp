@@ -8,6 +8,7 @@
 #include "cli/scenario.h"
 #include "exec/context.h"
 #include "support/format.h"
+#include "support/schema.h"
 
 namespace locald::cli {
 
@@ -89,6 +90,8 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
   w.begin_object();
   w.key("tool");
   w.value("locald-sweep");
+  w.key("schema_version");
+  w.value(kSchemaVersion);
   w.key("scenario");
   w.value(scenario_name);
   w.key("paper_ref");

@@ -116,7 +116,7 @@ QuadrantResult unrestricted_quadrant(Rng& rng, const exec::ExecContext& ctx,
   // An id-READING proper-3-colouring decider (reads ids, output does not
   // depend on them).
   auto reading = std::make_shared<local::LambdaAlgorithm>(
-      "coloring-with-ids", 1, false, [](const local::Ball& ball) {
+      "coloring-with-ids", 1, false, [](const local::BallView& ball) {
         (void)ball.center_id();  // reads, never uses
         const auto c = ball.center_label().at(0);
         if (c < 0 || c >= 3) return local::Verdict::no;
@@ -136,12 +136,13 @@ QuadrantResult unrestricted_quadrant(Rng& rng, const exec::ExecContext& ctx,
   int cases = 0;
   for (int trial = 0; trial < instances; ++trial) {
     local::LabeledGraph g(source ? source(trial)
-                                 : graph::make_random_connected(8, 4, rng));
+                                 : graph::make_random_connected(
+                                       8, 4, rng.next_u64()));
     for (graph::NodeId v = 0; v < g.node_count(); ++v) {
       g.set_label(v, local::Label{static_cast<std::int64_t>(rng.below(3))});
     }
     const bool truth = property->contains(g);
-    const bool sim = local::run_oblivious(*simulated, g, ctx).accepted;
+    const bool sim = local::run_oblivious(*simulated, g, {ctx}).accepted;
     ++cases;
     agreements += (truth == sim);
   }

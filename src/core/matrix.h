@@ -7,14 +7,14 @@
 #include <vector>
 
 #include "exec/context.h"
-#include "graph/graph.h"
+#include "graph/csr.h"
 
 namespace locald::core {
 
 // Supplies instance `index` for the (¬B, ¬C) A*-agreement experiment; the
 // workload generator's families plug in here (cli wires `--family` to a
 // gen::FamilyInstanceSpec). Null = the built-in random connected instances.
-using InstanceSource = std::function<graph::Graph(int index)>;
+using InstanceSource = std::function<graph::CsrGraph(int index)>;
 
 struct QuadrantResult {
   std::string quadrant;   // e.g. "(B, C)"

@@ -72,7 +72,7 @@ Invariants FamilyInstanceSpec::invariants() const {
   return family_->declared_invariants(values_);
 }
 
-graph::Graph FamilyInstanceSpec::build(std::uint64_t seed) const {
+graph::CsrGraph FamilyInstanceSpec::build(std::uint64_t seed) const {
   return family_->build(values_, seed);
 }
 

@@ -31,7 +31,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/csr.h"
 
 namespace locald::gen {
 
@@ -80,7 +80,7 @@ class FamilyInstanceSpec {
   std::string canonical() const;
 
   Invariants invariants() const;
-  graph::Graph build(std::uint64_t seed) const;
+  graph::CsrGraph build(std::uint64_t seed) const;
 
  private:
   const Family* family_;
@@ -92,8 +92,8 @@ class Family {
  public:
   using InvariantsFn =
       Invariants (*)(const std::vector<std::int64_t>& values);
-  using BuildFn = graph::Graph (*)(const std::vector<std::int64_t>& values,
-                                   std::uint64_t seed);
+  using BuildFn = graph::CsrGraph (*)(
+      const std::vector<std::int64_t>& values, std::uint64_t seed);
   // `pinned[i]` marks parameters the caller set explicitly: the mapping
   // must derive the free parameters from them (a pinned grid width turns
   // the target into a height), and whatever it writes to a pinned slot is

@@ -76,7 +76,7 @@ std::vector<Family> build_registry() {
   families.push_back(Family{
       "path",
       "simple path on n nodes",
-      {{"n", 32, 1, 1 << 21, "node count"}},
+      {{"n", 32, 1, 1 << 24, "node count"}},
       /*randomized=*/false,
       +[](std::int64_t size, std::vector<std::int64_t>& v,
           const std::vector<bool>&) {
@@ -99,7 +99,7 @@ std::vector<Family> build_registry() {
   families.push_back(Family{
       "cycle",
       "cycle on n nodes (the promise-problem substrate)",
-      {{"n", 32, 3, 1 << 21, "node count"}},
+      {{"n", 32, 3, 1 << 24, "node count"}},
       /*randomized=*/false,
       +[](std::int64_t size, std::vector<std::int64_t>& v,
           const std::vector<bool>&) {
@@ -122,8 +122,8 @@ std::vector<Family> build_registry() {
   families.push_back(Family{
       "grid",
       "width x height grid (the execution-table substrate)",
-      {{"width", 8, 1, 4096, "grid width"},
-       {"height", 8, 1, 4096, "grid height"}},
+      {{"width", 8, 1, 8192, "grid width"},
+       {"height", 8, 1, 8192, "grid height"}},
       /*randomized=*/false,
       +[](std::int64_t size, std::vector<std::int64_t>& v,
           const std::vector<bool>& pinned) {
@@ -154,8 +154,8 @@ std::vector<Family> build_registry() {
   families.push_back(Family{
       "torus",
       "width x height torus (wraparound grid)",
-      {{"width", 8, 3, 4096, "torus width"},
-       {"height", 8, 3, 4096, "torus height"}},
+      {{"width", 8, 3, 8192, "torus width"},
+       {"height", 8, 3, 8192, "torus height"}},
       /*randomized=*/false,
       +[](std::int64_t size, std::vector<std::int64_t>& v,
           const std::vector<bool>& pinned) {
@@ -184,12 +184,12 @@ std::vector<Family> build_registry() {
   families.push_back(Family{
       "hypercube",
       "d-dimensional hypercube (2^d nodes)",
-      {{"dims", 4, 0, 20, "dimension count"}},
+      {{"dims", 4, 0, 22, "dimension count"}},
       /*randomized=*/false,
       +[](std::int64_t size, std::vector<std::int64_t>& v,
           const std::vector<bool>&) {
         std::int64_t dims = 0;
-        while (dims < 20 && (std::int64_t{1} << (dims + 1)) <= size) {
+        while (dims < 22 && (std::int64_t{1} << (dims + 1)) <= size) {
           ++dims;
         }
         v[0] = dims;
@@ -211,20 +211,24 @@ std::vector<Family> build_registry() {
   families.push_back(Family{
       "complete-bipartite",
       "complete bipartite graph K_{a,b}",
-      {{"a", 4, 1, 2048, "left part size"},
-       {"b", 4, 1, 2048, "right part size"}},
+      {{"a", 4, 1, 1 << 23, "left part size"},
+       {"b", 4, 1, 1 << 23, "right part size"}},
       /*randomized=*/false,
       +[](std::int64_t size, std::vector<std::int64_t>& v,
           const std::vector<bool>& pinned) {
-        // A pinned part keeps the node total on target; otherwise split
-        // evenly.
+        // A pinned part keeps the node total on target (a=1 gives a star,
+        // the large-size bench shape); otherwise split evenly, capping each
+        // part at 2048 so the quadratic edge count only explodes when the
+        // caller pins a part deliberately.
         if (pinned[0] && !pinned[1]) {
           v[1] = std::max<std::int64_t>(1, size - v[0]);
         } else if (pinned[1] && !pinned[0]) {
           v[0] = std::max<std::int64_t>(1, size - v[1]);
         } else {
-          v[0] = std::max<std::int64_t>(1, size / 2);
-          v[1] = std::max<std::int64_t>(1, size - v[0]);
+          v[0] = std::min<std::int64_t>(2048,
+                                        std::max<std::int64_t>(1, size / 2));
+          v[1] = std::min<std::int64_t>(
+              2048, std::max<std::int64_t>(1, size - v[0]));
         }
       },
       +[](const std::vector<std::int64_t>& v) {
@@ -274,7 +278,7 @@ std::vector<Family> build_registry() {
   families.push_back(Family{
       "caterpillar",
       "spine path with `legs` leaves per spine node",
-      {{"spine", 8, 1, 1 << 20, "spine length"},
+      {{"spine", 8, 1, 1 << 23, "spine length"},
        {"legs", 3, 0, 64, "leaves per spine node"}},
       /*randomized=*/false,
       +[](std::int64_t size, std::vector<std::int64_t>& v,
@@ -328,12 +332,12 @@ std::vector<Family> build_registry() {
   families.push_back(Family{
       "pyramid",
       "the paper's Appendix-A quadtree pyramid (Figure 3)",
-      {{"height", 3, 0, 9, "pyramid height h"}},
+      {{"height", 3, 0, 11, "pyramid height h"}},
       /*randomized=*/false,
       +[](std::int64_t size, std::vector<std::int64_t>& v,
           const std::vector<bool>&) {
         std::int64_t h = 0;
-        while (h < 9 && pyramid_nodes(h + 1) <= size) {
+        while (h < 11 && pyramid_nodes(h + 1) <= size) {
           ++h;
         }
         v[0] = h;
@@ -355,7 +359,7 @@ std::vector<Family> build_registry() {
   families.push_back(Family{
       "random-regular",
       "random d-regular graph (deterministic pairing model)",
-      {{"n", 32, 1, 1 << 17, "node count (n * d must be even)"},
+      {{"n", 32, 1, 1 << 21, "node count (n * d must be even)"},
        {"d", 3, 0, 5, "uniform degree (pairing-model rejection bound)"}},
       /*randomized=*/true,
       +[](std::int64_t size, std::vector<std::int64_t>& v,

@@ -20,12 +20,12 @@ const std::vector<std::unique_ptr<local::LocalAlgorithm>>& panel() {
   static const auto algorithms = [] {
     std::vector<std::unique_ptr<local::LocalAlgorithm>> p;
     p.push_back(local::make_oblivious(
-        "even-degree", 1, [](const local::Ball& ball) {
+        "even-degree", 1, [](const local::BallView& ball) {
           return ball.g.degree(ball.center) % 2 == 0 ? local::Verdict::yes
                                                      : local::Verdict::no;
         }));
     p.push_back(local::make_oblivious(
-        "triangle-free", 1, [](const local::Ball& ball) {
+        "triangle-free", 1, [](const local::BallView& ball) {
           const auto& nbrs = ball.g.neighbors(ball.center);
           for (std::size_t i = 0; i < nbrs.size(); ++i) {
             for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
@@ -37,7 +37,7 @@ const std::vector<std::unique_ptr<local::LocalAlgorithm>>& panel() {
           return local::Verdict::yes;
         }));
     p.push_back(local::make_oblivious(
-        "max-degree-4", 1, [](const local::Ball& ball) {
+        "max-degree-4", 1, [](const local::BallView& ball) {
           return ball.g.degree(ball.center) <= 4 ? local::Verdict::yes
                                                  : local::Verdict::no;
         }));
@@ -46,7 +46,8 @@ const std::vector<std::unique_ptr<local::LocalAlgorithm>>& panel() {
   return algorithms;
 }
 
-void check_invariants(const Invariants& declared, const graph::Graph& g,
+void check_invariants(const Invariants& declared,
+                      const graph::CsrGraph& g,
                       WorkloadResult& out) {
   auto fail = [&out](std::string why) {
     out.invariant_failures.push_back(std::move(why));
@@ -90,7 +91,7 @@ WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
                                    const exec::ExecContext& exec) {
   WorkloadResult out;
   out.family = spec.canonical();
-  const graph::Graph g = spec.build(opts.seed);
+  const graph::CsrGraph g = spec.build(opts.seed);
   out.nodes = g.node_count();
   out.edges = static_cast<std::int64_t>(g.edge_count());
   out.max_degree = g.node_count() == 0 ? 0 : g.max_degree();
@@ -105,7 +106,8 @@ WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
   // centres) near-linear instead of k!, so every cell reports exact
   // isomorphism classes — no degree-profile fallback, on any family.
   const graph::BallCensusResult census = graph::canonical_census(
-      g, std::vector<std::string>(static_cast<std::size_t>(g.node_count())),
+      g,
+      std::vector<std::string>(static_cast<std::size_t>(g.node_count())),
       /*radius=*/1, exec.pool);
   out.ball_classes = census.distinct;
 
@@ -120,7 +122,8 @@ WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
                           census.class_representative.size(),
                           local::Verdict::yes));
   exec.for_each(census.class_representative.size(), [&](std::size_t k) {
-    const local::Ball ball = local::extract_ball(
+    static thread_local local::BallScratch scratch;
+    const local::BallView ball = scratch.extract(
         instance, nullptr, census.class_representative[k], 1);
     for (std::size_t a = 0; a < panel().size(); ++a) {
       class_verdicts[a][k] = panel()[a]->evaluate(ball);

@@ -5,7 +5,7 @@
 
 namespace locald::graph {
 
-std::vector<int> bfs_distances(const Graph& g, NodeId src, int max_dist) {
+std::vector<int> bfs_distances(CsrSpan g, NodeId src, int max_dist) {
   LOCALD_CHECK(src >= 0 && src < g.node_count(), "bfs source out of range");
   std::vector<int> dist(static_cast<std::size_t>(g.node_count()), kUnreached);
   std::deque<NodeId> queue;
@@ -27,7 +27,7 @@ std::vector<int> bfs_distances(const Graph& g, NodeId src, int max_dist) {
   return dist;
 }
 
-std::vector<NodeId> nodes_within(const Graph& g, NodeId src, int radius) {
+std::vector<NodeId> nodes_within(CsrSpan g, NodeId src, int radius) {
   LOCALD_CHECK(radius >= 0, "radius must be non-negative");
   LOCALD_CHECK(src >= 0 && src < g.node_count(), "source out of range");
   // Local BFS with a sorted-vector visited set: cost proportional to the
@@ -59,7 +59,7 @@ std::vector<NodeId> nodes_within(const Graph& g, NodeId src, int radius) {
   return result;
 }
 
-bool is_connected(const Graph& g) {
+bool is_connected(CsrSpan g) {
   if (g.node_count() <= 1) {
     return true;
   }
@@ -68,7 +68,7 @@ bool is_connected(const Graph& g) {
                       [](int d) { return d == kUnreached; });
 }
 
-std::vector<int> connected_components(const Graph& g, int* component_count) {
+std::vector<int> connected_components(CsrSpan g, int* component_count) {
   std::vector<int> comp(static_cast<std::size_t>(g.node_count()), -1);
   int count = 0;
   for (NodeId s = 0; s < g.node_count(); ++s) {
@@ -95,7 +95,7 @@ std::vector<int> connected_components(const Graph& g, int* component_count) {
   return comp;
 }
 
-int eccentricity(const Graph& g, NodeId v) {
+int eccentricity(CsrSpan g, NodeId v) {
   const auto dist = bfs_distances(g, v);
   int ecc = 0;
   for (int d : dist) {
@@ -107,7 +107,7 @@ int eccentricity(const Graph& g, NodeId v) {
   return ecc;
 }
 
-int diameter(const Graph& g) {
+int diameter(CsrSpan g) {
   int best = 0;
   for (NodeId v = 0; v < g.node_count(); ++v) {
     const int e = eccentricity(g, v);
@@ -119,7 +119,7 @@ int diameter(const Graph& g) {
   return best;
 }
 
-bool is_bipartite(const Graph& g) {
+bool is_bipartite(CsrSpan g) {
   std::vector<int> side(static_cast<std::size_t>(g.node_count()), -1);
   for (NodeId s = 0; s < g.node_count(); ++s) {
     if (side[s] != -1) {
@@ -143,7 +143,7 @@ bool is_bipartite(const Graph& g) {
   return true;
 }
 
-std::optional<std::vector<NodeId>> shortest_path(const Graph& g, NodeId src,
+std::optional<std::vector<NodeId>> shortest_path(CsrSpan g, NodeId src,
                                                  NodeId dst) {
   LOCALD_CHECK(dst >= 0 && dst < g.node_count(), "destination out of range");
   const auto dist = bfs_distances(g, src);
@@ -165,7 +165,7 @@ std::optional<std::vector<NodeId>> shortest_path(const Graph& g, NodeId src,
   return path;
 }
 
-bool is_cycle_graph(const Graph& g) {
+bool is_cycle_graph(CsrSpan g) {
   if (g.node_count() < 3 || !is_connected(g)) {
     return false;
   }
@@ -177,7 +177,7 @@ bool is_cycle_graph(const Graph& g) {
   return true;
 }
 
-bool is_path_graph(const Graph& g) {
+bool is_path_graph(CsrSpan g) {
   if (g.node_count() == 0 || !is_connected(g)) {
     return false;
   }
@@ -196,7 +196,7 @@ bool is_path_graph(const Graph& g) {
   return endpoints == 2;
 }
 
-bool is_tree(const Graph& g) {
+bool is_tree(CsrSpan g) {
   if (g.node_count() == 0) {
     return false;
   }

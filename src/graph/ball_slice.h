@@ -1,0 +1,54 @@
+// Zero-copy radius-t ball slices over a host CSR graph.
+//
+// A `BallSlice` is what a local algorithm sees at a node: the induced
+// subgraph on B(v, t), renumbered to dense local ids. Instead of copying a
+// graph object per ball, the slice is an index view assembled inside a
+// reusable `BallScratch` arena — a stamped host→local remap (epoch counters,
+// so no O(n) clear between extractions) plus row buffers that the slice's
+// `CsrSpan` points into. Extracting the next ball reuses every allocation,
+// which is what makes the bulk census and the node loop of the simulator
+// cheap at 10^6–10^7 host nodes.
+//
+// Ordering contract (matches the legacy nodes_within + induced_subgraph
+// pipeline byte for byte): local id 0 is the centre; each BFS layer is
+// appended sorted by ascending host id; every adjacency row is sorted by
+// local id.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace locald::graph {
+
+struct BallSlice {
+  CsrSpan local;                     // adjacency over local ids
+  const NodeId* to_host = nullptr;   // local -> host, (distance, host id) order
+  NodeId center = 0;                 // local id of the centre (always 0)
+  int radius = 0;
+};
+
+// Reusable per-thread extraction arena. The returned slice aliases the
+// scratch and is valid until the next extract() or destruction.
+class BallScratch {
+ public:
+  BallScratch() = default;
+  BallScratch(const BallScratch&) = delete;
+  BallScratch& operator=(const BallScratch&) = delete;
+
+  BallSlice extract(const CsrSpan& host, NodeId v, int radius);
+
+ private:
+  std::vector<std::uint32_t> stamp_;  // host node visited iff stamp_ == epoch_
+  std::vector<NodeId> local_of_;      // host -> local, valid where stamped
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> members_;       // local -> host
+  std::vector<NodeId> layer_begin_;   // local id starting each BFS layer
+  std::vector<NodeId> row_own_;       // same-layer bucket of the current row
+  std::vector<NodeId> row_above_;     // next-layer bucket of the current row
+  std::vector<EdgeIndex> offsets_;
+  std::vector<NodeId> adj_;
+};
+
+}  // namespace locald::graph

@@ -1,0 +1,94 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace locald::graph {
+
+bool operator==(const NeighborSpan& a, const NeighborSpan& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool CsrSpan::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const NodeId* first = adj + offsets[u];
+  const NodeId* last = adj + offsets[u + 1];
+  return std::binary_search(first, last, v);
+}
+
+NodeId CsrSpan::max_degree() const {
+  NodeId best = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+std::vector<std::pair<NodeId, NodeId>> CsrSpan::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count());
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) {
+        out.emplace_back(u, v);
+      }
+    }
+  }
+  return out;
+}
+
+CsrGraph::CsrGraph(const GraphBuilder& builder) {
+  const NodeId n = builder.node_count();
+  const std::size_t slots = 2 * builder.edge_count();
+  LOCALD_CHECK(slots <= static_cast<std::size_t>(UINT32_MAX),
+               "graph exceeds the 32-bit edge-index capacity");
+  offsets_.resize(static_cast<std::size_t>(n) + 1);
+  adj_.reserve(slots);
+  offsets_[0] = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& row = builder.neighbors(v);
+    adj_.insert(adj_.end(), row.begin(), row.end());
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        static_cast<EdgeIndex>(adj_.size());
+  }
+}
+
+CsrGraph::CsrGraph(const CsrSpan& span)
+    : offsets_(span.offsets, span.offsets + span.n + 1),
+      adj_(span.adj, span.adj + (span.n == 0 ? 0 : span.offsets[span.n])) {}
+
+CsrGraph CsrGraph::from_edges(
+    NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  LOCALD_CHECK(n >= 0, "negative node count");
+  const std::size_t slots = 2 * edges.size();
+  LOCALD_CHECK(slots <= static_cast<std::size_t>(UINT32_MAX),
+               "graph exceeds the 32-bit edge-index capacity");
+  CsrGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    LOCALD_CHECK(u >= 0 && u < n && v >= 0 && v < n,
+                 "edge endpoint out of range");
+    LOCALD_CHECK(u != v, "self-loops are not allowed in a simple graph");
+    ++g.offsets_[static_cast<std::size_t>(u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.offsets_[static_cast<std::size_t>(v) + 1] +=
+        g.offsets_[static_cast<std::size_t>(v)];
+  }
+  g.adj_.resize(slots);
+  std::vector<EdgeIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adj_[cursor[static_cast<std::size_t>(u)]++] = v;
+    g.adj_[cursor[static_cast<std::size_t>(v)]++] = u;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId* first = g.adj_.data() + g.offsets_[static_cast<std::size_t>(v)];
+    NodeId* last = g.adj_.data() + g.offsets_[static_cast<std::size_t>(v) + 1];
+    std::sort(first, last);
+    LOCALD_CHECK(std::adjacent_find(first, last) == last, "duplicate edge");
+  }
+  return g;
+}
+
+}  // namespace locald::graph

@@ -1,104 +1,122 @@
 #include "graph/generators.h"
 
 #include <bit>
+#include <utility>
 #include <vector>
 
 #include "support/format.h"
 
 namespace locald::graph {
 
-Graph make_path(NodeId n) {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+}  // namespace
+
+CsrGraph make_path(NodeId n) {
   LOCALD_CHECK(n >= 1, "path needs at least one node");
-  Graph g(n);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
   for (NodeId v = 0; v + 1 < n; ++v) {
-    g.add_edge(v, v + 1);
+    edges.emplace_back(v, v + 1);
   }
-  return g;
+  return CsrGraph::from_edges(n, edges);
 }
 
-Graph make_cycle(NodeId n) {
+CsrGraph make_cycle(NodeId n) {
   LOCALD_CHECK(n >= 3, "cycle needs at least three nodes");
-  Graph g(n);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
-    g.add_edge(v, (v + 1) % n);
+    edges.emplace_back(v, (v + 1) % n);
   }
-  return g;
+  return CsrGraph::from_edges(n, edges);
 }
 
-Graph make_complete(NodeId n) {
+CsrGraph make_complete(NodeId n) {
   LOCALD_CHECK(n >= 1, "complete graph needs at least one node");
-  Graph g(n);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = u + 1; v < n; ++v) {
-      g.add_edge(u, v);
+      edges.emplace_back(u, v);
     }
   }
-  return g;
+  return CsrGraph::from_edges(n, edges);
 }
 
-Graph make_star(NodeId leaves) {
+CsrGraph make_star(NodeId leaves) {
   LOCALD_CHECK(leaves >= 0, "negative leaf count");
-  Graph g(leaves + 1);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(leaves));
   for (NodeId v = 1; v <= leaves; ++v) {
-    g.add_edge(0, v);
+    edges.emplace_back(0, v);
   }
-  return g;
+  return CsrGraph::from_edges(leaves + 1, edges);
 }
 
-Graph make_complete_bipartite(NodeId a, NodeId b) {
+CsrGraph make_complete_bipartite(NodeId a, NodeId b) {
   LOCALD_CHECK(a >= 1 && b >= 1, "both parts need at least one node");
-  Graph g(a + b);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(a) * b);
   for (NodeId u = 0; u < a; ++u) {
     for (NodeId v = 0; v < b; ++v) {
-      g.add_edge(u, a + v);
+      edges.emplace_back(u, a + v);
     }
   }
-  return g;
+  return CsrGraph::from_edges(a + b, edges);
 }
 
-Graph make_grid(NodeId width, NodeId height) {
+CsrGraph make_grid(NodeId width, NodeId height) {
   LOCALD_CHECK(width >= 1 && height >= 1, "grid dimensions must be positive");
-  Graph g(width * height);
+  EdgeList edges;
+  edges.reserve(2 * static_cast<std::size_t>(width) * height);
   auto id = [width](NodeId x, NodeId y) { return y * width + x; };
   for (NodeId y = 0; y < height; ++y) {
     for (NodeId x = 0; x < width; ++x) {
       if (x + 1 < width) {
-        g.add_edge(id(x, y), id(x + 1, y));
+        edges.emplace_back(id(x, y), id(x + 1, y));
       }
       if (y + 1 < height) {
-        g.add_edge(id(x, y), id(x, y + 1));
+        edges.emplace_back(id(x, y), id(x, y + 1));
       }
     }
   }
-  return g;
+  return CsrGraph::from_edges(width * height, edges);
 }
 
-Graph make_torus(NodeId width, NodeId height) {
+CsrGraph make_torus(NodeId width, NodeId height) {
   LOCALD_CHECK(width >= 3 && height >= 3,
                "torus needs both dimensions >= 3 to stay simple");
-  Graph g(width * height);
+  // Each undirected edge is generated exactly once (as the right / down
+  // neighbour of its lexicographically first endpoint); with both
+  // dimensions >= 3 the wraparound never doubles an edge.
+  EdgeList edges;
+  edges.reserve(2 * static_cast<std::size_t>(width) * height);
   auto id = [width](NodeId x, NodeId y) { return y * width + x; };
   for (NodeId y = 0; y < height; ++y) {
     for (NodeId x = 0; x < width; ++x) {
-      g.add_edge_if_absent(id(x, y), id((x + 1) % width, y));
-      g.add_edge_if_absent(id(x, y), id(x, (y + 1) % height));
+      edges.emplace_back(id(x, y), id((x + 1) % width, y));
+      edges.emplace_back(id(x, y), id(x, (y + 1) % height));
     }
   }
-  return g;
+  return CsrGraph::from_edges(width * height, edges);
 }
 
-Graph make_complete_binary_tree(int depth) {
+CsrGraph make_complete_binary_tree(int depth) {
   LOCALD_CHECK(depth >= 0 && depth <= 29, "tree depth out of supported range");
   const NodeId n = static_cast<NodeId>((1LL << (depth + 1)) - 1);
-  Graph g(n);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; 2 * v + 2 < n; ++v) {
-    g.add_edge(v, 2 * v + 1);
-    g.add_edge(v, 2 * v + 2);
+    edges.emplace_back(v, 2 * v + 1);
+    edges.emplace_back(v, 2 * v + 2);
   }
-  return g;
+  return CsrGraph::from_edges(n, edges);
 }
 
-Graph make_balanced_tree(NodeId arity, int depth) {
+CsrGraph make_balanced_tree(NodeId arity, int depth) {
   LOCALD_CHECK(arity >= 1, "balanced tree needs arity >= 1");
   LOCALD_CHECK(depth >= 0, "negative tree depth");
   // Node count sum_{j=0..depth} arity^j, guarded against overflow.
@@ -109,36 +127,44 @@ Graph make_balanced_tree(NodeId arity, int depth) {
     LOCALD_CHECK(n <= (1LL << 30), "balanced tree too large");
     level *= arity;
   }
-  Graph g(static_cast<NodeId>(n));
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
     for (NodeId c = 1; c <= arity; ++c) {
       const std::int64_t child = static_cast<std::int64_t>(arity) * v + c;
       if (child >= n) {
         break;
       }
-      g.add_edge(v, static_cast<NodeId>(child));
+      edges.emplace_back(v, static_cast<NodeId>(child));
     }
   }
-  return g;
+  return CsrGraph::from_edges(static_cast<NodeId>(n), edges);
 }
 
-Graph make_caterpillar(NodeId spine, NodeId legs) {
+CsrGraph make_caterpillar(NodeId spine, NodeId legs) {
   LOCALD_CHECK(spine >= 1, "caterpillar needs at least one spine node");
   LOCALD_CHECK(legs >= 0, "negative leg count");
-  Graph g(spine * (legs + 1));
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(spine) * (legs + 1));
   for (NodeId v = 0; v + 1 < spine; ++v) {
-    g.add_edge(v, v + 1);
+    edges.emplace_back(v, v + 1);
   }
   for (NodeId v = 0; v < spine; ++v) {
     for (NodeId leg = 0; leg < legs; ++leg) {
-      g.add_edge(v, spine + v * legs + leg);
+      edges.emplace_back(v, spine + v * legs + leg);
     }
   }
-  return g;
+  return CsrGraph::from_edges(spine * (legs + 1), edges);
 }
 
-Graph make_layered_tree(int depth) {
-  Graph g = make_complete_binary_tree(depth);
+CsrGraph make_layered_tree(int depth) {
+  LOCALD_CHECK(depth >= 0 && depth <= 29, "tree depth out of supported range");
+  const NodeId n = static_cast<NodeId>((1LL << (depth + 1)) - 1);
+  EdgeList edges;
+  for (NodeId v = 0; 2 * v + 2 < n; ++v) {
+    edges.emplace_back(v, 2 * v + 1);
+    edges.emplace_back(v, 2 * v + 2);
+  }
   // Connect consecutive nodes on each level: level y spans
   // [2^y - 1, 2^(y+1) - 2] in heap order, which is the natural left-to-right
   // order of the level.
@@ -146,98 +172,69 @@ Graph make_layered_tree(int depth) {
     const NodeId first = static_cast<NodeId>((1LL << y) - 1);
     const NodeId last = static_cast<NodeId>((1LL << (y + 1)) - 2);
     for (NodeId v = first; v < last; ++v) {
-      g.add_edge(v, v + 1);
+      edges.emplace_back(v, v + 1);
     }
   }
-  return g;
+  return CsrGraph::from_edges(n, edges);
 }
 
-Graph make_hypercube(int dims) {
+CsrGraph make_hypercube(int dims) {
   LOCALD_CHECK(dims >= 0 && dims <= 24, "hypercube dimension out of range");
   const NodeId n = static_cast<NodeId>(1LL << dims);
-  Graph g(n);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * dims / 2);
   for (NodeId v = 0; v < n; ++v) {
     for (int b = 0; b < dims; ++b) {
       const NodeId w = v ^ (1 << b);
       if (v < w) {
-        g.add_edge(v, w);
+        edges.emplace_back(v, w);
       }
     }
   }
-  return g;
+  return CsrGraph::from_edges(n, edges);
 }
 
-Graph make_random_gnp(NodeId n, double p, Rng& rng) {
+CsrGraph make_random_gnp(NodeId n, double p, std::uint64_t seed) {
   LOCALD_CHECK(n >= 0, "negative node count");
   LOCALD_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
-  Graph g(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v = u + 1; v < n; ++v) {
-      if (rng.bernoulli(p)) {
-        g.add_edge(u, v);
-      }
-    }
-  }
-  return g;
-}
-
-Graph make_random_tree(NodeId n, Rng& rng) {
-  LOCALD_CHECK(n >= 1, "tree needs at least one node");
-  Graph g(n);
-  for (NodeId v = 1; v < n; ++v) {
-    const NodeId parent = static_cast<NodeId>(rng.below(v));
-    g.add_edge(parent, v);
-  }
-  return g;
-}
-
-Graph make_random_connected(NodeId n, NodeId extra_edges, Rng& rng) {
-  Graph g = make_random_tree(n, rng);
-  const std::size_t max_edges =
-      static_cast<std::size_t>(n) * (n - 1) / 2;
-  NodeId added = 0;
-  std::size_t attempts = 0;
-  while (added < extra_edges && g.edge_count() < max_edges &&
-         attempts < 64 * static_cast<std::size_t>(extra_edges) + 64) {
-    ++attempts;
-    const NodeId u = static_cast<NodeId>(rng.below(n));
-    const NodeId v = static_cast<NodeId>(rng.below(n));
-    if (u != v && g.add_edge_if_absent(u, v)) {
-      ++added;
-    }
-  }
-  return g;
-}
-
-Graph make_random_gnp(NodeId n, double p, std::uint64_t seed) {
-  LOCALD_CHECK(n >= 0, "negative node count");
-  LOCALD_CHECK(p >= 0.0 && p <= 1.0, "probability out of range");
-  Graph g(n);
+  EdgeList edges;
   for (NodeId u = 0; u < n; ++u) {
     Rng row = Rng::stream(seed, kStreamGnp, static_cast<std::uint64_t>(u));
     for (NodeId v = u + 1; v < n; ++v) {
       if (row.bernoulli(p)) {
-        g.add_edge(u, v);
+        edges.emplace_back(u, v);
       }
     }
   }
-  return g;
+  return CsrGraph::from_edges(n, edges);
 }
 
-Graph make_random_tree(NodeId n, std::uint64_t seed) {
+CsrGraph make_random_tree(NodeId n, std::uint64_t seed) {
   LOCALD_CHECK(n >= 1, "tree needs at least one node");
-  Graph g(n);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (NodeId v = 1; v < n; ++v) {
+    Rng draw =
+        Rng::stream(seed, kStreamRandomTree, static_cast<std::uint64_t>(v));
+    edges.emplace_back(
+        static_cast<NodeId>(draw.below(static_cast<std::uint64_t>(v))), v);
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+CsrGraph make_random_connected(NodeId n, NodeId extra_edges,
+                               std::uint64_t seed) {
+  LOCALD_CHECK(n >= 1, "tree needs at least one node");
+  // Chord insertion needs duplicate detection, so this builder goes through
+  // the mutable stage; connected instances stay small (the registry caps
+  // chord counts), so the per-edge sorted inserts are irrelevant here.
+  GraphBuilder g(n);
   for (NodeId v = 1; v < n; ++v) {
     Rng draw =
         Rng::stream(seed, kStreamRandomTree, static_cast<std::uint64_t>(v));
     g.add_edge(static_cast<NodeId>(draw.below(static_cast<std::uint64_t>(v))),
                v);
   }
-  return g;
-}
-
-Graph make_random_connected(NodeId n, NodeId extra_edges, std::uint64_t seed) {
-  Graph g = make_random_tree(n, seed);
   const std::size_t max_edges = static_cast<std::size_t>(n) * (n - 1) / 2;
   NodeId added = 0;
   std::size_t attempts = 0;
@@ -251,16 +248,16 @@ Graph make_random_connected(NodeId n, NodeId extra_edges, std::uint64_t seed) {
       ++added;
     }
   }
-  return g;
+  return g.build();
 }
 
-Graph make_random_regular(NodeId n, NodeId d, std::uint64_t seed) {
+CsrGraph make_random_regular(NodeId n, NodeId d, std::uint64_t seed) {
   LOCALD_CHECK(n >= 1, "regular graph needs at least one node");
   LOCALD_CHECK(d >= 0 && d < n, "degree must satisfy 0 <= d < n");
   LOCALD_CHECK((static_cast<std::int64_t>(n) * d) % 2 == 0,
                "n * d must be even for a d-regular graph");
   if (d == 0) {
-    return Graph(n);
+    return CsrGraph::from_edges(n, {});
   }
   std::vector<NodeId> stubs(static_cast<std::size_t>(n) * d);
   for (NodeId v = 0; v < n; ++v) {
@@ -279,7 +276,7 @@ Graph make_random_regular(NodeId n, NodeId d, std::uint64_t seed) {
     Rng rng = Rng::stream(seed, kStreamRandomRegular, round);
     std::vector<NodeId> deck = stubs;
     rng.shuffle(deck);
-    Graph g(n);
+    GraphBuilder g(n);
     bool simple = true;
     for (std::size_t i = 0; simple && i < deck.size(); i += 2) {
       const NodeId u = deck[i];
@@ -287,7 +284,7 @@ Graph make_random_regular(NodeId n, NodeId d, std::uint64_t seed) {
       simple = u != v && g.add_edge_if_absent(u, v);
     }
     if (simple) {
-      return g;
+      return g.build();
     }
   }
   throw Error(cat("no simple ", d, "-regular pairing found for n = ", n,

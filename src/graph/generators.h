@@ -5,21 +5,24 @@
 // binary / layered trees for the Section-2 construction, plus generic
 // families used by tests, benchmarks, and the gen/ workload generator.
 //
-// Randomized builders come in two flavours:
-//  - seed-based (`std::uint64_t seed`): every random draw is derived from a
-//    counter-based stream `Rng::stream(seed, stream_id, index)`, so the
-//    instance is a pure function of (seed, parameters) — independent of
-//    call order, thread scheduling, and whatever else the process drew
-//    before. The gen/ family registry builds exclusively through these.
-//  - legacy stateful (`Rng&`): draws depend on the generator's position,
-//    so two call sites sharing one Rng get correlated, order-dependent
-//    instances. Kept for the older experiments and tests that sample many
-//    instances from one sequential stream.
+// Every builder returns an immutable `CsrGraph`, assembled through the
+// edge-list fast path (`CsrGraph::from_edges`) — one counting pass and one
+// scatter pass instead of per-edge sorted inserts, which is what makes the
+// 10^6–10^7-node bench cells build in milliseconds.
+//
+// Randomized builders are seed-based (`std::uint64_t seed`): every random
+// draw is derived from a counter-based stream
+// `Rng::stream(seed, stream_id, index)`, so the instance is a pure function
+// of (seed, parameters) — independent of call order, thread scheduling, and
+// whatever else the process drew before. (The legacy stateful `Rng&`
+// overloads, which produced order-dependent instances from a shared
+// sequential generator, are gone; derive a fresh seed per instance
+// instead.)
 #pragma once
 
 #include <cstdint>
 
-#include "graph/graph.h"
+#include "graph/csr.h"
 #include "support/rng.h"
 
 namespace locald::graph {
@@ -32,56 +35,52 @@ inline constexpr std::uint64_t kStreamRandomTree = 0x02;
 inline constexpr std::uint64_t kStreamRandomChords = 0x03;
 inline constexpr std::uint64_t kStreamRandomRegular = 0x04;
 
-Graph make_path(NodeId n);
-Graph make_cycle(NodeId n);        // n >= 3
-Graph make_complete(NodeId n);
-Graph make_star(NodeId leaves);    // node 0 is the hub
+CsrGraph make_path(NodeId n);
+CsrGraph make_cycle(NodeId n);        // n >= 3
+CsrGraph make_complete(NodeId n);
+CsrGraph make_star(NodeId leaves);    // node 0 is the hub
 
 // K_{a,b}: parts {0..a-1} and {a..a+b-1}, every cross pair joined.
-Graph make_complete_bipartite(NodeId a, NodeId b);
+CsrGraph make_complete_bipartite(NodeId a, NodeId b);
 
 // width x height grid; node (x, y) has id y * width + x.
-Graph make_grid(NodeId width, NodeId height);
+CsrGraph make_grid(NodeId width, NodeId height);
 
 // Same, with wraparound edges in both dimensions (requires dim >= 3).
-Graph make_torus(NodeId width, NodeId height);
+CsrGraph make_torus(NodeId width, NodeId height);
 
 // Complete binary tree of `depth` levels below the root
 // (2^(depth+1) - 1 nodes). Heap indexing: children of v are 2v+1, 2v+2.
-Graph make_complete_binary_tree(int depth);
+CsrGraph make_complete_binary_tree(int depth);
 
 // Complete `arity`-ary tree of `depth` levels below the root, heap-indexed:
 // children of v are arity*v + 1 .. arity*v + arity. arity = 2, depth = d is
 // exactly make_complete_binary_tree(d).
-Graph make_balanced_tree(NodeId arity, int depth);
+CsrGraph make_balanced_tree(NodeId arity, int depth);
 
 // Caterpillar: a spine path of `spine` nodes (ids 0..spine-1), each spine
 // node carrying `legs` leaves (appended after the spine in spine order).
-Graph make_caterpillar(NodeId spine, NodeId legs);
+CsrGraph make_caterpillar(NodeId spine, NodeId legs);
 
 // Complete binary tree of given depth where consecutive nodes of each level
 // are additionally joined by a path — the "layered tree" of Section 2
 // (Figure 1). Heap indexing as above: level y spans ids [2^y - 1, 2^(y+1) - 2].
-Graph make_layered_tree(int depth);
+CsrGraph make_layered_tree(int depth);
 
 // d-dimensional hypercube (2^d nodes).
-Graph make_hypercube(int dims);
+CsrGraph make_hypercube(int dims);
 
-// Erdős–Rényi G(n, p). The seed-based overload draws row u's coins from
-// stream (seed, kStreamGnp, u).
-Graph make_random_gnp(NodeId n, double p, Rng& rng);
-Graph make_random_gnp(NodeId n, double p, std::uint64_t seed);
+// Erdős–Rényi G(n, p); row u's coins come from stream (seed, kStreamGnp, u).
+CsrGraph make_random_gnp(NodeId n, double p, std::uint64_t seed);
 
-// Uniform random labelled tree via a Prüfer-like attachment. The seed-based
-// overload draws node v's parent from stream (seed, kStreamRandomTree, v).
-Graph make_random_tree(NodeId n, Rng& rng);
-Graph make_random_tree(NodeId n, std::uint64_t seed);
+// Uniform random labelled tree via a Prüfer-like attachment; node v's
+// parent comes from stream (seed, kStreamRandomTree, v).
+CsrGraph make_random_tree(NodeId n, std::uint64_t seed);
 
-// Connected random graph: random tree plus `extra_edges` random chords.
-// The seed-based overload draws chord attempt i from stream
-// (seed, kStreamRandomChords, i).
-Graph make_random_connected(NodeId n, NodeId extra_edges, Rng& rng);
-Graph make_random_connected(NodeId n, NodeId extra_edges, std::uint64_t seed);
+// Connected random graph: random tree plus `extra_edges` random chords,
+// chord attempt i drawn from stream (seed, kStreamRandomChords, i).
+CsrGraph make_random_connected(NodeId n, NodeId extra_edges,
+                               std::uint64_t seed);
 
 // Random d-regular graph via the pairing (configuration) model: n*d stubs
 // are shuffled with stream (seed, kStreamRandomRegular, round) and paired
@@ -91,7 +90,7 @@ Graph make_random_connected(NodeId n, NodeId extra_edges, std::uint64_t seed);
 // n * d even. Per-round acceptance is ~exp(-(d*d - 1)/4), so keep d <= 5
 // (the gen/ family schema's bound) — there the retry budget fails with
 // probability ~e^-50; beyond it, Error becomes the expected outcome.
-Graph make_random_regular(NodeId n, NodeId d, std::uint64_t seed);
+CsrGraph make_random_regular(NodeId n, NodeId d, std::uint64_t seed);
 
 // Position helpers for heap-indexed complete binary trees.
 struct TreeIndex {

@@ -2,24 +2,26 @@
 
 #include <algorithm>
 
+#include "graph/csr.h"
+
 namespace locald::graph {
 
-NodeId Graph::add_node() {
+NodeId GraphBuilder::add_node() {
   adj_.emplace_back();
   return static_cast<NodeId>(adj_.size()) - 1;
 }
 
-void Graph::resize(NodeId n) {
-  LOCALD_CHECK(n >= node_count(), "Graph::resize never shrinks");
+void GraphBuilder::resize(NodeId n) {
+  LOCALD_CHECK(n >= node_count(), "GraphBuilder::resize never shrinks");
   adj_.resize(static_cast<std::size_t>(n));
 }
 
-void Graph::add_edge(NodeId u, NodeId v) {
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
   const bool inserted = add_edge_if_absent(u, v);
   LOCALD_CHECK(inserted, "duplicate edge");
 }
 
-bool Graph::add_edge_if_absent(NodeId u, NodeId v) {
+bool GraphBuilder::add_edge_if_absent(NodeId u, NodeId v) {
   check_node(u);
   check_node(v);
   LOCALD_CHECK(u != v, "self-loops are not allowed in a simple graph");
@@ -35,14 +37,14 @@ bool Graph::add_edge_if_absent(NodeId u, NodeId v) {
   return true;
 }
 
-bool Graph::has_edge(NodeId u, NodeId v) const {
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
   check_node(u);
   check_node(v);
   const auto& au = adj_[u];
   return std::binary_search(au.begin(), au.end(), v);
 }
 
-NodeId Graph::max_degree() const {
+NodeId GraphBuilder::max_degree() const {
   NodeId best = 0;
   for (const auto& a : adj_) {
     best = std::max(best, static_cast<NodeId>(a.size()));
@@ -50,7 +52,7 @@ NodeId Graph::max_degree() const {
   return best;
 }
 
-std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+std::vector<std::pair<NodeId, NodeId>> GraphBuilder::edges() const {
   std::vector<std::pair<NodeId, NodeId>> out;
   out.reserve(edge_count_);
   for (NodeId u = 0; u < node_count(); ++u) {
@@ -62,5 +64,7 @@ std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
   }
   return out;
 }
+
+CsrGraph GraphBuilder::build() const { return CsrGraph(*this); }
 
 }  // namespace locald::graph

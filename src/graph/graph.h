@@ -1,10 +1,12 @@
-// Simple undirected graph with validated construction.
+// Mutable graph builder with validated construction.
 //
-// `Graph` is the topological substrate for everything in locald: networks in
-// the LOCAL model, Turing-machine execution tables, quadtree pyramids, and
-// the extracted radius-t balls all reuse it. Nodes are dense integers
-// [0, node_count()); adjacency lists are kept sorted so neighbourhood
-// queries, edge lookups and deterministic iteration are cheap.
+// `GraphBuilder` is the construction-stage type for every topology in
+// locald: networks in the LOCAL model, Turing-machine execution tables,
+// quadtree pyramids. Nodes are dense integers [0, node_count()); adjacency
+// lists are kept sorted so incremental edge insertion stays deterministic.
+// Once a topology is complete, `build()` freezes it into the immutable
+// `CsrGraph` (graph/csr.h) that every read path consumes — the builder
+// itself never reaches a hot loop.
 #pragma once
 
 #include <cstdint>
@@ -16,10 +18,12 @@ namespace locald::graph {
 
 using NodeId = std::int32_t;
 
-class Graph {
+class CsrGraph;
+
+class GraphBuilder {
  public:
-  Graph() = default;
-  explicit Graph(NodeId n) { resize(n); }
+  GraphBuilder() = default;
+  explicit GraphBuilder(NodeId n) { resize(n); }
 
   NodeId node_count() const { return static_cast<NodeId>(adj_.size()); }
   std::size_t edge_count() const { return edge_count_; }
@@ -54,12 +58,19 @@ class Graph {
   // Deterministic edge list (u < v, lexicographic).
   std::vector<std::pair<NodeId, NodeId>> edges() const;
 
-  bool operator==(const Graph& other) const { return adj_ == other.adj_; }
+  // Freezes into the immutable CSR form (graph/csr.h).
+  CsrGraph build() const;
+
+  bool operator==(const GraphBuilder& other) const {
+    return adj_ == other.adj_;
+  }
 
  private:
   void check_node(NodeId v) const {
     LOCALD_CHECK(v >= 0 && v < node_count(), "node id out of range");
   }
+
+  friend class CsrGraph;
 
   std::vector<std::vector<NodeId>> adj_;
   std::size_t edge_count_ = 0;

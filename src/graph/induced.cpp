@@ -2,8 +2,7 @@
 
 namespace locald::graph {
 
-InducedSubgraph induced_subgraph(const Graph& g,
-                                 const std::vector<NodeId>& nodes) {
+InducedSubgraph induced_subgraph(CsrSpan g, const std::vector<NodeId>& nodes) {
   InducedSubgraph out;
   out.to_parent = nodes;
   out.from_parent.reserve(nodes.size());
@@ -15,16 +14,16 @@ InducedSubgraph induced_subgraph(const Graph& g,
         out.from_parent.emplace(host, static_cast<NodeId>(i)).second;
     LOCALD_CHECK(fresh, "induced node list contains a duplicate");
   }
-  out.graph.resize(static_cast<NodeId>(nodes.size()));
+  std::vector<std::pair<NodeId, NodeId>> edges;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     for (NodeId w : g.neighbors(nodes[i])) {
       auto it = out.from_parent.find(w);
-      if (it != out.from_parent.end() &&
-          static_cast<NodeId>(i) < it->second) {
-        out.graph.add_edge(static_cast<NodeId>(i), it->second);
+      if (it != out.from_parent.end() && static_cast<NodeId>(i) < it->second) {
+        edges.emplace_back(static_cast<NodeId>(i), it->second);
       }
     }
   }
+  out.graph = CsrGraph::from_edges(static_cast<NodeId>(nodes.size()), edges);
   return out;
 }
 

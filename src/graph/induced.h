@@ -1,19 +1,20 @@
 // Induced subgraphs with bidirectional node maps.
 //
-// Ball extraction (local/ball.h) and the Section-2/3 instance builders all
-// cut induced subgraphs out of a host graph and need to translate node ids
-// in both directions.
+// The Section-2/3 instance builders cut induced subgraphs out of a host
+// graph and need to translate node ids in both directions. (Hot-path ball
+// extraction no longer routes through here — see graph/ball_slice.h for the
+// zero-copy slice arena; this is the owning, general-subset variant.)
 #pragma once
 
 #include <unordered_map>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/csr.h"
 
 namespace locald::graph {
 
 struct InducedSubgraph {
-  Graph graph;
+  CsrGraph graph;
   // to_parent[i] = host id of subgraph node i.
   std::vector<NodeId> to_parent;
   // host id -> subgraph id (only nodes that were kept).
@@ -22,7 +23,6 @@ struct InducedSubgraph {
 
 // Induced subgraph on `nodes` (must be distinct). Subgraph node i corresponds
 // to nodes[i], preserving the caller's ordering.
-InducedSubgraph induced_subgraph(const Graph& g,
-                                 const std::vector<NodeId>& nodes);
+InducedSubgraph induced_subgraph(CsrSpan g, const std::vector<NodeId>& nodes);
 
 }  // namespace locald::graph

@@ -5,7 +5,7 @@
 
 namespace locald::graph {
 
-std::string to_dot(const Graph& g, const std::vector<std::string>& node_labels,
+std::string to_dot(const CsrGraph& g, const std::vector<std::string>& node_labels,
                    const std::string& name) {
   LOCALD_CHECK(node_labels.empty() ||
                    node_labels.size() ==
@@ -27,11 +27,11 @@ std::string to_dot(const Graph& g, const std::vector<std::string>& node_labels,
   return os.str();
 }
 
-std::string to_dot(const Graph& g, const std::string& name) {
+std::string to_dot(const CsrGraph& g, const std::string& name) {
   return to_dot(g, {}, name);
 }
 
-std::string to_edge_list(const Graph& g) {
+std::string to_edge_list(const CsrGraph& g) {
   std::ostringstream os;
   for (const auto& [u, v] : g.edges()) {
     os << u << " " << v << "\n";
@@ -39,7 +39,7 @@ std::string to_edge_list(const Graph& g) {
   return os.str();
 }
 
-Graph from_edge_list(const std::string& text, NodeId min_nodes) {
+CsrGraph from_edge_list(const std::string& text, NodeId min_nodes) {
   std::istringstream is(text);
   std::vector<std::pair<NodeId, NodeId>> edges;
   NodeId max_id = min_nodes - 1;
@@ -50,11 +50,11 @@ Graph from_edge_list(const std::string& text, NodeId min_nodes) {
     edges.emplace_back(u, v);
     max_id = std::max({max_id, u, v});
   }
-  Graph g(max_id + 1);
+  GraphBuilder g(max_id + 1);
   for (const auto& [a, b] : edges) {
     g.add_edge_if_absent(a, b);
   }
-  return g;
+  return g.build();
 }
 
 }  // namespace locald::graph

@@ -10,21 +10,21 @@
 #include <string>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/csr.h"
 
 namespace locald::graph {
 
 // DOT output; `node_labels` (optional, may be empty) annotates nodes.
-std::string to_dot(const Graph& g, const std::vector<std::string>& node_labels,
+std::string to_dot(const CsrGraph& g, const std::vector<std::string>& node_labels,
                    const std::string& name = "G");
 
-std::string to_dot(const Graph& g, const std::string& name = "G");
+std::string to_dot(const CsrGraph& g, const std::string& name = "G");
 
 // "u v" pairs, one per line, u < v, sorted.
-std::string to_edge_list(const Graph& g);
+std::string to_edge_list(const CsrGraph& g);
 
 // Inverse of to_edge_list; node count inferred as max id + 1 unless
 // `min_nodes` asks for more.
-Graph from_edge_list(const std::string& text, NodeId min_nodes = 0);
+CsrGraph from_edge_list(const std::string& text, NodeId min_nodes = 0);
 
 }  // namespace locald::graph

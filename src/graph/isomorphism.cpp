@@ -8,8 +8,7 @@
 #include <unordered_map>
 
 #include "exec/thread_pool.h"
-#include "graph/algorithms.h"
-#include "graph/induced.h"
+#include "graph/ball_slice.h"
 #include "support/hash.h"
 
 namespace locald::graph {
@@ -29,21 +28,16 @@ std::atomic<std::uint64_t> g_census_raw_hits{0};
 constexpr std::size_t kMaxAutomorphisms = 256;
 
 // Partition-refinement engine with scratch shared across a whole search:
-// one flat signature arena (neighbour colours per node) and one index
-// array, re-sorted per round — no per-round map or vector-of-vector
-// rebuilds. Rank order of the new colours is derived from
+// one flat signature arena (neighbour colours per node) re-sorted per round
+// — no per-round map or vector-of-vector rebuilds. The host CSR's own
+// offsets index the arena. Rank order of the new colours is derived from
 // (old colour, degree, sorted neighbour colours), which is
 // isomorphism-invariant, so equal inputs refine identically.
 class Refiner {
  public:
-  explicit Refiner(const Graph& g) : g_(g) {
-    const std::size_t n = static_cast<std::size_t>(g.node_count());
-    offsets_.resize(n + 1, 0);
-    for (std::size_t v = 0; v < n; ++v) {
-      offsets_[v + 1] =
-          offsets_[v] + g.neighbors(static_cast<NodeId>(v)).size();
-    }
-    arena_.resize(offsets_[n]);
+  explicit Refiner(CsrSpan g) : g_(g) {
+    const std::size_t n = static_cast<std::size_t>(g.n);
+    arena_.resize(n == 0 ? 0 : g.offsets[n]);
     order_.resize(n);
     next_color_.resize(n);
   }
@@ -61,11 +55,11 @@ class Refiner {
         ++stats->refinement_rounds;
       }
       for (std::size_t v = 0; v < n; ++v) {
-        std::size_t at = offsets_[v];
+        std::size_t at = g_.offsets[v];
         for (NodeId w : g_.neighbors(static_cast<NodeId>(v))) {
           arena_[at++] = color[static_cast<std::size_t>(w)];
         }
-        std::sort(arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+        std::sort(arena_.begin() + static_cast<std::ptrdiff_t>(g_.offsets[v]),
                   arena_.begin() + static_cast<std::ptrdiff_t>(at));
       }
       std::iota(order_.begin(), order_.end(), 0);
@@ -73,16 +67,16 @@ class Refiner {
         if (color[a] != color[b]) {
           return color[a] < color[b];
         }
-        const std::size_t da = offsets_[a + 1] - offsets_[a];
-        const std::size_t db = offsets_[b + 1] - offsets_[b];
+        const std::size_t da = g_.offsets[a + 1] - g_.offsets[a];
+        const std::size_t db = g_.offsets[b + 1] - g_.offsets[b];
         if (da != db) {
           return da < db;
         }
         return std::lexicographical_compare(
-            arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[a]),
-            arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[a + 1]),
-            arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[b]),
-            arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[b + 1]));
+            arena_.begin() + static_cast<std::ptrdiff_t>(g_.offsets[a]),
+            arena_.begin() + static_cast<std::ptrdiff_t>(g_.offsets[a + 1]),
+            arena_.begin() + static_cast<std::ptrdiff_t>(g_.offsets[b]),
+            arena_.begin() + static_cast<std::ptrdiff_t>(g_.offsets[b + 1]));
       });
       int next = 0;
       next_color_[order_[0]] = 0;
@@ -91,10 +85,12 @@ class Refiner {
         const std::size_t cur = order_[i];
         if (color[prev] != color[cur] ||
             !std::equal(
-                arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[prev]),
-                arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[prev + 1]),
-                arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[cur]),
-                arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[cur + 1]))) {
+                arena_.begin() + static_cast<std::ptrdiff_t>(g_.offsets[prev]),
+                arena_.begin() +
+                    static_cast<std::ptrdiff_t>(g_.offsets[prev + 1]),
+                arena_.begin() + static_cast<std::ptrdiff_t>(g_.offsets[cur]),
+                arena_.begin() +
+                    static_cast<std::ptrdiff_t>(g_.offsets[cur + 1]))) {
           ++next;
         }
         next_color_[cur] = next;
@@ -118,8 +114,7 @@ class Refiner {
         std::unique(sorted.begin(), sorted.end()) - sorted.begin());
   }
 
-  const Graph& g_;
-  std::vector<std::size_t> offsets_;
+  CsrSpan g_;
   std::vector<int> arena_;
   std::vector<std::size_t> order_;
   std::vector<int> next_color_;
@@ -175,7 +170,7 @@ std::vector<NodeId> target_cell(const Coloring& color, int classes) {
   return cell;
 }
 
-std::string encode_discrete(const Graph& g,
+std::string encode_discrete(CsrSpan g,
                             const std::vector<std::string>& payloads,
                             const Coloring& color,
                             std::vector<NodeId>* order_out) {
@@ -238,26 +233,30 @@ class UnionFind {
   std::vector<std::size_t> parent_;
 };
 
+bool span_less(const NeighborSpan& a, const NeighborSpan& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
 // Individualization–refinement with automorphism discovery and orbit
 // pruning (see the header for the strategy).
 class Canonicalizer {
  public:
-  Canonicalizer(const Graph& g, const std::vector<std::string>& payloads,
+  Canonicalizer(CsrSpan g, const std::vector<std::string>& payloads,
                 std::size_t max_leaves, CanonicalStats* stats)
       : g_(g),
         payloads_(payloads),
         max_leaves_(max_leaves),
         stats_(stats),
         refiner_(g),
-        uf_(static_cast<std::size_t>(g.node_count())) {}
+        uf_(static_cast<std::size_t>(g.n)) {}
 
   CanonicalForm run() {
     Coloring color = payload_coloring(payloads_);
     search(std::move(color), 0);
-    LOCALD_ASSERT(has_best_ || g_.node_count() == 0,
+    LOCALD_ASSERT(has_best_ || g_.n == 0,
                   "canonical search produced no leaf");
     CanonicalForm out;
-    if (g_.node_count() == 0) {
+    if (g_.n == 0) {
       out.encoding = "n=0;";
     } else {
       out.order = std::move(best_order_);
@@ -285,7 +284,7 @@ class Canonicalizer {
     // Non-adjacent twins: identical sorted neighbour lists.
     std::iota(idx.begin(), idx.end(), 0);
     std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-      return g_.neighbors(cell[a]) < g_.neighbors(cell[b]);
+      return span_less(g_.neighbors(cell[a]), g_.neighbors(cell[b]));
     });
     for (std::size_t i = 1; i < m; ++i) {
       if (g_.neighbors(cell[idx[i]]) == g_.neighbors(cell[idx[i - 1]])) {
@@ -296,7 +295,7 @@ class Canonicalizer {
     // Adjacent twins: identical closed neighbourhoods.
     std::vector<std::vector<NodeId>> closed(m);
     for (std::size_t i = 0; i < m; ++i) {
-      closed[i] = g_.neighbors(cell[i]);
+      closed[i] = g_.neighbors(cell[i]).to_vector();
       closed[i].insert(
           std::lower_bound(closed[i].begin(), closed[i].end(), cell[i]),
           cell[i]);
@@ -441,7 +440,7 @@ class Canonicalizer {
     }
   }
 
-  const Graph& g_;
+  CsrSpan g_;
   const std::vector<std::string>& payloads_;
   const std::size_t max_leaves_;
   CanonicalStats* stats_;
@@ -469,78 +468,114 @@ void run_indexed(exec::ThreadPool* pool, std::size_t n,
   }
 }
 
-struct ExtractedBall {
-  Graph g;
-  NodeId center = 0;
-  std::vector<std::string> payloads;  // centre-marked: ("C"|"N") + host bytes
-};
+// ---- census internals ------------------------------------------------------
 
-ExtractedBall extract_census_ball(const Graph& host,
-                                  const std::vector<std::string>& payloads,
-                                  NodeId v, int radius) {
-  const std::vector<NodeId> members = nodes_within(host, v, radius);
-  InducedSubgraph sub = induced_subgraph(host, members);
-  ExtractedBall ball;
-  ball.center = sub.from_parent.at(v);
-  ball.payloads.reserve(members.size());
-  for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
-    std::string p = (static_cast<NodeId>(i) == ball.center) ? "C" : "N";
-    p += payloads[static_cast<std::size_t>(sub.to_parent[i])];
-    ball.payloads.push_back(std::move(p));
+// Centre-marked payloads of a ball slice, in local-id order (matching
+// local::Ball's stripped-ball payload scheme).
+std::vector<std::string> slice_payloads(
+    const BallSlice& s, const std::vector<std::string>& host_payloads) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(s.local.n));
+  for (NodeId v = 0; v < s.local.n; ++v) {
+    std::string p = (v == s.center) ? "C" : "N";
+    p += host_payloads[static_cast<std::size_t>(s.to_host[v])];
+    out.push_back(std::move(p));
   }
-  ball.g = std::move(sub.graph);
-  return ball;
+  return out;
 }
 
-// Injective serialization of the extracted ball — two balls with equal raw
-// keys are byte-identical structures, hence share their canonical form.
-std::string raw_ball_key(const ExtractedBall& ball) {
-  std::string key;
-  key += std::to_string(ball.g.node_count());
-  key += "|";
-  key += std::to_string(ball.center);
-  key += "|";
-  for (const std::string& p : ball.payloads) {
-    key += std::to_string(p.size());
-    key += ":";
-    key += p;
-    key += ";";
-  }
-  key += "|";
-  for (NodeId v = 0; v < ball.g.node_count(); ++v) {
-    for (NodeId w : ball.g.neighbors(v)) {
-      if (w > v) {
-        key += std::to_string(v);
-        key += ",";
-        key += std::to_string(w);
-        key += ";";
-      }
+// Streaming FNV-1a over the exact extracted structure (local adjacency,
+// centre position, payload bytes). Equal slices always hash equal; a
+// collision between distinct slices is caught by the verification pass.
+class Fnv {
+ public:
+  void bytes(const char* data, std::size_t size) {
+    for (std::size_t i = 0; i < size; ++i) {
+      h_ ^= static_cast<unsigned char>(data[i]);
+      h_ *= 1099511628211ULL;
     }
   }
-  return key;
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 1099511628211ULL;
+    }
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ULL;
+};
+
+std::uint64_t slice_hash(const BallSlice& s,
+                         const std::vector<std::string>& host_payloads) {
+  Fnv fnv;
+  fnv.u64(static_cast<std::uint64_t>(s.local.n));
+  fnv.u64(static_cast<std::uint64_t>(s.center));
+  for (NodeId v = 0; v < s.local.n; ++v) {
+    const std::string& p =
+        host_payloads[static_cast<std::size_t>(s.to_host[v])];
+    fnv.u64(p.size());
+    fnv.bytes(p.data(), p.size());
+  }
+  if (s.local.n > 0) {
+    for (NodeId v = 0; v <= s.local.n; ++v) {
+      fnv.u64(s.local.offsets[v]);
+    }
+    for (EdgeIndex e = 0; e < s.local.offsets[s.local.n]; ++e) {
+      fnv.u64(static_cast<std::uint64_t>(s.local.adj[e]));
+    }
+  }
+  return fnv.value();
+}
+
+// Exact structural equality of two extracted slices (same local adjacency
+// bytes, same centre, same payload bytes node for node).
+bool slices_equal(const BallSlice& a, const BallSlice& b,
+                  const std::vector<std::string>& host_payloads) {
+  if (a.local.n != b.local.n || a.center != b.center) {
+    return false;
+  }
+  const NodeId n = a.local.n;
+  if (n == 0) {
+    return true;
+  }
+  if (!std::equal(a.local.offsets, a.local.offsets + n + 1, b.local.offsets)) {
+    return false;
+  }
+  if (!std::equal(a.local.adj, a.local.adj + a.local.offsets[n],
+                  b.local.adj)) {
+    return false;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (host_payloads[static_cast<std::size_t>(a.to_host[v])] !=
+        host_payloads[static_cast<std::size_t>(b.to_host[v])]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
-CanonicalForm canonical_form(const Graph& g,
+CanonicalForm canonical_form(CsrSpan g,
                              const std::vector<std::string>& payloads,
                              std::size_t max_leaves, CanonicalStats* stats) {
-  LOCALD_CHECK(payloads.size() == static_cast<std::size_t>(g.node_count()),
+  LOCALD_CHECK(payloads.size() == static_cast<std::size_t>(g.n),
                "one payload required per node");
   g_forms.fetch_add(1, std::memory_order_relaxed);
   Canonicalizer canonicalizer(g, payloads, max_leaves, stats);
   return canonicalizer.run();
 }
 
-CanonicalForm canonical_form(const Graph& g, std::size_t max_leaves) {
+CanonicalForm canonical_form(CsrSpan g, std::size_t max_leaves) {
   return canonical_form(
-      g, std::vector<std::string>(static_cast<std::size_t>(g.node_count())),
-      max_leaves);
+      g, std::vector<std::string>(static_cast<std::size_t>(g.n)), max_leaves);
 }
 
-std::string wl_certificate(const Graph& g,
+std::string wl_certificate(CsrSpan g,
                            const std::vector<std::string>& payloads) {
-  LOCALD_CHECK(payloads.size() == static_cast<std::size_t>(g.node_count()),
+  LOCALD_CHECK(payloads.size() == static_cast<std::size_t>(g.n),
                "one payload required per node");
   const std::size_t n = payloads.size();
   if (n == 0) {
@@ -591,7 +626,7 @@ std::string wl_certificate(const Graph& g,
   return cert;
 }
 
-BallCensusResult canonical_census(const Graph& host,
+BallCensusResult canonical_census(const CsrGraph& host,
                                   const std::vector<std::string>& payloads,
                                   int radius, exec::ThreadPool* pool,
                                   std::size_t max_leaves) {
@@ -599,45 +634,148 @@ BallCensusResult canonical_census(const Graph& host,
                "one payload required per host node");
   LOCALD_CHECK(radius >= 0, "radius must be non-negative");
   const std::size_t n = static_cast<std::size_t>(host.node_count());
+  const CsrSpan hs = host.span();
   BallCensusResult result;
-  result.encodings.resize(n);
   g_census_balls.fetch_add(n, std::memory_order_relaxed);
   if (n == 0) {
     return result;
   }
 
-  // Stage 1 (parallel): extract every ball and serialize it exactly.
-  std::vector<std::string> raw(n);
+  // Stage 1 (parallel): stream every ball through a structural hash. The
+  // slice lives in a per-thread arena; nothing per-node is materialized
+  // beyond the 8-byte hash.
+  std::vector<std::uint64_t> hash(n);
   run_indexed(pool, n, [&](std::size_t i) {
-    raw[i] = raw_ball_key(extract_census_ball(
-        host, payloads, static_cast<NodeId>(i), radius));
+    thread_local BallScratch scratch;
+    hash[i] = slice_hash(scratch.extract(hs, static_cast<NodeId>(i), radius),
+                         payloads);
   });
 
-  // Dedup in node order (scheduling-independent): byte-identical extracted
-  // structures share one canonicalization.
-  std::unordered_map<std::string_view, std::size_t> slot_of_key;
+  // Tentative dedup in node order (scheduling-independent): group by hash.
   std::vector<NodeId> representative;
   std::vector<std::size_t> slot(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto [it, inserted] =
-        slot_of_key.emplace(raw[i], representative.size());
-    if (inserted) {
-      representative.push_back(static_cast<NodeId>(i));
-    } else {
-      g_census_raw_hits.fetch_add(1, std::memory_order_relaxed);
-      ++result.raw_duplicates;
+  {
+    std::unordered_map<std::uint64_t, std::size_t> slot_of_hash;
+    slot_of_hash.reserve(n / 4 + 16);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] =
+          slot_of_hash.emplace(hash[i], representative.size());
+      if (inserted) {
+        representative.push_back(static_cast<NodeId>(i));
+      }
+      slot[i] = it->second;
     }
-    slot[i] = it->second;
+  }
+
+  // Verification (parallel): every non-representative must be structurally
+  // identical to its slot's representative — a failed check means two
+  // distinct structures collided in the 64-bit hash. Representatives of
+  // multi-member slots are materialized once up front (owned copies of
+  // the slice arrays), so each duplicate costs ONE extraction instead of
+  // re-extracting its representative alongside — on dedup-heavy censuses
+  // (symmetric families, where every ball is the whole graph) that is a
+  // third of all extraction work. Single-member slots verify nothing and
+  // materialize nothing.
+  struct RepSlice {
+    std::vector<EdgeIndex> offsets;
+    std::vector<NodeId> adj;
+    std::vector<NodeId> to_host;
+    NodeId n = 0;
+    NodeId center = 0;
+  };
+  std::vector<std::uint32_t> slot_members(representative.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++slot_members[slot[i]];
+  }
+  std::vector<RepSlice> rep_slice(representative.size());
+  run_indexed(pool, representative.size(), [&](std::size_t k) {
+    if (slot_members[k] < 2) {
+      return;
+    }
+    thread_local BallScratch scratch;
+    const BallSlice s = scratch.extract(hs, representative[k], radius);
+    RepSlice& out = rep_slice[k];
+    out.n = s.local.n;
+    out.center = s.center;
+    out.offsets.assign(s.local.offsets, s.local.offsets + s.local.n + 1);
+    out.adj.assign(s.local.adj, s.local.adj + s.local.offsets[s.local.n]);
+    out.to_host.assign(s.to_host, s.to_host + s.local.n);
+  });
+  std::atomic<bool> collision{false};
+  run_indexed(pool, n, [&](std::size_t i) {
+    const NodeId rep = representative[slot[i]];
+    if (rep == static_cast<NodeId>(i) ||
+        collision.load(std::memory_order_relaxed)) {
+      return;
+    }
+    thread_local BallScratch mine;
+    const BallSlice a = mine.extract(hs, static_cast<NodeId>(i), radius);
+    const RepSlice& r = rep_slice[slot[i]];
+    const BallSlice b{CsrSpan{r.n, r.offsets.data(), r.adj.data()},
+                      r.to_host.data(), r.center, radius};
+    if (!slices_equal(a, b, payloads)) {
+      collision.store(true, std::memory_order_relaxed);
+    }
+  });
+  if (collision.load()) {
+    // Vanishingly rare (two distinct structures sharing a 64-bit hash).
+    // Fall back to grouping the whole census by exact serialized keys —
+    // deterministic, just memory-heavier.
+    std::vector<std::string> raw(n);
+    run_indexed(pool, n, [&](std::size_t i) {
+      thread_local BallScratch scratch;
+      const BallSlice s =
+          scratch.extract(hs, static_cast<NodeId>(i), radius);
+      std::string key;
+      key += std::to_string(s.local.n);
+      key += "|";
+      key += std::to_string(s.center);
+      key += "|";
+      for (NodeId v = 0; v < s.local.n; ++v) {
+        const std::string& p =
+            payloads[static_cast<std::size_t>(s.to_host[v])];
+        key += std::to_string(p.size());
+        key += ":";
+        key += p;
+        key += ";";
+      }
+      key += "|";
+      for (NodeId v = 0; v < s.local.n; ++v) {
+        for (NodeId w : s.local.neighbors(v)) {
+          if (w > v) {
+            key += std::to_string(v);
+            key += ",";
+            key += std::to_string(w);
+            key += ";";
+          }
+        }
+      }
+      raw[i] = std::move(key);
+    });
+    representative.clear();
+    std::unordered_map<std::string_view, std::size_t> slot_of_key;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] =
+          slot_of_key.emplace(raw[i], representative.size());
+      if (inserted) {
+        representative.push_back(static_cast<NodeId>(i));
+      }
+      slot[i] = it->second;
+    }
   }
   result.unique_structures = representative.size();
+  result.raw_duplicates = n - representative.size();
+  g_census_raw_hits.fetch_add(result.raw_duplicates,
+                              std::memory_order_relaxed);
 
   // Stage 2 (parallel): one tier-2 search per unique structure.
   std::vector<std::string> encodings(representative.size());
   run_indexed(pool, representative.size(), [&](std::size_t k) {
-    const ExtractedBall ball =
-        extract_census_ball(host, payloads, representative[k], radius);
+    thread_local BallScratch scratch;
+    const BallSlice s = scratch.extract(hs, representative[k], radius);
     encodings[k] =
-        canonical_form(ball.g, ball.payloads, max_leaves).encoding;
+        canonical_form(s.local, slice_payloads(s, payloads), max_leaves)
+            .encoding;
   });
 
   // Stage 3: fold unique structures into classes (distinct structures can
@@ -645,19 +783,21 @@ BallCensusResult canonical_census(const Graph& host,
   // by first-occurrence node, so the first slot of a class names the
   // class's first host node as its representative.
   std::vector<std::size_t> class_of_slot(representative.size());
-  std::unordered_map<std::string_view, std::size_t> class_ids;
-  for (std::size_t k = 0; k < representative.size(); ++k) {
-    const auto [it, inserted] = class_ids.emplace(encodings[k],
-                                                  class_ids.size());
-    if (inserted) {
-      result.class_representative.push_back(representative[k]);
+  {
+    std::unordered_map<std::string_view, std::size_t> class_ids;
+    for (std::size_t k = 0; k < representative.size(); ++k) {
+      const auto [it, inserted] =
+          class_ids.emplace(encodings[k], class_ids.size());
+      if (inserted) {
+        result.class_representative.push_back(representative[k]);
+        result.class_encoding.push_back(encodings[k]);
+      }
+      class_of_slot[k] = it->second;
     }
-    class_of_slot[k] = it->second;
+    result.distinct = static_cast<std::int64_t>(class_ids.size());
   }
-  result.distinct = static_cast<std::int64_t>(class_ids.size());
   result.class_of.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    result.encodings[i] = encodings[slot[i]];
     result.class_of[i] = class_of_slot[slot[i]];
   }
   return result;
@@ -671,8 +811,8 @@ CanonicalizationCounters canonicalization_counters() {
   return out;
 }
 
-bool isomorphic(const Graph& a, const std::vector<std::string>& payload_a,
-                const Graph& b, const std::vector<std::string>& payload_b) {
+bool isomorphic(CsrSpan a, const std::vector<std::string>& payload_a,
+                CsrSpan b, const std::vector<std::string>& payload_b) {
   if (a.node_count() != b.node_count() || a.edge_count() != b.edge_count()) {
     return false;
   }
@@ -680,10 +820,10 @@ bool isomorphic(const Graph& a, const std::vector<std::string>& payload_a,
          canonical_form(b, payload_b).encoding;
 }
 
-bool isomorphic(const Graph& a, const Graph& b) {
+bool isomorphic(CsrSpan a, CsrSpan b) {
   return isomorphic(
-      a, std::vector<std::string>(static_cast<std::size_t>(a.node_count())),
-      b, std::vector<std::string>(static_cast<std::size_t>(b.node_count())));
+      a, std::vector<std::string>(static_cast<std::size_t>(a.n)), b,
+      std::vector<std::string>(static_cast<std::size_t>(b.n)));
 }
 
 }  // namespace locald::graph

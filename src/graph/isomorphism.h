@@ -7,6 +7,9 @@
 // complete invariant — two labelled graphs have equal encodings if and only
 // if they are isomorphic by a label-preserving bijection.
 //
+// Everything here consumes `CsrSpan` (graph/csr.h): whole graphs and
+// scratch-backed ball slices run through the same engine with no copies.
+//
 // Tier 1 is fast colour refinement (1-WL) on partition-refinement data
 // structures: per-round rank assignment over flat signature arenas instead
 // of per-round `std::map` rebuilds, with all scratch shared across the
@@ -30,24 +33,26 @@
 // the automorphism group instead of factorial in cell sizes.
 //
 // `canonical_census` is the bulk API: one call canonicalizes the radius-t
-// ball of every host node, deduplicating balls that are byte-identical as
-// extracted before any search runs (on structured families almost all of
-// them), then canonicalizing each distinct structure exactly once —
-// parallelized over the exec `ThreadPool` with byte-identical output at
-// any thread count. Census encodings agree byte-for-byte with per-ball
-// `canonical_form` on centre-marked payloads.
+// ball of every host node. Balls are extracted as zero-copy slices from
+// per-thread `BallScratch` arenas, deduplicated by a streamed structural
+// hash (no per-node key strings — the census holds O(classes) encodings,
+// not O(n), which is what lets it run at 10^6–10^7 host nodes), and each
+// distinct structure is canonicalized exactly once — parallelized over the
+// exec `ThreadPool` with byte-identical output at any thread count. Census
+// encodings agree byte-for-byte with per-ball `canonical_form` on
+// centre-marked payloads.
 //
-// Intended for the small graphs this project compares (balls, fragments,
-// instances up to a few thousand nodes). Labels carried as opaque byte
-// payloads are embedded verbatim in the encoding, so no hash collisions can
-// merge distinct labels.
+// The tier-2 search is intended for the small graphs this project compares
+// (balls, fragments); the census host graph can be millions of nodes.
+// Labels carried as opaque byte payloads are embedded verbatim in the
+// encoding, so no hash collisions can merge distinct labels.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/csr.h"
 
 namespace locald::exec {
 class ThreadPool;
@@ -80,20 +85,20 @@ struct CanonicalStats {
 // Throws locald::Error if the search would exceed `max_leaves` discrete
 // orderings (pathologically symmetric inputs beyond what the orbit pruning
 // can collapse). `stats`, when non-null, receives the search counters.
-CanonicalForm canonical_form(const Graph& g,
+CanonicalForm canonical_form(CsrSpan g,
                              const std::vector<std::string>& payloads,
                              std::size_t max_leaves = 1 << 20,
                              CanonicalStats* stats = nullptr);
 
 // Convenience: all payloads empty (pure topology).
-CanonicalForm canonical_form(const Graph& g, std::size_t max_leaves = 1 << 20);
+CanonicalForm canonical_form(CsrSpan g, std::size_t max_leaves = 1 << 20);
 
 // Tier-1 certificate: the stable 1-WL colouring as an isomorphism-invariant
 // string. Equal on isomorphic inputs; cheap (no search); NOT complete —
 // non-isomorphic graphs may share a certificate, which is exactly when the
 // tier-2 search earns its keep. canonical_form-equal graphs always share a
 // certificate.
-std::string wl_certificate(const Graph& g,
+std::string wl_certificate(CsrSpan g,
                            const std::vector<std::string>& payloads);
 
 // Bulk ball census over a host graph: the canonical class of B(v, radius)
@@ -102,28 +107,33 @@ std::string wl_certificate(const Graph& g,
 // distinguished. `payloads[v]` contributes the host node's label bytes to
 // every ball containing v (pass empty strings for pure topology).
 struct BallCensusResult {
-  // encodings[v] = canonical encoding of the centre-marked ball B(v, radius);
-  // byte-identical to canonical_form on the extracted ball.
-  std::vector<std::string> encodings;
   // class_of[v] = dense class id of node v's ball, numbered by first
   // occurrence in node order; class_representative[c] = the first host
-  // node (in node order) whose ball is in class c. Consumers that decide
-  // once per class and scatter over members (the family workload) read
-  // these instead of re-deduplicating the encodings.
+  // node (in node order) whose ball is in class c. Consumers decide once
+  // per class and scatter over members.
   std::vector<std::size_t> class_of;
   std::vector<NodeId> class_representative;
+  // class_encoding[c] = canonical encoding of class c's ball;
+  // byte-identical to canonical_form on the extracted ball. Kept per
+  // class, not per node: at census scale the per-node copy was the
+  // dominant memory cost.
+  std::vector<std::string> class_encoding;
   // Number of distinct encodings (= isomorphism classes of balls).
   std::int64_t distinct = 0;
   // Balls that were byte-identical as extracted and skipped the search.
   std::size_t raw_duplicates = 0;
   // Distinct extracted structures actually canonicalized.
   std::size_t unique_structures = 0;
+
+  const std::string& encoding_of(NodeId v) const {
+    return class_encoding[class_of[static_cast<std::size_t>(v)]];
+  }
 };
 
 // Deterministic at every thread count: the ball population, the dedup, and
 // each structure's canonical form are pure functions of (host, payloads,
 // radius), and `pool` only changes who computes what. Null pool = serial.
-BallCensusResult canonical_census(const Graph& host,
+BallCensusResult canonical_census(const CsrGraph& host,
                                   const std::vector<std::string>& payloads,
                                   int radius, exec::ThreadPool* pool = nullptr,
                                   std::size_t max_leaves = 1 << 20);
@@ -138,9 +148,9 @@ struct CanonicalizationCounters {
 };
 CanonicalizationCounters canonicalization_counters();
 
-bool isomorphic(const Graph& a, const std::vector<std::string>& payload_a,
-                const Graph& b, const std::vector<std::string>& payload_b);
+bool isomorphic(CsrSpan a, const std::vector<std::string>& payload_a,
+                CsrSpan b, const std::vector<std::string>& payload_b);
 
-bool isomorphic(const Graph& a, const Graph& b);
+bool isomorphic(CsrSpan a, CsrSpan b);
 
 }  // namespace locald::graph

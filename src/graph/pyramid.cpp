@@ -37,31 +37,32 @@ PyramidIndexer::Position PyramidIndexer::position(NodeId v) const {
   return Position{static_cast<int>(rel) % s, static_cast<int>(rel) / s, z};
 }
 
-Graph build_pyramid(const PyramidIndexer& indexer) {
-  Graph g(indexer.node_count());
+CsrGraph build_pyramid(const PyramidIndexer& indexer) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(3 * static_cast<std::size_t>(indexer.node_count()));
   for (int z = 0; z <= indexer.height(); ++z) {
     const int s = indexer.side(z);
     for (int y = 0; y < s; ++y) {
       for (int x = 0; x < s; ++x) {
         const NodeId v = indexer.id(x, y, z);
         if (x + 1 < s) {
-          g.add_edge(v, indexer.id(x + 1, y, z));
+          edges.emplace_back(v, indexer.id(x + 1, y, z));
         }
         if (y + 1 < s) {
-          g.add_edge(v, indexer.id(x, y + 1, z));
+          edges.emplace_back(v, indexer.id(x, y + 1, z));
         }
         if (z < indexer.height()) {
-          g.add_edge(v, indexer.id(x / 2, y / 2, z + 1));
+          edges.emplace_back(v, indexer.id(x / 2, y / 2, z + 1));
         }
       }
     }
   }
-  return g;
+  return CsrGraph::from_edges(indexer.node_count(), edges);
 }
 
-Graph make_pyramid(int h) { return build_pyramid(PyramidIndexer(h)); }
+CsrGraph make_pyramid(int h) { return build_pyramid(PyramidIndexer(h)); }
 
-NodeId attach_pyramid(Graph& g, const PyramidIndexer& indexer,
+NodeId attach_pyramid(GraphBuilder& g, const PyramidIndexer& indexer,
                       const std::function<NodeId(int, int)>& base) {
   const NodeId first = g.node_count();
   // Ids of upper-level nodes, allocated level by level.
@@ -111,7 +112,7 @@ NodeId attach_pyramid(Graph& g, const PyramidIndexer& indexer,
   return first;
 }
 
-bool is_pyramid(const Graph& g, int h) {
+bool is_pyramid(const CsrGraph& g, int h) {
   const PyramidIndexer indexer(h);
   if (g.node_count() != indexer.node_count()) {
     return false;

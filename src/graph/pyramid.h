@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "graph/graph.h"
+#include "graph/csr.h"
 
 namespace locald::graph {
 
@@ -47,18 +47,18 @@ class PyramidIndexer {
 };
 
 // The full pyramid graph (levels 0..h with grid + parent edges).
-Graph build_pyramid(const PyramidIndexer& indexer);
+CsrGraph build_pyramid(const PyramidIndexer& indexer);
 
 // Convenience: the height-h pyramid under the canonical indexing.
-Graph make_pyramid(int h);
+CsrGraph make_pyramid(int h);
 
 // Adds pyramid levels 1..h on top of an existing 2^h x 2^h level-0 grid
 // already present in `g` (node (x, y) at id base(x, y)). Returns the id of
 // the first added node.
-NodeId attach_pyramid(Graph& g, const PyramidIndexer& indexer,
+NodeId attach_pyramid(GraphBuilder& g, const PyramidIndexer& indexer,
                       const std::function<NodeId(int, int)>& base);
 
 // Exact structural oracle: is `g` the pyramid over a 2^h x 2^h grid?
-bool is_pyramid(const Graph& g, int h);
+bool is_pyramid(const CsrGraph& g, int h);
 
 }  // namespace locald::graph

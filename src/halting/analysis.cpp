@@ -10,11 +10,11 @@ namespace locald::halting {
 
 namespace {
 
-using local::Ball;
+using local::BallView;
 using local::Verdict;
 
 // Decodes the machine named in the centre's label; nullopt on garbage.
-std::optional<tm::TuringMachine> machine_of(const Ball& ball) {
+std::optional<tm::TuringMachine> machine_of(const BallView& ball) {
   const auto decoded = decode_label(ball.center_label());
   if (!decoded.has_value()) {
     return std::nullopt;
@@ -35,7 +35,7 @@ std::unique_ptr<local::LocalAlgorithm> make_gmr_decider(
       make_gmr_verifier(fragment_size, policy, pyramidal, step_budget));
   return local::make_id_aware(
       cat("decide-G(M,r)(k=", fragment_size, ")"), 2,
-      [verifier, sim_cap](const Ball& ball) {
+      [verifier, sim_cap](const BallView& ball) {
         if ((*verifier)->evaluate(ball.without_ids()) == Verdict::no) {
           return Verdict::no;
         }
@@ -104,7 +104,7 @@ bool separation_accepts(const local::LocalAlgorithm& oblivious_candidate,
   const GeneratedBalls gen =
       neighborhood_generator(params, oblivious_candidate.horizon());
   for (graph::NodeId v : gen.centers) {
-    const Ball ball =
+    const local::Ball ball =
         extract_ball(gen.host, nullptr, v, oblivious_candidate.horizon());
     if (oblivious_candidate.evaluate(ball) == Verdict::no) {
       return false;
@@ -115,7 +115,7 @@ bool separation_accepts(const local::LocalAlgorithm& oblivious_candidate,
 
 std::unique_ptr<local::LocalAlgorithm> candidate_always_yes() {
   return local::make_oblivious("candidate-always-yes", 2,
-                               [](const Ball&) { return Verdict::yes; });
+                               [](const BallView&) { return Verdict::yes; });
 }
 
 std::unique_ptr<local::LocalAlgorithm> candidate_structure_only(
@@ -125,7 +125,7 @@ std::unique_ptr<local::LocalAlgorithm> candidate_structure_only(
       make_gmr_verifier(fragment_size, policy, pyramidal, step_budget));
   return local::make_oblivious(
       "candidate-structure-only", 2,
-      [verifier](const Ball& ball) { return (*verifier)->evaluate(ball); });
+      [verifier](const BallView& ball) { return (*verifier)->evaluate(ball); });
 }
 
 std::unique_ptr<local::LocalAlgorithm> candidate_bounded_simulation(
@@ -135,7 +135,7 @@ std::unique_ptr<local::LocalAlgorithm> candidate_bounded_simulation(
       make_gmr_verifier(fragment_size, policy, pyramidal, step_budget));
   return local::make_oblivious(
       cat("candidate-simulate-", sim_budget), 2,
-      [verifier, sim_budget](const Ball& ball) {
+      [verifier, sim_budget](const BallView& ball) {
         if ((*verifier)->evaluate(ball) == Verdict::no) {
           return Verdict::no;
         }
@@ -194,7 +194,7 @@ class RandomizedGmrDecider final : public local::RandomizedLocalAlgorithm {
   int horizon() const override { return 2; }
   bool id_oblivious() const override { return true; }
 
-  Verdict evaluate(const Ball& ball, Rng& coin) const override {
+  Verdict evaluate(const BallView& ball, Rng& coin) const override {
     if (verifier_->evaluate(ball) == Verdict::no) {
       return Verdict::no;
     }

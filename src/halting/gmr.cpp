@@ -72,7 +72,7 @@ GmrInstance assemble_gmr(const tm::TuringMachine& m, int r,
   out.exact_fragment_count = collection.exact_count;
   out.fragments_exhaustive = collection.exhaustive;
 
-  graph::Graph g;
+  graph::GraphBuilder g;
   std::vector<local::Label> labels;
   // Table cells: id = y * side + x.
   const int side = table.width();
@@ -147,7 +147,7 @@ GmrInstance assemble_gmr(const tm::TuringMachine& m, int r,
     }
   }
 
-  out.graph = local::LabeledGraph(std::move(g), std::move(labels));
+  out.graph = local::LabeledGraph(g.build(), std::move(labels));
   return out;
 }
 

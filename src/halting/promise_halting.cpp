@@ -10,7 +10,7 @@ namespace locald::halting {
 
 namespace {
 
-using local::Ball;
+using local::BallView;
 using local::Verdict;
 
 std::optional<tm::TuringMachine> decode_cycle_label(const local::Label& l) {
@@ -55,7 +55,7 @@ std::unique_ptr<local::Property> promise_halting_property(
 std::unique_ptr<local::LocalAlgorithm> make_promise_halting_decider(
     long long sim_cap) {
   return local::make_id_aware(
-      "decide-promise-halting", 0, [sim_cap](const Ball& ball) {
+      "decide-promise-halting", 0, [sim_cap](const BallView& ball) {
         const auto m = decode_cycle_label(ball.center_label());
         if (!m.has_value()) {
           return Verdict::no;
@@ -71,7 +71,7 @@ std::unique_ptr<local::LocalAlgorithm> promise_halting_candidate(
     long long sim_budget) {
   return local::make_oblivious(
       cat("promise-candidate-", sim_budget), 0,
-      [sim_budget](const Ball& ball) {
+      [sim_budget](const BallView& ball) {
         const auto m = decode_cycle_label(ball.center_label());
         if (!m.has_value()) {
           return Verdict::no;

@@ -12,7 +12,7 @@ namespace locald::halting {
 
 namespace {
 
-using local::Ball;
+using local::BallView;
 using local::Verdict;
 
 enum class Relation { east, west, south, north, glue, invalid };
@@ -61,7 +61,7 @@ bool is_pivot_like(const MachineCtx& ctx, const DecodedLabel& l) {
 }
 
 // Glue degree of `v` within the ball (edges with no valid grid relation).
-int glue_degree(const Ball& ball, const ParsedBall& parsed, graph::NodeId v) {
+int glue_degree(const BallView& ball, const ParsedBall& parsed, graph::NodeId v) {
   int count = 0;
   for (graph::NodeId w : ball.g.neighbors(v)) {
     const auto& lv = parsed.labels[static_cast<std::size_t>(v)];
@@ -78,7 +78,7 @@ int glue_degree(const Ball& ball, const ParsedBall& parsed, graph::NodeId v) {
 
 // BFS position assignment over grid edges starting from `origin`.
 // Returns false on geometric inconsistency.
-bool assign_positions(const Ball& ball, ParsedBall& parsed,
+bool assign_positions(const BallView& ball, ParsedBall& parsed,
                       graph::NodeId origin) {
   parsed.position.clear();
   parsed.at.clear();
@@ -147,7 +147,7 @@ class GmrVerifier final : public local::LocalAlgorithm {
   int horizon() const override { return 2; }
   bool id_oblivious() const override { return true; }
 
-  Verdict evaluate(const Ball& ball) const override {
+  Verdict evaluate(const BallView& ball) const override {
     ParsedBall parsed;
     parsed.labels.resize(static_cast<std::size_t>(ball.node_count()));
     std::optional<std::vector<std::int64_t>> enc;
@@ -213,7 +213,7 @@ class GmrVerifier final : public local::LocalAlgorithm {
     return parsed.labels[static_cast<std::size_t>(it->second)]->code;
   }
 
-  Verdict check_cell(const MachineCtx& ctx, const Ball& ball,
+  Verdict check_cell(const MachineCtx& ctx, const BallView& ball,
                      const ParsedBall& parsed,
                      const DecodedLabel& center) const {
     const tm::LocalRules& rules = *ctx.rules;
@@ -300,7 +300,7 @@ class GmrVerifier final : public local::LocalAlgorithm {
     return Verdict::yes;
   }
 
-  Verdict check_pivot(const MachineCtx& ctx, const Ball& ball,
+  Verdict check_pivot(const MachineCtx& ctx, const BallView& ball,
                       const ParsedBall& parsed) const {
     const auto& glue = parsed.glue_partners_of_center;
     const std::set<graph::NodeId> glue_set(glue.begin(), glue.end());
@@ -352,7 +352,7 @@ class GmrVerifier final : public local::LocalAlgorithm {
 
   // Rebuilds one fragment from its glued border component; returns its key.
   std::optional<std::string> reconstruct_component(
-      const MachineCtx& ctx, const Ball& ball, const ParsedBall& parsed,
+      const MachineCtx& ctx, const BallView& ball, const ParsedBall& parsed,
       const std::vector<graph::NodeId>& members) const {
     // Positions relative to the component's own origin.
     ParsedBall sub;

@@ -40,13 +40,13 @@ class LocalAlgorithm {
   virtual bool memoization_safe() const { return true; }
 
   // `ball` has ids stripped iff id_oblivious().
-  virtual Verdict evaluate(const Ball& ball) const = 0;
+  virtual Verdict evaluate(const BallView& ball) const = 0;
 };
 
 // Adapter for lambda-defined algorithms.
 class LambdaAlgorithm final : public LocalAlgorithm {
  public:
-  using Fn = std::function<Verdict(const Ball&)>;
+  using Fn = std::function<Verdict(const BallView&)>;
 
   LambdaAlgorithm(std::string name, int horizon, bool oblivious, Fn fn)
       : name_(std::move(name)),
@@ -60,7 +60,7 @@ class LambdaAlgorithm final : public LocalAlgorithm {
   std::string name() const override { return name_; }
   int horizon() const override { return horizon_; }
   bool id_oblivious() const override { return oblivious_; }
-  Verdict evaluate(const Ball& ball) const override { return fn_(ball); }
+  Verdict evaluate(const BallView& ball) const override { return fn_(ball); }
 
  private:
   std::string name_;
@@ -91,7 +91,7 @@ class RandomizedLocalAlgorithm {
   virtual int horizon() const = 0;
   virtual bool id_oblivious() const = 0;
 
-  virtual Verdict evaluate(const Ball& ball, Rng& coin) const = 0;
+  virtual Verdict evaluate(const BallView& ball, Rng& coin) const = 0;
 };
 
 }  // namespace locald::local

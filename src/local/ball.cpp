@@ -9,6 +9,48 @@
 
 namespace locald::local {
 
+namespace {
+
+void check_one_to_one(const std::vector<Id>& ids) {
+  std::unordered_set<Id> seen;
+  seen.reserve(ids.size());
+  for (Id id : ids) {
+    LOCALD_CHECK(seen.insert(id).second, "ball ids must be one-to-one");
+  }
+}
+
+}  // namespace
+
+BallView BallView::with_ids(const std::vector<Id>& new_ids) const {
+  LOCALD_CHECK(new_ids.size() == static_cast<std::size_t>(g.node_count()),
+               "one id per ball node");
+  check_one_to_one(new_ids);
+  BallView out = *this;
+  out.ids = new_ids.data();
+  return out;
+}
+
+std::string BallView::canonical_encoding() const {
+  std::vector<std::string> payloads;
+  payloads.reserve(static_cast<std::size_t>(g.node_count()));
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    std::string p = (v == center) ? "C" : "N";
+    p += label(v).payload();
+    if (ids != nullptr) {
+      p += "#";
+      p += std::to_string(ids[static_cast<std::size_t>(v)]);
+    }
+    payloads.push_back(std::move(p));
+  }
+  std::string enc = "r=" + std::to_string(radius) + ";";
+  enc += graph::canonical_form(g, payloads).encoding;
+  return enc;
+}
+
+std::uint64_t BallView::canonical_fingerprint() const {
+  return hash_string(canonical_encoding());
+}
+
 Ball Ball::without_ids() const {
   Ball out = *this;
   out.ids.reset();
@@ -18,34 +60,10 @@ Ball Ball::without_ids() const {
 Ball Ball::with_ids(std::vector<Id> new_ids) const {
   LOCALD_CHECK(new_ids.size() == static_cast<std::size_t>(g.node_count()),
                "one id per ball node");
-  std::unordered_set<Id> seen;
-  for (Id id : new_ids) {
-    LOCALD_CHECK(seen.insert(id).second, "ball ids must be one-to-one");
-  }
+  check_one_to_one(new_ids);
   Ball out = *this;
   out.ids = std::move(new_ids);
   return out;
-}
-
-std::string Ball::canonical_encoding() const {
-  std::vector<std::string> payloads;
-  payloads.reserve(static_cast<std::size_t>(g.node_count()));
-  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    std::string p = (v == center) ? "C" : "N";
-    p += labels[static_cast<std::size_t>(v)].payload();
-    if (ids.has_value()) {
-      p += "#";
-      p += std::to_string((*ids)[static_cast<std::size_t>(v)]);
-    }
-    payloads.push_back(std::move(p));
-  }
-  std::string enc = "r=" + std::to_string(radius) + ";";
-  enc += graph::canonical_form(g, payloads).encoding;
-  return enc;
-}
-
-std::uint64_t Ball::canonical_fingerprint() const {
-  return hash_string(canonical_encoding());
 }
 
 Ball extract_ball(const LabeledGraph& g, const IdAssignment* ids,
@@ -74,6 +92,30 @@ Ball extract_ball(const LabeledGraph& g, const IdAssignment* ids,
     ball.ids = std::move(ball_ids);
   }
   return ball;
+}
+
+BallView BallScratch::extract(const LabeledGraph& g, const IdAssignment* ids,
+                              graph::NodeId v, int radius) {
+  if (ids != nullptr) {
+    LOCALD_CHECK(ids->node_count() == g.node_count(),
+                 "identifier assignment size mismatch");
+  }
+  const graph::BallSlice slice = scratch_.extract(g.graph().span(), v, radius);
+  BallView out;
+  out.g = slice.local;
+  out.center = slice.center;
+  out.radius = slice.radius;
+  out.to_host = slice.to_host;
+  out.host_labels = g.labels().data();
+  if (ids != nullptr) {
+    ids_.resize(static_cast<std::size_t>(slice.local.node_count()));
+    for (graph::NodeId l = 0; l < slice.local.node_count(); ++l) {
+      ids_[static_cast<std::size_t>(l)] =
+          ids->of(slice.to_host[static_cast<std::size_t>(l)]);
+    }
+    out.ids = ids_.data();
+  }
+  return out;
 }
 
 }  // namespace locald::local

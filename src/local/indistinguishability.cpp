@@ -23,19 +23,21 @@ std::vector<std::uint64_t> ball_fingerprints(const LabeledGraph& g, int radius,
   const graph::BallCensusResult census =
       graph::canonical_census(g.graph(), payloads, radius, ctx.pool);
   const std::string prefix = "r=" + std::to_string(radius) + ";";
+  // Hash once per canonical class, then scatter to nodes.
+  std::vector<std::uint64_t> class_fps;
+  class_fps.reserve(census.class_encoding.size());
+  for (const std::string& enc : census.class_encoding) {
+    class_fps.push_back(hash_string(prefix + enc));
+  }
   std::vector<std::uint64_t> fingerprints;
-  fingerprints.reserve(census.encodings.size());
-  for (const std::string& enc : census.encodings) {
-    fingerprints.push_back(hash_string(prefix + enc));
+  fingerprints.reserve(census.class_of.size());
+  for (const std::size_t cls : census.class_of) {
+    fingerprints.push_back(class_fps[cls]);
   }
   return fingerprints;
 }
 
 }  // namespace
-
-void BallProfile::add_graph(const LabeledGraph& g) {
-  add_graph(g, exec::ExecContext{});
-}
 
 void BallProfile::add_graph(const LabeledGraph& g,
                             const exec::ExecContext& ctx) {
@@ -45,7 +47,7 @@ void BallProfile::add_graph(const LabeledGraph& g,
   }
 }
 
-void BallProfile::add_ball(const Ball& ball) {
+void BallProfile::add_ball(const BallView& ball) {
   LOCALD_CHECK(!ball.has_ids(),
                "ball profiles aggregate Id-oblivious (stripped) balls");
   LOCALD_CHECK(ball.radius == radius_, "ball radius mismatch");
@@ -53,7 +55,7 @@ void BallProfile::add_ball(const Ball& ball) {
   ++balls_seen_;
 }
 
-bool BallProfile::contains(const Ball& ball) const {
+bool BallProfile::contains(const BallView& ball) const {
   LOCALD_CHECK(!ball.has_ids(), "profile queries use stripped balls");
   return contains(ball.canonical_fingerprint());
 }
@@ -62,13 +64,6 @@ BallProfile BallProfile::of_graph(const LabeledGraph& g, int radius) {
   BallProfile profile(radius);
   profile.add_graph(g);
   return profile;
-}
-
-AuditResult audit_indistinguishability(const LabeledGraph& no_instance,
-                                       const BallProfile& yes_profile,
-                                       std::size_t max_witnesses) {
-  return audit_indistinguishability(no_instance, yes_profile,
-                                    exec::ExecContext{}, max_witnesses);
 }
 
 AuditResult audit_indistinguishability(const LabeledGraph& no_instance,

@@ -32,22 +32,20 @@ class BallProfile {
 
   int radius() const { return radius_; }
 
-  // Adds the stripped ball of every node of `g`. Both overloads route
-  // through the bulk census (graph/isomorphism.h) — byte-identical
-  // extracted balls canonicalize once; the ExecContext overload
-  // additionally fans the canonicalizations over `ctx.pool`. Fingerprints
-  // are identical to per-ball add_ball at any thread count.
-  void add_graph(const LabeledGraph& g);
-  void add_graph(const LabeledGraph& g, const exec::ExecContext& ctx);
+  // Adds the stripped ball of every node of `g`, routed through the bulk
+  // census (graph/isomorphism.h) — isomorphic balls canonicalize once, and
+  // canonicalizations fan over `ctx.pool` when one is set. Fingerprints are
+  // identical to per-ball add_ball at any thread count.
+  void add_graph(const LabeledGraph& g, const exec::ExecContext& ctx = {});
 
   // Adds one ball (must be stripped and of matching radius).
-  void add_ball(const Ball& ball);
+  void add_ball(const BallView& ball);
 
   bool contains(std::uint64_t fingerprint) const {
     return fingerprints_.contains(fingerprint);
   }
 
-  bool contains(const Ball& ball) const;
+  bool contains(const BallView& ball) const;
 
   std::size_t distinct_balls() const { return fingerprints_.size(); }
   std::size_t balls_seen() const { return balls_seen_; }
@@ -74,14 +72,11 @@ struct AuditResult {
 };
 
 // Checks whether every radius-(profile.radius()) ball of `no_instance`
-// occurs in `yes_profile`. The ExecContext overload runs the no-instance
-// census on `ctx.pool`; results are identical at any thread count.
+// occurs in `yes_profile`. The no-instance census runs on `ctx.pool` when
+// one is set; results are identical at any thread count.
 AuditResult audit_indistinguishability(const LabeledGraph& no_instance,
                                        const BallProfile& yes_profile,
-                                       std::size_t max_witnesses = 5);
-AuditResult audit_indistinguishability(const LabeledGraph& no_instance,
-                                       const BallProfile& yes_profile,
-                                       const exec::ExecContext& ctx,
+                                       const exec::ExecContext& ctx = {},
                                        std::size_t max_witnesses = 5);
 
 // Runs the oblivious algorithm on the no-instance and reports whether it

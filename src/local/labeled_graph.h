@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/csr.h"
 #include "graph/isomorphism.h"
 #include "local/label.h"
 
@@ -15,18 +15,18 @@ class LabeledGraph {
   LabeledGraph() = default;
 
   // All labels default-initialized to the empty label.
-  explicit LabeledGraph(graph::Graph g)
+  explicit LabeledGraph(graph::CsrGraph g)
       : g_(std::move(g)),
         labels_(static_cast<std::size_t>(g_.node_count())) {}
 
-  LabeledGraph(graph::Graph g, std::vector<Label> labels)
+  LabeledGraph(graph::CsrGraph g, std::vector<Label> labels)
       : g_(std::move(g)), labels_(std::move(labels)) {
     LOCALD_CHECK(labels_.size() == static_cast<std::size_t>(g_.node_count()),
                  "one label required per node");
   }
 
   // Every node labelled `l`.
-  static LabeledGraph uniform(graph::Graph g, const Label& l) {
+  static LabeledGraph uniform(graph::CsrGraph g, const Label& l) {
     LabeledGraph out(std::move(g));
     for (auto& lab : out.labels_) {
       lab = l;
@@ -34,8 +34,7 @@ class LabeledGraph {
     return out;
   }
 
-  const graph::Graph& graph() const { return g_; }
-  graph::Graph& mutable_graph() { return g_; }
+  const graph::CsrGraph& graph() const { return g_; }
   graph::NodeId node_count() const { return g_.node_count(); }
 
   const Label& label(graph::NodeId v) const {
@@ -62,12 +61,12 @@ class LabeledGraph {
   // Label-preserving isomorphism — the equivalence defining labelled graph
   // properties in Section 1.2.
   friend bool isomorphic(const LabeledGraph& a, const LabeledGraph& b) {
-    return graph::isomorphic(a.g_, a.label_payloads(), b.g_,
+    return graph::isomorphic(a.g_.span(), a.label_payloads(), b.g_.span(),
                              b.label_payloads());
   }
 
  private:
-  graph::Graph g_;
+  graph::CsrGraph g_;
   std::vector<Label> labels_;
 };
 

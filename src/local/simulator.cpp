@@ -27,10 +27,10 @@ constexpr graph::NodeId kMemoBallCap = 256;
 // Evaluate through the memoization cache when one is wired up. The cache key
 // is the ball's full canonical encoding (the fingerprint only picks the
 // shard), so a fingerprint collision can never smuggle in a wrong verdict.
-// Hashing the already-computed encoding equals Ball::canonical_fingerprint()
-// by definition while canonicalizing only once.
+// Hashing the already-computed encoding equals canonical_fingerprint() by
+// definition while canonicalizing only once.
 Verdict decide_ball(const LocalAlgorithm& alg, const std::string& alg_name,
-                    const Ball& ball, exec::VerdictCache* cache) {
+                    const BallView& ball, exec::VerdictCache* cache) {
   if (cache == nullptr || !alg.memoization_safe() ||
       ball.node_count() > kMemoBallCap) {
     return alg.evaluate(ball);
@@ -45,27 +45,30 @@ Verdict decide_ball(const LocalAlgorithm& alg, const std::string& alg_name,
   return out;
 }
 
-// Ball of v as the algorithm is allowed to see it.
-Ball visible_ball(const LocalAlgorithm& alg, const LabeledGraph& g,
-                  const IdAssignment* ids, graph::NodeId v) {
-  Ball ball = extract_ball(g, ids, v, alg.horizon());
-  if (alg.id_oblivious() && ball.has_ids()) {
-    ball = ball.without_ids();
-  }
-  return ball;
+int run_radius(const LocalAlgorithm& alg, const RunOptions& options) {
+  const int r = options.radius.value_or(alg.horizon());
+  LOCALD_CHECK(r >= 0, "visibility radius must be non-negative");
+  return r;
 }
 
-RunResult run_ctx_impl(const LocalAlgorithm& alg, const LabeledGraph& g,
-                       const IdAssignment* ids,
-                       const exec::ExecContext& ctx) {
+RunResult run_impl(const LocalAlgorithm& alg, const LabeledGraph& g,
+                   const IdAssignment* ids, const RunOptions& options) {
   RunResult result;
   const std::size_t n = static_cast<std::size_t>(g.node_count());
   result.outputs.assign(n, Verdict::yes);
-  const std::string alg_name = ctx.cache != nullptr ? alg.name() : "";
-  ctx.for_each(n, [&](std::size_t i) {
+  const std::string alg_name = options.exec.cache != nullptr ? alg.name() : "";
+  // An Id-oblivious algorithm never sees ids: skip gathering them at all
+  // instead of stripping afterwards.
+  const IdAssignment* visible_ids = alg.id_oblivious() ? nullptr : ids;
+  const int radius = run_radius(alg, options);
+  options.exec.for_each(n, [&](std::size_t i) {
+    // One extraction arena per worker thread, reused across all nodes that
+    // thread processes. Nested parallel_for runs inline on the calling
+    // worker, so no second extraction can interleave with a live view.
+    static thread_local BallScratch scratch;
     const auto v = static_cast<graph::NodeId>(i);
-    result.outputs[i] =
-        decide_ball(alg, alg_name, visible_ball(alg, g, ids, v), ctx.cache);
+    const BallView ball = scratch.extract(g, visible_ids, v, radius);
+    result.outputs[i] = decide_ball(alg, alg_name, ball, options.exec.cache);
   });
   // Scheduling-independent reduction: node order, after every slot is final.
   for (std::size_t i = 0; i < n; ++i) {
@@ -78,53 +81,21 @@ RunResult run_ctx_impl(const LocalAlgorithm& alg, const LabeledGraph& g,
   return result;
 }
 
-RunResult run_impl(const LocalAlgorithm& alg, const LabeledGraph& g,
-                   const IdAssignment* ids) {
-  RunResult result;
-  result.outputs.reserve(static_cast<std::size_t>(g.node_count()));
-  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    Ball ball = extract_ball(g, ids, v, alg.horizon());
-    if (alg.id_oblivious() && ball.has_ids()) {
-      ball = ball.without_ids();
-    }
-    const Verdict out = alg.evaluate(ball);
-    result.outputs.push_back(out);
-    if (out == Verdict::no && result.accepted) {
-      result.accepted = false;
-      result.first_rejecting = v;
-    }
-  }
-  return result;
-}
-
 }  // namespace
 
 RunResult run_local_algorithm(const LocalAlgorithm& alg, const LabeledGraph& g,
-                              const IdAssignment& ids) {
-  LOCALD_CHECK(ids.node_count() == g.node_count(),
-               "identifier assignment size mismatch");
-  return run_impl(alg, g, &ids);
-}
-
-RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g) {
-  LOCALD_CHECK(alg.id_oblivious(),
-               "run_oblivious requires an Id-oblivious algorithm");
-  return run_impl(alg, g, nullptr);
-}
-
-RunResult run_local_algorithm(const LocalAlgorithm& alg, const LabeledGraph& g,
                               const IdAssignment& ids,
-                              const exec::ExecContext& ctx) {
+                              const RunOptions& options) {
   LOCALD_CHECK(ids.node_count() == g.node_count(),
                "identifier assignment size mismatch");
-  return run_ctx_impl(alg, g, &ids, ctx);
+  return run_impl(alg, g, &ids, options);
 }
 
 RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g,
-                        const exec::ExecContext& ctx) {
+                        const RunOptions& options) {
   LOCALD_CHECK(alg.id_oblivious(),
                "run_oblivious requires an Id-oblivious algorithm");
-  return run_ctx_impl(alg, g, nullptr, ctx);
+  return run_impl(alg, g, nullptr, options);
 }
 
 bool accepts(const LocalAlgorithm& alg, const LabeledGraph& g,
@@ -134,49 +105,24 @@ bool accepts(const LocalAlgorithm& alg, const LabeledGraph& g,
 
 IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
                                       const LabeledGraph& g, Id universe,
-                                      int trials, Rng& rng) {
-  LOCALD_CHECK(trials >= 2, "need at least two assignments to compare");
-  IdDependenceProbe probe;
-  probe.trials = trials;
-  std::optional<RunResult> reference;
-  for (int i = 0; i < trials; ++i) {
-    const IdAssignment ids =
-        make_random_unbounded(g.node_count(), universe, rng);
-    RunResult run = run_local_algorithm(alg, g, ids);
-    if (!reference.has_value()) {
-      reference = std::move(run);
-      continue;
-    }
-    if (run.accepted != reference->accepted) {
-      probe.global_verdict_changed = true;
-    }
-    if (run.outputs != reference->outputs) {
-      probe.some_node_output_changed = true;
-    }
-  }
-  return probe;
-}
-
-IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
-                                      const LabeledGraph& g, Id universe,
-                                      int trials, std::uint64_t seed,
-                                      const exec::ExecContext& ctx) {
+                                      int trials, const RunOptions& options) {
   LOCALD_CHECK(trials >= 2, "need at least two assignments to compare");
   IdDependenceProbe probe;
   probe.trials = trials;
   const auto run_trial = [&](int t) {
     // Each trial's assignment comes from its own counter stream, so trial t
     // is the same input no matter which thread draws it.
-    Rng trial_rng = Rng::stream(seed, kProbeIdStreamTag,
+    Rng trial_rng = Rng::stream(options.seed, kProbeIdStreamTag,
                                 static_cast<std::uint64_t>(t));
     const IdAssignment ids =
         make_random_unbounded(g.node_count(), universe, trial_rng);
-    return run_local_algorithm(alg, g, ids, ctx);
+    return run_local_algorithm(alg, g, ids, options);
   };
   const RunResult reference = run_trial(0);
   std::atomic<bool> verdict_changed{false};
   std::atomic<bool> output_changed{false};
-  ctx.for_each(static_cast<std::size_t>(trials - 1), [&](std::size_t i) {
+  options.exec.for_each(static_cast<std::size_t>(trials - 1),
+                        [&](std::size_t i) {
     const RunResult run = run_trial(static_cast<int>(i) + 1);
     if (run.accepted != reference.accepted) {
       verdict_changed.store(true, std::memory_order_relaxed);
@@ -197,13 +143,12 @@ RandomizedRun run_randomized_once(const RandomizedLocalAlgorithm& alg,
     LOCALD_CHECK(ids != nullptr,
                  "id-aware randomized algorithm needs identifiers");
   }
+  const IdAssignment* visible_ids = alg.id_oblivious() ? nullptr : ids;
   RandomizedRun run;
   run.outputs.reserve(static_cast<std::size_t>(g.node_count()));
+  BallScratch scratch;
   for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    Ball ball = extract_ball(g, ids, v, alg.horizon());
-    if (alg.id_oblivious() && ball.has_ids()) {
-      ball = ball.without_ids();
-    }
+    const BallView ball = scratch.extract(g, visible_ids, v, alg.horizon());
     Rng node_coin = rng.split();
     const Verdict out = alg.evaluate(ball, node_coin);
     run.outputs.push_back(out);
@@ -217,23 +162,7 @@ RandomizedRun run_randomized_once(const RandomizedLocalAlgorithm& alg,
 AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
                                        const LabeledGraph& g,
                                        const IdAssignment* ids, int trials,
-                                       Rng& rng) {
-  LOCALD_CHECK(trials > 0, "need at least one trial");
-  AcceptanceEstimate est;
-  est.trials = trials;
-  for (int i = 0; i < trials; ++i) {
-    if (run_randomized_once(alg, g, ids, rng).accepted) {
-      ++est.accepted;
-    }
-  }
-  return est;
-}
-
-AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
-                                       const LabeledGraph& g,
-                                       const IdAssignment* ids, int trials,
-                                       std::uint64_t seed,
-                                       const exec::ExecContext& ctx) {
+                                       const RunOptions& options) {
   LOCALD_CHECK(trials > 0, "need at least one trial");
   if (!alg.id_oblivious()) {
     LOCALD_CHECK(ids != nullptr,
@@ -244,22 +173,19 @@ AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
                  "identifier assignment size mismatch");
   }
   // Balls are fixed across trials (only the coins change): extract each one
-  // once instead of trials times.
+  // once — owning, because the balls outlive any per-thread scratch.
+  const IdAssignment* visible_ids = alg.id_oblivious() ? nullptr : ids;
   const std::size_t n = static_cast<std::size_t>(g.node_count());
   std::vector<Ball> balls(n);
-  ctx.for_each(n, [&](std::size_t i) {
-    Ball ball = extract_ball(g, ids, static_cast<graph::NodeId>(i),
-                             alg.horizon());
-    if (alg.id_oblivious() && ball.has_ids()) {
-      ball = ball.without_ids();
-    }
-    balls[i] = std::move(ball);
+  options.exec.for_each(n, [&](std::size_t i) {
+    balls[i] = extract_ball(g, visible_ids, static_cast<graph::NodeId>(i),
+                            alg.horizon());
   });
   std::atomic<int> accepted{0};
-  ctx.for_each(static_cast<std::size_t>(trials), [&](std::size_t t) {
+  options.exec.for_each(static_cast<std::size_t>(trials), [&](std::size_t t) {
     bool all_yes = true;
     for (std::size_t v = 0; v < n; ++v) {
-      Rng coin = Rng::stream(seed, t, v);
+      Rng coin = Rng::stream(options.seed, t, v);
       if (alg.evaluate(balls[v], coin) == Verdict::no) {
         all_yes = false;
         break;

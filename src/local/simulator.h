@@ -2,6 +2,15 @@
 //
 // Global acceptance follows the paper's local-decision rule: accept iff
 // every node outputs yes; a single no rejects.
+//
+// Every entry point takes a `RunOptions` describing HOW to execute —
+// threading, memoization, random seed — separated from WHAT to run (the
+// algorithm and instance positional arguments). The default-constructed
+// options mean: serial, uncached, seed 0. Results are bit-identical across
+// thread counts for fixed options: every node writes its own output slot
+// and reductions happen in node order afterwards; randomized entry points
+// draw every (trial, node) cell from a counter-based stream keyed by
+// `options.seed`, never from shared sequential generator state.
 #pragma once
 
 #include <optional>
@@ -13,6 +22,20 @@
 
 namespace locald::local {
 
+// Execution options shared by every simulator entry point.
+struct RunOptions {
+  // Thread pool + verdict cache; ExecContext{} = serial and uncached.
+  // Memoization requires the algorithm's verdict to be a pure function of
+  // the ball's canonical class (see exec/verdict_cache.h).
+  exec::ExecContext exec;
+  // Base of the counter streams used by the randomized entry points
+  // (probe_id_dependence, estimate_acceptance); ignored by the
+  // deterministic ones.
+  std::uint64_t seed = 0;
+  // Visibility radius override; unset means the algorithm's own horizon().
+  std::optional<int> radius;
+};
+
 struct RunResult {
   std::vector<Verdict> outputs;
   bool accepted = true;
@@ -22,23 +45,12 @@ struct RunResult {
 // Evaluates the algorithm on every node. If the algorithm declares itself
 // Id-oblivious, identifiers are stripped from every ball before evaluation.
 RunResult run_local_algorithm(const LocalAlgorithm& alg, const LabeledGraph& g,
-                              const IdAssignment& ids);
+                              const IdAssignment& ids,
+                              const RunOptions& options = {});
 
 // Runs an Id-oblivious algorithm without any identifier assignment.
-RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g);
-
-// Execution-engine variants: evaluate nodes on `ctx.pool` (serially when
-// null) and memoize per-ball verdicts in `ctx.cache` (skipped when null).
-// Results are bit-identical to the serial overloads at any thread count:
-// every node writes its own output slot and the accept/first-rejecting
-// reduction happens in node order afterwards. Memoization additionally
-// requires the algorithm's verdict to be a pure function of the ball's
-// canonical class (see exec/verdict_cache.h).
-RunResult run_local_algorithm(const LocalAlgorithm& alg, const LabeledGraph& g,
-                              const IdAssignment& ids,
-                              const exec::ExecContext& ctx);
 RunResult run_oblivious(const LocalAlgorithm& alg, const LabeledGraph& g,
-                        const exec::ExecContext& ctx);
+                        const RunOptions& options = {});
 
 // Global verdict only.
 bool accepts(const LocalAlgorithm& alg, const LabeledGraph& g,
@@ -48,6 +60,8 @@ bool accepts(const LocalAlgorithm& alg, const LabeledGraph& g,
 // `trials` random id assignments drawn from [0, universe) and reports
 // whether any PER-NODE output differed between two assignments. A truly
 // Id-oblivious algorithm never differs; the Section-2/3 deciders must.
+// Trial t draws its assignment from the counter-based stream
+// (options.seed, t), so the probe is a pure function of (instance, seed).
 struct IdDependenceProbe {
   bool global_verdict_changed = false;
   bool some_node_output_changed = false;
@@ -56,17 +70,8 @@ struct IdDependenceProbe {
 
 IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
                                       const LabeledGraph& g, Id universe,
-                                      int trials, Rng& rng);
-
-// Engine variant: trial t draws its id assignment from the counter-based
-// stream (seed, t) — independent of thread scheduling — and trials compare
-// against trial 0 in parallel. Identical results at every thread count for
-// a fixed seed (but not to the `Rng&` overload above, whose draws depend on
-// sequential generator state).
-IdDependenceProbe probe_id_dependence(const LocalAlgorithm& alg,
-                                      const LabeledGraph& g, Id universe,
-                                      int trials, std::uint64_t seed,
-                                      const exec::ExecContext& ctx);
+                                      int trials,
+                                      const RunOptions& options = {});
 
 // Randomized algorithms: one independent RNG stream per node per trial.
 struct RandomizedRun {
@@ -92,19 +97,13 @@ struct AcceptanceEstimate {
   }
 };
 
+// Node v's coins in trial t come from the counter-based stream
+// (options.seed, t, v), so every (node, trial) cell is the same generator
+// no matter which thread runs it; balls are extracted once and reused
+// across all trials.
 AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
                                        const LabeledGraph& g,
                                        const IdAssignment* ids, int trials,
-                                       Rng& rng);
-
-// Engine variant: node v's coins in trial t come from the counter-based
-// stream (seed, t, v), so every (node, trial) cell is the same generator no
-// matter which thread runs it; balls are extracted once and reused across
-// all trials. Identical results at every thread count for a fixed seed.
-AcceptanceEstimate estimate_acceptance(const RandomizedLocalAlgorithm& alg,
-                                       const LabeledGraph& g,
-                                       const IdAssignment* ids, int trials,
-                                       std::uint64_t seed,
-                                       const exec::ExecContext& ctx);
+                                       const RunOptions& options = {});
 
 }  // namespace locald::local

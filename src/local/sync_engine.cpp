@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "graph/graph.h"
+
 #include "support/check.h"
 
 namespace locald::local {
@@ -186,7 +188,7 @@ Ball ball_from_knowledge(Id self, const Knowledge& k, int radius) {
     index[order[i]] = static_cast<graph::NodeId>(i);
   }
   Ball ball;
-  ball.g.resize(static_cast<graph::NodeId>(order.size()));
+  graph::GraphBuilder builder(static_cast<graph::NodeId>(order.size()));
   ball.radius = radius;
   ball.center = index.at(self);
   std::vector<Id> ball_ids;
@@ -197,10 +199,11 @@ Ball ball_from_knowledge(Id self, const Knowledge& k, int radius) {
     for (Id w : node.adj) {
       auto it = index.find(w);
       if (it != index.end()) {
-        ball.g.add_edge_if_absent(index.at(u), it->second);
+        builder.add_edge_if_absent(index.at(u), it->second);
       }
     }
   }
+  ball.g = builder.build();
   ball.ids = std::move(ball_ids);
   // to_host is unknown to a message-passing node; leave empty.
   return ball;
@@ -248,11 +251,12 @@ std::string FullInfoGather::update(const std::string& state,
 
 Verdict FullInfoGather::output(const std::string& state) const {
   auto [self, knowledge] = decode_knowledge(state);
-  Ball ball = ball_from_knowledge(self, knowledge, inner_->horizon());
+  const Ball ball = ball_from_knowledge(self, knowledge, inner_->horizon());
+  BallView view = ball.view();
   if (inner_->id_oblivious()) {
-    ball = ball.without_ids();
+    view = view.without_ids();
   }
-  return inner_->evaluate(ball);
+  return inner_->evaluate(view);
 }
 
 std::vector<Verdict> run_via_message_passing(const LocalAlgorithm& alg,

@@ -11,7 +11,7 @@ namespace locald::oblivious {
 
 namespace {
 
-using local::Ball;
+using local::BallView;
 using local::Id;
 using local::Verdict;
 
@@ -35,7 +35,8 @@ std::size_t injection_count(Id u, int b, std::size_t cap) {
 // a rejecting assignment was found. `found` is the cross-branch abort flag:
 // once any branch rejects, the remaining enumeration is pruned (the global
 // verdict — an exists-quantifier — is already settled).
-bool search_exhaustive(const local::LocalAlgorithm& inner, const Ball& ball,
+bool search_exhaustive(const local::LocalAlgorithm& inner,
+                       const BallView& ball,
                        std::vector<Id>& chosen, std::vector<bool>& used,
                        Id universe, std::size_t& tried,
                        const std::atomic<bool>& found) {
@@ -78,7 +79,7 @@ std::string ObliviousSimulation::name() const {
   return cat("A*(", inner_->name(), ")");
 }
 
-Verdict ObliviousSimulation::evaluate(const Ball& ball) const {
+Verdict ObliviousSimulation::evaluate(const BallView& ball) const {
   const int b = ball.node_count();
   LOCALD_CHECK(static_cast<Id>(b) <= options_.id_universe,
                "id universe smaller than the ball");

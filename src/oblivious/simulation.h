@@ -63,7 +63,7 @@ class ObliviousSimulation final : public local::LocalAlgorithm {
   // even though the external cache must stay off.
   bool memoization_safe() const override { return false; }
 
-  local::Verdict evaluate(const local::Ball& ball) const override;
+  local::Verdict evaluate(const local::BallView& ball) const override;
 
   SimulationStats last_stats() const {
     std::lock_guard<std::mutex> lk(stats_mu_);

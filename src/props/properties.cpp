@@ -5,7 +5,7 @@
 
 namespace locald::props {
 
-using local::Ball;
+using local::BallView;
 using local::LabeledGraph;
 using local::LambdaProperty;
 using local::Verdict;
@@ -13,7 +13,7 @@ using local::Verdict;
 namespace {
 
 // Field 0 of a node's label, with a checked arity.
-std::int64_t field0(const Ball& ball, graph::NodeId v) {
+std::int64_t field0(const BallView& ball, graph::NodeId v) {
   LOCALD_CHECK(ball.label(v).size() >= 1, "property expects field 0");
   return ball.label(v).at(0);
 }
@@ -39,7 +39,7 @@ std::unique_ptr<local::Property> proper_coloring_property(int k) {
 std::unique_ptr<local::LocalAlgorithm> proper_coloring_decider(int k) {
   LOCALD_CHECK(k >= 1, "need at least one colour");
   return local::make_oblivious(
-      cat("decide-proper-", k, "-coloring"), 1, [k](const Ball& ball) {
+      cat("decide-proper-", k, "-coloring"), 1, [k](const BallView& ball) {
         if (ball.center_label().size() < 1) return Verdict::no;
         const auto c = ball.center_label().at(0);
         if (c < 0 || c >= k) return Verdict::no;
@@ -74,7 +74,7 @@ std::unique_ptr<local::Property> mis_property() {
 }
 
 std::unique_ptr<local::LocalAlgorithm> mis_decider() {
-  return local::make_oblivious("decide-mis", 1, [](const Ball& ball) {
+  return local::make_oblivious("decide-mis", 1, [](const BallView& ball) {
     if (ball.center_label().size() < 1) return Verdict::no;
     const auto x = ball.center_label().at(0);
     if (x != 0 && x != 1) return Verdict::no;
@@ -104,7 +104,7 @@ std::unique_ptr<local::Property> agreement_property() {
 }
 
 std::unique_ptr<local::LocalAlgorithm> agreement_decider() {
-  return local::make_oblivious("decide-agreement", 1, [](const Ball& ball) {
+  return local::make_oblivious("decide-agreement", 1, [](const BallView& ball) {
     if (ball.center_label().size() < 1) return Verdict::no;
     const auto x = ball.center_label().at(0);
     for (graph::NodeId w : ball.g.neighbors(ball.center)) {
@@ -125,7 +125,7 @@ std::unique_ptr<local::Property> bounded_degree_property(int d) {
 std::unique_ptr<local::LocalAlgorithm> bounded_degree_decider(int d) {
   LOCALD_CHECK(d >= 0, "degree bound must be non-negative");
   return local::make_oblivious(
-      cat("decide-max-degree-", d), 1, [d](const Ball& ball) {
+      cat("decide-max-degree-", d), 1, [d](const BallView& ball) {
         return ball.g.degree(ball.center) <= d ? Verdict::yes : Verdict::no;
       });
 }
@@ -137,7 +137,7 @@ std::unique_ptr<local::Property> cycle_property() {
 }
 
 std::unique_ptr<local::LocalAlgorithm> cycle_decider() {
-  return local::make_oblivious("decide-is-cycle", 1, [](const Ball& ball) {
+  return local::make_oblivious("decide-is-cycle", 1, [](const BallView& ball) {
     // Degree exactly 2 everywhere characterizes cycles among connected
     // graphs (the paper's standing promise); also rule out the triangle-free
     // violation of a doubled edge via simplicity of Graph.

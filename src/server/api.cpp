@@ -8,6 +8,7 @@
 #include "support/check.h"
 #include "support/format.h"
 #include "support/json.h"
+#include "support/schema.h"
 
 namespace locald::server {
 
@@ -128,6 +129,8 @@ std::string scenarios_document() {
   w.begin_object();
   w.key("tool");
   w.value("locald-list");
+  w.key("schema_version");
+  w.value(kSchemaVersion);
   w.key("scenarios");
   w.begin_array();
   for (const cli::Scenario& s : cli::scenario_registry()) {
@@ -154,6 +157,8 @@ std::string families_document() {
   w.begin_object();
   w.key("tool");
   w.value("locald-families");
+  w.key("schema_version");
+  w.value(kSchemaVersion);
   w.key("families");
   w.begin_array();
   for (const gen::Family& f : gen::family_registry()) {
@@ -184,6 +189,32 @@ std::string families_document() {
     w.end_object();
   }
   w.end_array();
+  w.end_object();
+  out << "\n";
+  return out.str();
+}
+
+std::string version_document() {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("tool");
+  w.value("locald-version");
+  w.key("schema_version");
+  w.value(kSchemaVersion);
+  w.key("graph_core");
+  w.value(kGraphCoreId);
+  w.key("build");
+  w.begin_object();
+  w.key("compiler");
+#ifdef __VERSION__
+  w.value(__VERSION__);
+#else
+  w.value("unknown");
+#endif
+  w.key("standard");
+  w.value(static_cast<std::int64_t>(__cplusplus));
+  w.end_object();
   w.end_object();
   out << "\n";
   return out.str();
@@ -220,6 +251,8 @@ std::string run_document(const RunRequest& request,
   w.begin_object();
   w.key("tool");
   w.value("locald-run");
+  w.key("schema_version");
+  w.value(kSchemaVersion);
   w.key("scenario");
   w.value(scenario->name);
   w.key("paper_ref");
@@ -304,6 +337,8 @@ std::string error_document(int status, const std::string& message) {
   std::ostringstream out;
   JsonWriter w(out, 2);
   w.begin_object();
+  w.key("schema_version");
+  w.value(kSchemaVersion);
   w.key("status");
   w.value(status);
   w.key("error");

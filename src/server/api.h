@@ -58,6 +58,12 @@ std::string scenarios_document();
 // `locald list --families --format json`.
 std::string families_document();
 
+// GET /v1/version: build information (compiler, language standard), the
+// document schema version every /v1 response carries, and the graph-core
+// identifier (support/schema.h). The one document a client may poll to
+// decide whether its parser still matches the server.
+std::string version_document();
+
 // One scenario run: POST /v1/run and `locald run --format json`. Executes
 // the scenario with `exec` (shared pool + cache on the server; per-run on
 // the CLI — the engine contract makes the bytes identical either way) and

@@ -13,6 +13,7 @@
 #include "server/api.h"
 #include "support/check.h"
 #include "support/format.h"
+#include "support/schema.h"
 
 namespace locald::server {
 
@@ -22,6 +23,8 @@ std::string healthz_document() {
   std::ostringstream out;
   JsonWriter w(out, 2);
   w.begin_object();
+  w.key("schema_version");
+  w.value(kSchemaVersion);
   w.key("status");
   w.value("ok");
   w.end_object();
@@ -35,6 +38,8 @@ std::string metrics_document(const MetricsSnapshot& m) {
   w.begin_object();
   w.key("tool");
   w.value("locald-serve");
+  w.key("schema_version");
+  w.value(kSchemaVersion);
   w.key("requests_total");
   w.value(m.requests_total);
   w.key("connections_total");
@@ -480,6 +485,9 @@ HttpResponse Server::handle(const HttpRequest& request) {
     if (path == "/v1/healthz") {
       if (request.method != "GET") return method_not_allowed("GET");
       response.body = healthz_document();
+    } else if (path == "/v1/version") {
+      if (request.method != "GET") return method_not_allowed("GET");
+      response.body = version_document();
     } else if (path == "/v1/scenarios") {
       if (request.method != "GET") return method_not_allowed("GET");
       response.body = scenarios_document();
@@ -514,8 +522,8 @@ HttpResponse Server::handle(const HttpRequest& request) {
     } else {
       return error_response(
           404, cat("no such endpoint ", json_quote(path),
-                   "; endpoints: /v1/healthz /v1/scenarios /v1/families "
-                   "/v1/metrics /v1/run /v1/sweep"));
+                   "; endpoints: /v1/healthz /v1/version /v1/scenarios "
+                   "/v1/families /v1/metrics /v1/run /v1/sweep"));
     }
   } catch (const Error& e) {
     // Caller-facing precondition (bad JSON, bad field): the request's fault.

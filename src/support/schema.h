@@ -1,0 +1,23 @@
+// Versioning of the machine-readable JSON documents (the /v1 wire format
+// and the CLI's sweep/bench artifacts — one schema, two transports).
+//
+// Every document carries `schema_version` so consumers can gate on shape
+// changes instead of sniffing fields. The version is bumped whenever any
+// document's deterministic fields change meaning or layout; byte-comparison
+// gates (CLI vs HTTP, thread-grid identity) compare documents of one
+// version only, so a bump never mixes shapes inside a gate.
+#pragma once
+
+namespace locald {
+
+// v2: the CSR graph-core generation — per-class ball censuses
+// (class_of/class_encoding instead of per-node encodings feeding the
+// documents' counts) and the schema_version field itself.
+inline constexpr int kSchemaVersion = 2;
+
+// Identifier of the graph-core implementation the documents' numbers were
+// produced by (surfaced by GET /v1/version); changes when the adjacency
+// representation generation changes.
+inline constexpr const char* kGraphCoreId = "csr-v1";
+
+}  // namespace locald

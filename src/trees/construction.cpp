@@ -138,7 +138,7 @@ std::vector<CoordPair> expected_border(const Patch& h, Coord R) {
 local::LabeledGraph build_T(const TreeParams& p) {
   const Coord R = p.capital_R();
   LOCALD_CHECK(R <= 24, "T_r too large to materialize (R > 24)");
-  graph::Graph g = graph::make_layered_tree(static_cast<int>(R));
+  graph::CsrGraph g = graph::make_layered_tree(static_cast<int>(R));
   local::LabeledGraph out(std::move(g));
   for (graph::NodeId v = 0; v < out.node_count(); ++v) {
     const int y = graph::TreeIndex::level(v);
@@ -152,7 +152,7 @@ local::LabeledGraph build_patch_instance(const TreeParams& p, const Patch& h) {
   LOCALD_CHECK(h.valid(p), "invalid patch");
   const Coord R = p.capital_R();
   std::map<CoordPair, graph::NodeId> index;
-  graph::Graph g;
+  graph::GraphBuilder g;
   std::vector<local::Label> labels;
   for (int j = 0; j <= h.r; ++j) {
     const Coord y = h.y0 + j;
@@ -179,7 +179,7 @@ local::LabeledGraph build_patch_instance(const TreeParams& p, const Patch& h) {
   for (const CoordPair& c : border) {
     g.add_edge(pivot, index.at(c));
   }
-  return local::LabeledGraph(std::move(g), std::move(labels));
+  return local::LabeledGraph(g.build(), std::move(labels));
 }
 
 std::optional<Patch> witness_patch(const TreeParams& p, Coord x, Coord y) {

@@ -10,7 +10,7 @@ namespace locald::trees {
 
 namespace {
 
-using local::Ball;
+using local::BallView;
 using local::Verdict;
 
 struct BallNode {
@@ -20,7 +20,7 @@ struct BallNode {
 };
 
 // Parses ball labels; nullopt on any malformed label or r mismatch.
-std::optional<std::vector<BallNode>> parse_ball(const Ball& ball, int r,
+std::optional<std::vector<BallNode>> parse_ball(const BallView& ball, int r,
                                                 Coord R) {
   std::vector<BallNode> out;
   for (graph::NodeId v = 0; v < ball.node_count(); ++v) {
@@ -45,7 +45,7 @@ std::optional<std::vector<BallNode>> parse_ball(const Ball& ball, int r,
 
 // Edge <=> coordinate adjacency among all tree nodes of the ball, and
 // distinct coordinates.
-bool pair_rule_holds(const Ball& ball, const std::vector<BallNode>& nodes,
+bool pair_rule_holds(const BallView& ball, const std::vector<BallNode>& nodes,
                      Coord R) {
   std::set<CoordPair> seen;
   for (const BallNode& n : nodes) {
@@ -111,7 +111,7 @@ bool border_pattern_consistent(const TreeParams& p, Coord R,
   return false;
 }
 
-Verdict check_tree_node(const TreeParams& p, Coord R, const Ball& ball,
+Verdict check_tree_node(const TreeParams& p, Coord R, const BallView& ball,
                         const std::vector<BallNode>& nodes) {
   const BallNode& center = nodes[static_cast<std::size_t>(ball.center)];
   int pivot_neighbors = 0;
@@ -148,7 +148,7 @@ Verdict check_tree_node(const TreeParams& p, Coord R, const Ball& ball,
              : Verdict::no;
 }
 
-Verdict check_pivot(const TreeParams& p, Coord R, const Ball& ball,
+Verdict check_pivot(const TreeParams& p, Coord R, const BallView& ball,
                     const std::vector<BallNode>& nodes) {
   const graph::NodeId center = ball.center;
   std::set<CoordPair> border_coords;
@@ -217,7 +217,7 @@ std::unique_ptr<local::LocalAlgorithm> make_P_prime_verifier(
     const TreeParams& p) {
   const Coord R = p.capital_R();
   return local::make_oblivious(
-      cat("verify-P'(r=", p.r, ")"), 1, [p, R](const Ball& ball) {
+      cat("verify-P'(r=", p.r, ")"), 1, [p, R](const BallView& ball) {
         const auto nodes = parse_ball(ball, p.r, R);
         if (!nodes.has_value()) {
           return Verdict::no;
@@ -238,7 +238,7 @@ std::unique_ptr<local::LocalAlgorithm> make_P_decider(const TreeParams& p) {
       make_P_prime_verifier(p));
   return local::make_id_aware(
       cat("decide-P(r=", p.r, ",f=", p.f.name(), ")"), 1,
-      [R, verifier](const Ball& ball) {
+      [R, verifier](const BallView& ball) {
         // Identifier leak: an id of at least R(r) proves n > 2^{r+1}, i.e.
         // the instance cannot be a patch.
         if (ball.center_id() >= static_cast<local::Id>(R)) {

@@ -50,7 +50,7 @@ std::unique_ptr<local::LocalAlgorithm> make_promise_cycle_decider(
   const local::Id threshold = p.f(static_cast<local::Id>(p.r));
   return local::make_id_aware(
       cat("decide-promise-cycle(r=", p.r, ")"), 1,
-      [p, threshold](const local::Ball& ball) {
+      [p, threshold](const local::BallView& ball) {
         // Structural sanity any decider should do: right label, degree 2.
         if (ball.center_label() != local::Label{kCycleTag, p.r} ||
             ball.g.degree(ball.center) != 2) {

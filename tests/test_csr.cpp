@@ -1,0 +1,264 @@
+// Golden equivalence suite for the CSR graph core (graph/csr.h).
+//
+// The CSR redesign replaced the mutable vector-of-vectors graph with an
+// immutable offsets/adj pair reachable by three construction routes:
+// freezing a GraphBuilder, CsrGraph::from_edges, and deep-copying a
+// CsrSpan. This suite pins the routes to each other and to independent
+// reference implementations — edge lists, neighbour iteration order, BFS
+// ball membership, zero-copy slice extraction — and locks the bulk
+// canonical census to byte-identical output across every registered
+// family, a grid of sizes, and serial / 2-thread / 4-thread pools.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "gen/family.h"
+#include "graph/algorithms.h"
+#include "graph/ball_slice.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/isomorphism.h"
+#include "support/check.h"
+
+namespace locald::graph {
+namespace {
+
+// A mixed bag of topologies covering degenerate, regular, and irregular
+// adjacency shapes; every structural test below sweeps all of them.
+std::vector<CsrGraph> sample_graphs() {
+  std::vector<CsrGraph> graphs;
+  graphs.emplace_back();                          // empty
+  graphs.push_back(CsrGraph::from_edges(1, {}));  // isolated node
+  graphs.push_back(CsrGraph::from_edges(4, {}));  // several isolated nodes
+  graphs.push_back(make_path(7));
+  graphs.push_back(make_cycle(8));
+  graphs.push_back(make_complete(5));
+  graphs.push_back(make_star(6));
+  graphs.push_back(make_random_connected(40, 25, 901));
+  graphs.push_back(make_random_tree(30, 902));
+  graphs.push_back(make_random_gnp(25, 0.2, 903));
+  return graphs;
+}
+
+// ---------------------------------------------------------------------------
+// Construction routes agree
+// ---------------------------------------------------------------------------
+
+TEST(CsrConstruction, BuilderFromEdgesAndSpanCopyAgree) {
+  for (const CsrGraph& g : sample_graphs()) {
+    const auto edges = g.edges();
+
+    GraphBuilder builder(g.node_count());
+    for (const auto& [u, v] : edges) {
+      builder.add_edge(u, v);
+    }
+    const CsrGraph from_builder = builder.build();
+    const CsrGraph from_list = CsrGraph::from_edges(g.node_count(), edges);
+    const CsrGraph from_span = CsrGraph(g.span());
+
+    EXPECT_TRUE(from_builder == g);
+    EXPECT_TRUE(from_list == g);
+    EXPECT_TRUE(from_span == g);
+    EXPECT_EQ(from_builder.edges(), edges);
+    EXPECT_EQ(from_list.edges(), edges);
+  }
+}
+
+TEST(CsrConstruction, FromEdgesIsInsertionOrderIndependent) {
+  const CsrGraph reference = make_random_connected(30, 20, 904);
+  auto edges = reference.edges();
+  // Reversed and interleaved orders must freeze to the same arrays.
+  std::reverse(edges.begin(), edges.end());
+  EXPECT_TRUE(CsrGraph::from_edges(reference.node_count(), edges) == reference);
+  std::vector<std::pair<NodeId, NodeId>> swapped;
+  for (const auto& [u, v] : edges) {
+    swapped.emplace_back(v, u);  // endpoint order must not matter either
+  }
+  EXPECT_TRUE(CsrGraph::from_edges(reference.node_count(), swapped) ==
+              reference);
+}
+
+TEST(CsrConstruction, FromEdgesRejectsMalformedInput) {
+  EXPECT_THROW(CsrGraph::from_edges(3, {{0, 0}}), Error);        // loop
+  EXPECT_THROW(CsrGraph::from_edges(3, {{0, 3}}), Error);        // out of range
+  EXPECT_THROW(CsrGraph::from_edges(3, {{-1, 1}}), Error);       // negative id
+  EXPECT_THROW(CsrGraph::from_edges(3, {{0, 1}, {1, 0}}), Error);  // duplicate
+}
+
+TEST(CsrConstruction, OffsetsAndRowsAreCanonical) {
+  for (const CsrGraph& g : sample_graphs()) {
+    const CsrSpan s = g.span();
+    ASSERT_EQ(s.offsets[0], 0u);
+    std::size_t directed = 0;
+    for (NodeId v = 0; v < s.node_count(); ++v) {
+      const NeighborSpan row = s.neighbors(v);
+      EXPECT_EQ(row.size(), static_cast<std::size_t>(s.degree(v)));
+      EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+      EXPECT_EQ(std::adjacent_find(row.begin(), row.end()), row.end());
+      directed += row.size();
+    }
+    EXPECT_EQ(directed, 2 * g.edge_count());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read API vs builder reference
+// ---------------------------------------------------------------------------
+
+TEST(CsrEquivalence, NeighborIterationMatchesBuilderRows) {
+  for (const CsrGraph& g : sample_graphs()) {
+    GraphBuilder builder(g.node_count());
+    for (const auto& [u, v] : g.edges()) {
+      builder.add_edge(u, v);
+    }
+    ASSERT_EQ(builder.node_count(), g.node_count());
+    ASSERT_EQ(builder.edge_count(), g.edge_count());
+    EXPECT_EQ(builder.max_degree(), g.max_degree());
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(builder.degree(v), g.degree(v));
+      // Same neighbours in the same (ascending) order.
+      EXPECT_EQ(g.neighbors(v).to_vector(), builder.neighbors(v));
+      for (NodeId u = 0; u < g.node_count(); ++u) {
+        EXPECT_EQ(g.has_edge(v, u), builder.has_edge(v, u));
+      }
+    }
+  }
+}
+
+TEST(CsrEquivalence, BfsBallMembershipMatchesAdjacencyListReference) {
+  for (const CsrGraph& g : sample_graphs()) {
+    if (g.node_count() == 0) {
+      continue;
+    }
+    // Independent dense-matrix BFS: no CSR code on this side.
+    const auto n = static_cast<std::size_t>(g.node_count());
+    std::vector<std::vector<bool>> adjacent(n, std::vector<bool>(n, false));
+    for (const auto& [u, v] : g.edges()) {
+      adjacent[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] = true;
+      adjacent[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] = true;
+    }
+    for (NodeId src : {NodeId{0}, g.node_count() - 1}) {
+      std::vector<int> expected(n, -1);
+      expected[static_cast<std::size_t>(src)] = 0;
+      for (bool changed = true; changed;) {
+        changed = false;
+        for (std::size_t u = 0; u < n; ++u) {
+          if (expected[u] < 0) continue;
+          for (std::size_t v = 0; v < n; ++v) {
+            if (adjacent[u][v] &&
+                (expected[v] < 0 || expected[v] > expected[u] + 1)) {
+              expected[v] = expected[u] + 1;
+              changed = true;
+            }
+          }
+        }
+      }
+      EXPECT_EQ(bfs_distances(g, src), expected);
+      for (int radius : {0, 1, 2, 3}) {
+        std::vector<NodeId> want;
+        for (std::size_t v = 0; v < n; ++v) {
+          if (expected[v] >= 0 && expected[v] <= radius) {
+            want.push_back(static_cast<NodeId>(v));
+          }
+        }
+        std::vector<NodeId> got = nodes_within(g, src, radius);
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, want);
+      }
+    }
+  }
+}
+
+TEST(CsrEquivalence, BallSliceMatchesNodesWithinAndInducedEdges) {
+  BallScratch scratch;
+  for (const CsrGraph& g : sample_graphs()) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      for (int radius : {0, 1, 2}) {
+        const BallSlice slice = scratch.extract(g, v, radius);
+        ASSERT_EQ(slice.center, 0);
+        ASSERT_EQ(slice.to_host[0], v);  // centre first
+        // Membership: exactly B(v, radius).
+        std::vector<NodeId> hosts(slice.to_host,
+                                  slice.to_host + slice.local.node_count());
+        std::vector<NodeId> sorted_hosts = hosts;
+        std::sort(sorted_hosts.begin(), sorted_hosts.end());
+        std::vector<NodeId> want = nodes_within(g, v, radius);
+        std::sort(want.begin(), want.end());
+        ASSERT_EQ(sorted_hosts, want);
+        // Induced adjacency: local {a, b} iff host {to_host[a], to_host[b]}.
+        for (NodeId a = 0; a < slice.local.node_count(); ++a) {
+          for (NodeId b = static_cast<NodeId>(a + 1);
+               b < slice.local.node_count(); ++b) {
+            EXPECT_EQ(slice.local.has_edge(a, b),
+                      g.has_edge(hosts[static_cast<std::size_t>(a)],
+                                 hosts[static_cast<std::size_t>(b)]));
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Census: byte identity across families, sizes, and thread counts
+// ---------------------------------------------------------------------------
+
+TEST(CsrCensus, RegistryHoldsTheFullFamilyGrid) {
+  EXPECT_GE(gen::family_registry().size(), 12u);
+}
+
+TEST(CsrCensus, ByteIdenticalAcrossFamiliesSizesAndThreads) {
+  exec::ThreadPool two(2);
+  exec::ThreadPool four(4);
+  for (const gen::Family& family : gen::family_registry()) {
+    for (int size : {24, 60}) {
+      const gen::FamilyInstanceSpec spec =
+          gen::resolve_family_text(family.name, size);
+      const CsrGraph g = spec.build(5);
+      const std::vector<std::string> payloads(
+          static_cast<std::size_t>(g.node_count()));
+      const BallCensusResult serial = canonical_census(g, payloads, 2);
+      for (exec::ThreadPool* pool : {&two, &four}) {
+        const BallCensusResult pooled = canonical_census(g, payloads, 2, pool);
+        ASSERT_EQ(serial.class_of, pooled.class_of)
+            << family.name << " size " << size;
+        ASSERT_EQ(serial.class_representative, pooled.class_representative)
+            << family.name << " size " << size;
+        ASSERT_EQ(serial.class_encoding, pooled.class_encoding)
+            << family.name << " size " << size;
+        EXPECT_EQ(serial.distinct, pooled.distinct);
+      }
+    }
+  }
+}
+
+TEST(CsrCensus, EncodingsMatchPerBallCanonicalForm) {
+  BallScratch scratch;
+  for (const gen::Family& family : gen::family_registry()) {
+    const gen::FamilyInstanceSpec spec =
+        gen::resolve_family_text(family.name, 24);
+    const CsrGraph g = spec.build(5);
+    const std::vector<std::string> payloads(
+        static_cast<std::size_t>(g.node_count()));
+    const BallCensusResult census = canonical_census(g, payloads, 2);
+    for (NodeId v = 0; v < g.node_count(); v += 5) {
+      const BallSlice slice = scratch.extract(g, v, 2);
+      // Centre-marked payloads, matching the census's "C"/"N" scheme.
+      std::vector<std::string> marked(
+          static_cast<std::size_t>(slice.local.node_count()), "N");
+      marked[0] = "C";
+      EXPECT_EQ(canonical_form(slice.local, marked).encoding,
+                census.encoding_of(v))
+          << family.name << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace locald::graph

@@ -70,7 +70,7 @@ class CoinHungry final : public RandomizedLocalAlgorithm {
   std::string name() const override { return "coin-hungry"; }
   int horizon() const override { return 1; }
   bool id_oblivious() const override { return true; }
-  Verdict evaluate(const Ball& ball, Rng& coin) const override {
+  Verdict evaluate(const BallView& ball, Rng& coin) const override {
     const int tosses = coin.coin_tosses_until_head();
     const auto threshold = 3 + ball.center_label().at(0);
     return tosses <= threshold ? Verdict::yes : Verdict::no;
@@ -85,7 +85,7 @@ TEST(Determinism, EstimateAcceptanceIdenticalAt1And2And8Threads) {
 
   exec::ExecContext serial;
   const auto reference =
-      estimate_acceptance(alg, g, nullptr, kTrials, kSeed, serial);
+      estimate_acceptance(alg, g, nullptr, kTrials, {serial, kSeed});
   EXPECT_EQ(reference.trials, kTrials);
   // The estimate must be non-trivial for the comparison to mean anything.
   EXPECT_GT(reference.accepted, 0);
@@ -94,7 +94,7 @@ TEST(Determinism, EstimateAcceptanceIdenticalAt1And2And8Threads) {
   for (int threads : {1, 2, 8}) {
     exec::ThreadPool pool(threads);
     exec::ExecContext ctx{&pool, nullptr};
-    const auto run = estimate_acceptance(alg, g, nullptr, kTrials, kSeed, ctx);
+    const auto run = estimate_acceptance(alg, g, nullptr, kTrials, {ctx, kSeed});
     EXPECT_EQ(run.accepted, reference.accepted) << threads << " threads";
     EXPECT_EQ(run.trials, reference.trials);
   }
@@ -102,30 +102,30 @@ TEST(Determinism, EstimateAcceptanceIdenticalAt1And2And8Threads) {
 
 TEST(Determinism, ProbeIdDependenceIdenticalAt1And2And8Threads) {
   const LabeledGraph g = LabeledGraph::uniform(make_cycle(6), Label{});
-  const auto threshold = make_id_aware("big-id-rejects", 0, [](const Ball& b) {
+  const auto threshold = make_id_aware("big-id-rejects", 0, [](const BallView& b) {
     return b.center_id() >= 7 ? Verdict::no : Verdict::yes;
   });
   const auto constant =
-      make_id_aware("const", 0, [](const Ball&) { return Verdict::yes; });
+      make_id_aware("const", 0, [](const BallView&) { return Verdict::yes; });
   constexpr std::uint64_t kSeed = 5;
 
   exec::ExecContext serial;
   const auto ref_dep =
-      probe_id_dependence(*threshold, g, /*universe=*/8, 20, kSeed, serial);
+      probe_id_dependence(*threshold, g, /*universe=*/8, 20, {serial, kSeed});
   EXPECT_TRUE(ref_dep.some_node_output_changed);
   EXPECT_TRUE(ref_dep.global_verdict_changed);
   const auto ref_const =
-      probe_id_dependence(*constant, g, 1'000'000, 10, kSeed, serial);
+      probe_id_dependence(*constant, g, 1'000'000, 10, {serial, kSeed});
   EXPECT_FALSE(ref_const.some_node_output_changed);
 
   for (int threads : {1, 2, 8}) {
     exec::ThreadPool pool(threads);
     exec::ExecContext ctx{&pool, nullptr};
     const auto dep =
-        probe_id_dependence(*threshold, g, 8, 20, kSeed, ctx);
+        probe_id_dependence(*threshold, g, 8, 20, {ctx, kSeed});
     EXPECT_EQ(dep.some_node_output_changed, ref_dep.some_node_output_changed);
     EXPECT_EQ(dep.global_verdict_changed, ref_dep.global_verdict_changed);
-    const auto con = probe_id_dependence(*constant, g, 1'000'000, 10, kSeed, ctx);
+    const auto con = probe_id_dependence(*constant, g, 1'000'000, 10, {ctx, kSeed});
     EXPECT_FALSE(con.some_node_output_changed);
   }
 }
@@ -134,7 +134,7 @@ TEST(Determinism, RunLocalAlgorithmCtxMatchesSerialOverload) {
   const LabeledGraph g = two_colored_cycle(10);
   const IdAssignment ids = make_consecutive(g.node_count());
   // Rejects on odd labels: exercises first_rejecting.
-  const auto alg = make_id_aware("odd-rejects", 1, [](const Ball& b) {
+  const auto alg = make_id_aware("odd-rejects", 1, [](const BallView& b) {
     return b.center_label().at(0) == 1 ? Verdict::no : Verdict::yes;
   });
   const auto legacy = run_local_algorithm(*alg, g, ids);
@@ -142,7 +142,7 @@ TEST(Determinism, RunLocalAlgorithmCtxMatchesSerialOverload) {
     exec::ThreadPool pool(threads);
     exec::VerdictCache cache;
     exec::ExecContext ctx{&pool, &cache};
-    const auto run = run_local_algorithm(*alg, g, ids, ctx);
+    const auto run = run_local_algorithm(*alg, g, ids, {ctx});
     EXPECT_EQ(run.outputs, legacy.outputs);
     EXPECT_EQ(run.accepted, legacy.accepted);
     EXPECT_EQ(run.first_rejecting, legacy.first_rejecting);
@@ -154,19 +154,19 @@ TEST(CacheCorrectness, MemoizedAndUnmemoizedRunsAgree) {
   // class suffices; the memoized run must still produce the same outputs.
   const LabeledGraph g = LabeledGraph::uniform(make_cycle(24), Label{});
   std::atomic<int> evaluations{0};
-  const auto alg = make_oblivious("degree-2-check", 1, [&](const Ball& b) {
+  const auto alg = make_oblivious("degree-2-check", 1, [&](const BallView& b) {
     evaluations.fetch_add(1, std::memory_order_relaxed);
     return b.g.degree(b.center) == 2 ? Verdict::yes : Verdict::no;
   });
 
   exec::ExecContext plain;
-  const auto unmemoized = run_oblivious(*alg, g, plain);
+  const auto unmemoized = run_oblivious(*alg, g, {plain});
   const int unmemoized_evals = evaluations.exchange(0);
   EXPECT_EQ(unmemoized_evals, 24);
 
   exec::VerdictCache cache;
   exec::ExecContext memo{nullptr, &cache};
-  const auto memoized = run_oblivious(*alg, g, memo);
+  const auto memoized = run_oblivious(*alg, g, {memo});
   EXPECT_EQ(memoized.outputs, unmemoized.outputs);
   EXPECT_EQ(memoized.accepted, unmemoized.accepted);
   // 24 isomorphic balls, one canonical class: decided once.
@@ -177,11 +177,11 @@ TEST(CacheCorrectness, MemoizedAndUnmemoizedRunsAgree) {
 
   // A graph with several classes: memoized still agrees with unmemoized.
   const LabeledGraph mixed = two_colored_cycle(16);
-  const auto direct = run_oblivious(*alg, mixed, plain);
+  const auto direct = run_oblivious(*alg, mixed, {plain});
   exec::VerdictCache cache2;
   exec::ThreadPool pool(8);
   exec::ExecContext memo_parallel{&pool, &cache2};
-  const auto cached = run_oblivious(*alg, mixed, memo_parallel);
+  const auto cached = run_oblivious(*alg, mixed, {memo_parallel});
   EXPECT_EQ(cached.outputs, direct.outputs);
 }
 
@@ -194,7 +194,7 @@ TEST(CacheCorrectness, MemoizationUnsafeAlgorithmsBypassTheCache) {
     int horizon() const override { return 1; }
     bool id_oblivious() const override { return true; }
     bool memoization_safe() const override { return false; }
-    Verdict evaluate(const Ball&) const override {
+    Verdict evaluate(const BallView&) const override {
       ++evaluations;
       return Verdict::yes;
     }
@@ -204,14 +204,14 @@ TEST(CacheCorrectness, MemoizationUnsafeAlgorithmsBypassTheCache) {
   Unsafe alg;
   exec::VerdictCache cache;
   exec::ExecContext memo{nullptr, &cache};
-  (void)run_oblivious(alg, g, memo);
+  (void)run_oblivious(alg, g, {memo});
   EXPECT_EQ(alg.evaluations.load(), 8);
   const auto stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses, 0u);
   // The Id-oblivious simulation A* is the shipped example of such an
   // algorithm: sampled-mode verdicts can depend on ball-node numbering.
   auto inner = std::make_shared<LambdaAlgorithm>(
-      "reads-ids", 1, false, [](const Ball& b) {
+      "reads-ids", 1, false, [](const BallView& b) {
         (void)b.center_id();
         return Verdict::yes;
       });
@@ -223,7 +223,7 @@ TEST(Determinism, ObliviousSimulationVerdictIndependentOfPool) {
   // Id-reading inner that rejects when the centre holds the largest id in
   // the ball: A* must find a rejecting assignment in both search modes.
   auto inner = std::make_shared<LambdaAlgorithm>(
-      "center-max-rejects", 1, false, [](const Ball& ball) {
+      "center-max-rejects", 1, false, [](const BallView& ball) {
         const Id c = ball.center_id();
         for (graph::NodeId v = 0; v < ball.node_count(); ++v) {
           if (v != ball.center && ball.id_of(v) > c) {
@@ -255,7 +255,7 @@ TEST(Determinism, ObliviousSimulationVerdictIndependentOfPool) {
 TEST(Determinism, CensusEncodingsByteIdenticalAt1And2And8Threads) {
   // The two families whose census cells PR 4 kept off the exact path: the
   // census must now be exact AND byte-identical at every thread count.
-  for (const graph::Graph& host :
+  for (const graph::CsrGraph& host :
        {graph::make_hypercube(5), graph::make_complete_bipartite(7, 7)}) {
     const std::vector<std::string> payloads(
         static_cast<std::size_t>(host.node_count()));
@@ -265,7 +265,10 @@ TEST(Determinism, CensusEncodingsByteIdenticalAt1And2And8Threads) {
       exec::ThreadPool pool(threads);
       const graph::BallCensusResult pooled =
           graph::canonical_census(host, payloads, 1, &pool);
-      ASSERT_EQ(pooled.encodings, serial.encodings) << threads << " threads";
+      ASSERT_EQ(pooled.class_of, serial.class_of) << threads << " threads";
+      ASSERT_EQ(pooled.class_encoding, serial.class_encoding)
+          << threads << " threads";
+      EXPECT_EQ(pooled.class_representative, serial.class_representative);
       EXPECT_EQ(pooled.distinct, serial.distinct);
       EXPECT_EQ(pooled.unique_structures, serial.unique_structures);
       EXPECT_EQ(pooled.raw_duplicates, serial.raw_duplicates);
@@ -306,12 +309,12 @@ TEST(CacheCorrectness, MemoizedAndUnmemoizedAgreeOnTheGmrVerifierPath) {
   const auto verifier = halting::make_gmr_verifier(3, policy, false, 4096);
 
   exec::ExecContext plain;
-  const auto unmemoized = run_oblivious(*verifier, inst.graph, plain);
+  const auto unmemoized = run_oblivious(*verifier, inst.graph, {plain});
   for (int threads : {1, 8}) {
     exec::ThreadPool pool(threads);
     exec::VerdictCache cache;
     exec::ExecContext memo{&pool, &cache};
-    const auto memoized = run_oblivious(*verifier, inst.graph, memo);
+    const auto memoized = run_oblivious(*verifier, inst.graph, {memo});
     EXPECT_EQ(memoized.outputs, unmemoized.outputs) << threads << " threads";
     EXPECT_EQ(memoized.accepted, unmemoized.accepted);
     const auto stats = cache.stats();
@@ -324,7 +327,7 @@ TEST(Determinism, ExhaustiveSimulationMemoNeverChangesTheVerdict) {
   // memoized; re-evaluating isomorphic balls must hit the memo and return
   // the identical verdict, serial or pooled.
   auto inner = std::make_shared<LambdaAlgorithm>(
-      "center-max-rejects", 1, false, [](const Ball& ball) {
+      "center-max-rejects", 1, false, [](const BallView& ball) {
         const Id c = ball.center_id();
         for (graph::NodeId v = 0; v < ball.node_count(); ++v) {
           if (v != ball.center && ball.id_of(v) > c) {
@@ -340,16 +343,16 @@ TEST(Determinism, ExhaustiveSimulationMemoNeverChangesTheVerdict) {
   const LabeledGraph cycle =
       LabeledGraph::uniform(make_cycle(12), Label{});
   exec::ExecContext plain;
-  const auto first = run_oblivious(*sim, cycle, plain);
+  const auto first = run_oblivious(*sim, cycle, {plain});
   EXPECT_TRUE(sim->last_stats().exhaustive);
   // All 12 balls are isomorphic: the second run is answered by the memo.
-  const auto second = run_oblivious(*sim, cycle, plain);
+  const auto second = run_oblivious(*sim, cycle, {plain});
   EXPECT_EQ(second.outputs, first.outputs);
   EXPECT_TRUE(sim->last_stats().memo_hit);
   for (int threads : {2, 8}) {
     exec::ThreadPool pool(threads);
     exec::ExecContext ctx{&pool, nullptr};
-    EXPECT_EQ(run_oblivious(*sim, cycle, ctx).outputs, first.outputs);
+    EXPECT_EQ(run_oblivious(*sim, cycle, {ctx}).outputs, first.outputs);
   }
 }
 
@@ -364,9 +367,7 @@ TEST(AcceptanceEstimate, ZeroTrialEstimateHasNoProbability) {
   const LabeledGraph g = LabeledGraph::uniform(make_path(2), Label{});
   const CoinHungry alg;
   exec::ExecContext serial;
-  EXPECT_THROW(estimate_acceptance(alg, g, nullptr, 0, 1, serial), Error);
-  Rng rng(1);
-  EXPECT_THROW(estimate_acceptance(alg, g, nullptr, 0, rng), Error);
+  EXPECT_THROW(estimate_acceptance(alg, g, nullptr, 0, {serial, 1}), Error);
 }
 
 }  // namespace

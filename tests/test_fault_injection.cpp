@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "halting/gmr.h"
 #include "halting/verifier.h"
 #include "local/property.h"
@@ -42,18 +43,21 @@ LabeledGraph mutate_label(const LabeledGraph& g, Rng& rng) {
 
 // Random extra edge between two previously non-adjacent nodes.
 LabeledGraph mutate_add_edge(const LabeledGraph& g, Rng& rng) {
-  LabeledGraph out = g;
   for (int attempt = 0; attempt < 64; ++attempt) {
     const graph::NodeId u =
         static_cast<graph::NodeId>(rng.below(g.node_count()));
     const graph::NodeId v =
         static_cast<graph::NodeId>(rng.below(g.node_count()));
-    if (u != v && !out.graph().has_edge(u, v)) {
-      out.mutable_graph().add_edge(u, v);
-      return out;
+    if (u != v && !g.graph().has_edge(u, v)) {
+      graph::GraphBuilder builder(g.node_count());
+      for (const auto& [a, b] : g.graph().edges()) {
+        builder.add_edge(a, b);
+      }
+      builder.add_edge(u, v);
+      return LabeledGraph(builder.build(), g.labels());
     }
   }
-  return out;
+  return g;
 }
 
 // Random label swap between two nodes (keeps the multiset intact, breaks

@@ -111,7 +111,7 @@ TEST(FamilyRegistry, DeclaredInvariantsHoldAcrossSizesAndSeeds) {
       const Invariants declared = spec.invariants();
       for (const std::uint64_t seed : {7ull, 1234ull}) {
         SCOPED_TRACE(spec.canonical() + " seed " + std::to_string(seed));
-        const graph::Graph g = spec.build(seed);
+        const graph::CsrGraph g = spec.build(seed);
         if (declared.node_count >= 0) {
           EXPECT_EQ(g.node_count(), declared.node_count);
         }
@@ -137,7 +137,7 @@ TEST(FamilyRegistry, SizeMappingTracksTargetNodeCount) {
   for (const Family& family : family_registry()) {
     for (const std::int64_t size : {10, 50, 200}) {
       const FamilyInstanceSpec spec = resolve_family_text(family.name, size);
-      const graph::Graph g = spec.build(3);
+      const graph::CsrGraph g = spec.build(3);
       // The mapping never overshoots by more than the family's granularity
       // (the parity bump of random-regular is the one off-by-one).
       EXPECT_LE(g.node_count(), size + 1) << spec.canonical();
@@ -149,8 +149,8 @@ TEST(FamilyRegistry, SizeMappingTracksTargetNodeCount) {
 TEST(FamilyRegistry, SameParamsAndSeedGiveIdenticalEdgeLists) {
   for (const Family& family : family_registry()) {
     const FamilyInstanceSpec spec = resolve_family_text(family.name, 40);
-    const graph::Graph a = spec.build(99);
-    const graph::Graph b = spec.build(99);
+    const graph::CsrGraph a = spec.build(99);
+    const graph::CsrGraph b = spec.build(99);
     EXPECT_EQ(a.edges(), b.edges()) << spec.canonical();
   }
 }
@@ -182,7 +182,7 @@ TEST(FamilyRegistry, DeterministicFamiliesIgnoreTheSeed) {
 TEST(Families, RandomRegularIsExactlyRegular) {
   const FamilyInstanceSpec spec =
       resolve_family_text("random-regular:n=30,d=4");
-  const graph::Graph g = spec.build(5);
+  const graph::CsrGraph g = spec.build(5);
   for (graph::NodeId v = 0; v < g.node_count(); ++v) {
     EXPECT_EQ(g.degree(v), 4);
   }
@@ -197,7 +197,7 @@ TEST(Families, RandomRegularBuildsAtTheSchemaDegreeBound) {
   // of seeds must all find a simple pairing within the retry budget.
   EXPECT_THROW(resolve_family_text("random-regular:n=64,d=6"), Error);
   for (const std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
-    const graph::Graph g =
+    const graph::CsrGraph g =
         resolve_family_text("random-regular:n=64,d=5").build(seed);
     for (graph::NodeId v = 0; v < g.node_count(); ++v) {
       EXPECT_EQ(g.degree(v), 5);
@@ -206,7 +206,7 @@ TEST(Families, RandomRegularBuildsAtTheSchemaDegreeBound) {
 }
 
 TEST(Families, CompleteBipartiteMatchesTheOracle) {
-  const graph::Graph g = graph::make_complete_bipartite(3, 5);
+  const graph::CsrGraph g = graph::make_complete_bipartite(3, 5);
   EXPECT_EQ(g.node_count(), 8);
   EXPECT_EQ(g.edge_count(), 15u);
   EXPECT_TRUE(graph::is_bipartite(g));
@@ -221,14 +221,14 @@ TEST(Families, CompleteBipartiteMatchesTheOracle) {
 TEST(Families, BalancedTreeGeneralizesTheBinaryBuilder) {
   EXPECT_EQ(graph::make_balanced_tree(2, 3).edges(),
             graph::make_complete_binary_tree(3).edges());
-  const graph::Graph t = graph::make_balanced_tree(3, 2);
+  const graph::CsrGraph t = graph::make_balanced_tree(3, 2);
   EXPECT_EQ(t.node_count(), 13);  // 1 + 3 + 9
   EXPECT_TRUE(graph::is_tree(t));
   EXPECT_EQ(t.degree(0), 3);
 }
 
 TEST(Families, CaterpillarIsATreeWithTheDeclaredShape) {
-  const graph::Graph g = graph::make_caterpillar(4, 2);
+  const graph::CsrGraph g = graph::make_caterpillar(4, 2);
   EXPECT_EQ(g.node_count(), 12);
   EXPECT_TRUE(graph::is_tree(g));
   EXPECT_EQ(g.degree(0), 3);  // spine end: 1 spine + 2 legs
@@ -253,10 +253,10 @@ TEST(StreamSeededGenerators, AreCallOrderIndependent) {
   // Interleaving other stream draws must not perturb a seed-based build —
   // unlike the legacy Rng& overloads, whose draws depend on generator
   // position.
-  const graph::Graph a = graph::make_random_gnp(24, 0.3, 77);
+  const graph::CsrGraph a = graph::make_random_gnp(24, 0.3, 77);
   graph::make_random_tree(10, 77);
   graph::make_random_regular(10, 3, 77);
-  const graph::Graph b = graph::make_random_gnp(24, 0.3, 77);
+  const graph::CsrGraph b = graph::make_random_gnp(24, 0.3, 77);
   EXPECT_EQ(a.edges(), b.edges());
 }
 
@@ -264,8 +264,8 @@ TEST(StreamSeededGenerators, FamiliesDrawFromDisjointStreamPlanes) {
   // Same seed, different family: the stream ids keep the coins apart, so
   // the tree inside make_random_connected differs from make_random_tree's
   // chords only by the chord plane.
-  const graph::Graph tree = graph::make_random_tree(20, 5);
-  const graph::Graph connected = graph::make_random_connected(20, 6, 5);
+  const graph::CsrGraph tree = graph::make_random_tree(20, 5);
+  const graph::CsrGraph connected = graph::make_random_connected(20, 6, 5);
   for (const auto& [u, v] : tree.edges()) {
     EXPECT_TRUE(connected.has_edge(u, v));  // the tree plane is shared
   }

@@ -14,21 +14,21 @@
 namespace locald::graph {
 namespace {
 
-TEST(Graph, StartsEmpty) {
-  Graph g;
+TEST(GraphBuilder, StartsEmpty) {
+  GraphBuilder g;
   EXPECT_EQ(g.node_count(), 0);
   EXPECT_EQ(g.edge_count(), 0u);
 }
 
-TEST(Graph, AddNodeGrowsSequentially) {
-  Graph g;
+TEST(GraphBuilder, AddNodeGrowsSequentially) {
+  GraphBuilder g;
   EXPECT_EQ(g.add_node(), 0);
   EXPECT_EQ(g.add_node(), 1);
   EXPECT_EQ(g.node_count(), 2);
 }
 
-TEST(Graph, AddEdgeIsSymmetric) {
-  Graph g(3);
+TEST(GraphBuilder, AddEdgeIsSymmetric) {
+  GraphBuilder g(3);
   g.add_edge(0, 2);
   EXPECT_TRUE(g.has_edge(0, 2));
   EXPECT_TRUE(g.has_edge(2, 0));
@@ -36,8 +36,8 @@ TEST(Graph, AddEdgeIsSymmetric) {
   EXPECT_EQ(g.edge_count(), 1u);
 }
 
-TEST(Graph, NeighborsSortedAscending) {
-  Graph g(5);
+TEST(GraphBuilder, NeighborsSortedAscending) {
+  GraphBuilder g(5);
   g.add_edge(2, 4);
   g.add_edge(2, 0);
   g.add_edge(2, 3);
@@ -45,34 +45,34 @@ TEST(Graph, NeighborsSortedAscending) {
   EXPECT_EQ(g.neighbors(2), expected);
 }
 
-TEST(Graph, RejectsSelfLoop) {
-  Graph g(2);
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder g(2);
   EXPECT_THROW(g.add_edge(1, 1), Error);
 }
 
-TEST(Graph, RejectsDuplicateEdge) {
-  Graph g(2);
+TEST(GraphBuilder, RejectsDuplicateEdge) {
+  GraphBuilder g(2);
   g.add_edge(0, 1);
   EXPECT_THROW(g.add_edge(1, 0), Error);
   EXPECT_FALSE(g.add_edge_if_absent(0, 1));
   EXPECT_EQ(g.edge_count(), 1u);
 }
 
-TEST(Graph, RejectsOutOfRangeNode) {
-  Graph g(2);
+TEST(GraphBuilder, RejectsOutOfRangeNode) {
+  GraphBuilder g(2);
   EXPECT_THROW(g.add_edge(0, 2), Error);
   EXPECT_THROW(g.degree(-1), Error);
 }
 
-TEST(Graph, ResizeNeverShrinks) {
-  Graph g(3);
+TEST(GraphBuilder, ResizeNeverShrinks) {
+  GraphBuilder g(3);
   EXPECT_THROW(g.resize(2), Error);
   g.resize(5);
   EXPECT_EQ(g.node_count(), 5);
 }
 
-TEST(Graph, EdgesDeterministicOrder) {
-  Graph g(4);
+TEST(GraphBuilder, EdgesDeterministicOrder) {
+  GraphBuilder g(4);
   g.add_edge(3, 1);
   g.add_edge(0, 2);
   g.add_edge(0, 1);
@@ -82,14 +82,14 @@ TEST(Graph, EdgesDeterministicOrder) {
 }
 
 TEST(Algorithms, BfsDistancesOnPath) {
-  const Graph g = make_path(5);
+  const CsrGraph g = make_path(5);
   const auto d = bfs_distances(g, 0);
   const std::vector<int> expected{0, 1, 2, 3, 4};
   EXPECT_EQ(d, expected);
 }
 
 TEST(Algorithms, BfsRespectsMaxDist) {
-  const Graph g = make_path(6);
+  const CsrGraph g = make_path(6);
   const auto d = bfs_distances(g, 0, 2);
   EXPECT_EQ(d[2], 2);
   EXPECT_EQ(d[3], kUnreached);
@@ -98,7 +98,8 @@ TEST(Algorithms, BfsRespectsMaxDist) {
 TEST(Algorithms, NodesWithinMatchesBfs) {
   Rng rng(5);
   for (int trial = 0; trial < 20; ++trial) {
-    const Graph g = make_random_connected(40, 20, rng);
+    const CsrGraph g = make_random_connected(
+        40, 20, static_cast<std::uint64_t>(trial));
     const NodeId src = static_cast<NodeId>(rng.below(40));
     const int radius = static_cast<int>(rng.below(4));
     const auto ball = nodes_within(g, src, radius);
@@ -116,9 +117,10 @@ TEST(Algorithms, NodesWithinMatchesBfs) {
 }
 
 TEST(Algorithms, ConnectivityAndComponents) {
-  Graph g(5);
-  g.add_edge(0, 1);
-  g.add_edge(2, 3);
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const CsrGraph g = b.build();
   EXPECT_FALSE(is_connected(g));
   int count = 0;
   const auto comp = connected_components(g, &count);
@@ -147,7 +149,7 @@ TEST(Algorithms, BipartiteFamilies) {
 }
 
 TEST(Algorithms, ShortestPathEndpointsAndLength) {
-  const Graph g = make_grid(5, 5);
+  const CsrGraph g = make_grid(5, 5);
   const auto p = shortest_path(g, 0, 24);
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(p->front(), 0);
@@ -159,9 +161,9 @@ TEST(Algorithms, ShortestPathEndpointsAndLength) {
 }
 
 TEST(Algorithms, ShortestPathUnreachable) {
-  Graph g(3);
-  g.add_edge(0, 1);
-  EXPECT_FALSE(shortest_path(g, 0, 2).has_value());
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(shortest_path(b.build(), 0, 2).has_value());
 }
 
 TEST(Algorithms, TopologyRecognizers) {
@@ -169,7 +171,7 @@ TEST(Algorithms, TopologyRecognizers) {
   EXPECT_FALSE(is_cycle_graph(make_path(5)));
   EXPECT_TRUE(is_path_graph(make_path(5)));
   EXPECT_FALSE(is_path_graph(make_cycle(5)));
-  EXPECT_TRUE(is_tree(make_random_tree(20, *std::make_unique<Rng>(3))));
+  EXPECT_TRUE(is_tree(make_random_tree(20, 3)));
   EXPECT_FALSE(is_tree(make_cycle(4)));
 }
 
@@ -181,7 +183,7 @@ TEST(Generators, PathCycleSizes) {
 }
 
 TEST(Generators, GridStructure) {
-  const Graph g = make_grid(3, 4);
+  const CsrGraph g = make_grid(3, 4);
   EXPECT_EQ(g.node_count(), 12);
   EXPECT_EQ(g.edge_count(), 2u * 4 + 3u * 3);  // vertical 3*3, horizontal 2*4
   EXPECT_EQ(g.degree(0), 2);                   // corner
@@ -189,7 +191,7 @@ TEST(Generators, GridStructure) {
 }
 
 TEST(Generators, TorusIsFourRegular) {
-  const Graph g = make_torus(4, 5);
+  const CsrGraph g = make_torus(4, 5);
   for (NodeId v = 0; v < g.node_count(); ++v) {
     EXPECT_EQ(g.degree(v), 4);
   }
@@ -197,7 +199,7 @@ TEST(Generators, TorusIsFourRegular) {
 }
 
 TEST(Generators, CompleteBinaryTreeShape) {
-  const Graph g = make_complete_binary_tree(3);
+  const CsrGraph g = make_complete_binary_tree(3);
   EXPECT_EQ(g.node_count(), 15);
   EXPECT_TRUE(is_tree(g));
   EXPECT_EQ(g.degree(0), 2);
@@ -205,7 +207,7 @@ TEST(Generators, CompleteBinaryTreeShape) {
 
 TEST(Generators, LayeredTreeShape) {
   // Depth 2: 7 nodes, 6 tree edges + 1 (level 1) + 3 (level 2) path edges.
-  const Graph g = make_layered_tree(2);
+  const CsrGraph g = make_layered_tree(2);
   EXPECT_EQ(g.node_count(), 7);
   EXPECT_EQ(g.edge_count(), 10u);
   EXPECT_TRUE(is_connected(g));
@@ -218,7 +220,7 @@ TEST(Generators, LayeredTreeShape) {
 }
 
 TEST(Generators, HypercubeRegularity) {
-  const Graph g = make_hypercube(4);
+  const CsrGraph g = make_hypercube(4);
   EXPECT_EQ(g.node_count(), 16);
   for (NodeId v = 0; v < g.node_count(); ++v) {
     EXPECT_EQ(g.degree(v), 4);
@@ -227,24 +229,22 @@ TEST(Generators, HypercubeRegularity) {
 }
 
 TEST(Generators, RandomTreeIsTree) {
-  Rng rng(77);
   for (NodeId n : {1, 2, 10, 100}) {
-    EXPECT_TRUE(is_tree(make_random_tree(n, rng)));
+    EXPECT_TRUE(is_tree(make_random_tree(n, 77 + static_cast<std::uint64_t>(n))));
   }
 }
 
 TEST(Generators, RandomConnectedStaysConnected) {
-  Rng rng(78);
   for (int trial = 0; trial < 10; ++trial) {
-    const Graph g = make_random_connected(30, 15, rng);
+    const CsrGraph g = make_random_connected(
+        30, 15, 78 + static_cast<std::uint64_t>(trial));
     EXPECT_TRUE(is_connected(g));
     EXPECT_GE(g.edge_count(), 29u);
   }
 }
 
 TEST(Generators, GnpEdgeCountConcentrates) {
-  Rng rng(79);
-  const Graph g = make_random_gnp(60, 0.3, rng);
+  const CsrGraph g = make_random_gnp(60, 0.3, 79);
   const double expected = 0.3 * 60 * 59 / 2;
   EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.35);
 }
@@ -264,7 +264,7 @@ TEST(Generators, TreeIndexRoundTrip) {
 }
 
 TEST(Induced, SubgraphKeepsInternalEdgesOnly) {
-  const Graph g = make_cycle(6);
+  const CsrGraph g = make_cycle(6);
   const auto sub = induced_subgraph(g, {0, 1, 2, 4});
   EXPECT_EQ(sub.graph.node_count(), 4);
   EXPECT_TRUE(sub.graph.has_edge(0, 1));  // cycle edge 0-1
@@ -276,19 +276,18 @@ TEST(Induced, SubgraphKeepsInternalEdgesOnly) {
 }
 
 TEST(Induced, RejectsDuplicates) {
-  const Graph g = make_path(3);
+  const CsrGraph g = make_path(3);
   EXPECT_THROW(induced_subgraph(g, {0, 0}), Error);
 }
 
 TEST(Io, EdgeListRoundTrip) {
-  Rng rng(123);
-  const Graph g = make_random_connected(25, 12, rng);
-  const Graph h = from_edge_list(to_edge_list(g));
+  const CsrGraph g = make_random_connected(25, 12, 123);
+  const CsrGraph h = from_edge_list(to_edge_list(g));
   EXPECT_EQ(g, h);
 }
 
 TEST(Io, DotContainsNodesAndEdges) {
-  const Graph g = make_path(3);
+  const CsrGraph g = make_path(3);
   const std::string dot = to_dot(g, {"a", "b", "c"});
   EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
   EXPECT_NE(dot.find("label=\"b\""), std::string::npos);
@@ -300,7 +299,7 @@ class CycleSweep : public ::testing::TestWithParam<NodeId> {};
 
 TEST_P(CycleSweep, CycleInvariants) {
   const NodeId n = GetParam();
-  const Graph g = make_cycle(n);
+  const CsrGraph g = make_cycle(n);
   EXPECT_EQ(g.node_count(), n);
   EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(n));
   EXPECT_TRUE(is_cycle_graph(g));
@@ -314,7 +313,7 @@ class LayeredTreeSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(LayeredTreeSweep, NodeAndEdgeCounts) {
   const int depth = GetParam();
-  const Graph g = make_layered_tree(depth);
+  const CsrGraph g = make_layered_tree(depth);
   const NodeId n = static_cast<NodeId>((1LL << (depth + 1)) - 1);
   EXPECT_EQ(g.node_count(), n);
   // Tree edges: n - 1. Level-path edges at level y: 2^y - 1 for y=1..depth.

@@ -51,7 +51,7 @@ TEST(Pyramid, IndexerCountsAndPositions) {
 
 TEST(Pyramid, BuildStructure) {
   const PyramidIndexer idx(2);
-  const graph::Graph g = build_pyramid(idx);
+  const graph::CsrGraph g = build_pyramid(idx);
   EXPECT_EQ(g.node_count(), 21);
   // Apex: adjacent to the 2x2 level (4 children), no grid neighbours.
   EXPECT_EQ(g.degree(idx.apex()), 4);
@@ -60,13 +60,16 @@ TEST(Pyramid, BuildStructure) {
   EXPECT_TRUE(is_pyramid(g, 2));
   EXPECT_FALSE(is_pyramid(g, 3));
   // A mutation breaks it.
-  graph::Graph h = g;
-  h.add_edge(idx.id(0, 0, 0), idx.id(3, 3, 0));
-  EXPECT_FALSE(is_pyramid(h, 2));
+  graph::GraphBuilder hb(g.node_count());
+  for (const auto& [u, v] : g.edges()) {
+    hb.add_edge(u, v);
+  }
+  hb.add_edge(idx.id(0, 0, 0), idx.id(3, 3, 0));
+  EXPECT_FALSE(is_pyramid(hb.build(), 2));
 }
 
 TEST(Pyramid, AttachOverExistingGrid) {
-  graph::Graph g(16);  // 4x4 grid nodes 0..15
+  graph::GraphBuilder g(16);  // 4x4 grid nodes 0..15
   for (int y = 0; y < 4; ++y) {
     for (int x = 0; x < 4; ++x) {
       if (x + 1 < 4) g.add_edge(y * 4 + x, y * 4 + x + 1);
@@ -78,7 +81,7 @@ TEST(Pyramid, AttachOverExistingGrid) {
       g, idx, [](int x, int y) { return static_cast<graph::NodeId>(y * 4 + x); });
   EXPECT_EQ(first, 16);
   EXPECT_EQ(g.node_count(), 21);
-  EXPECT_TRUE(is_pyramid(g, 2));
+  EXPECT_TRUE(is_pyramid(g.build(), 2));
 }
 
 TEST(Gmr, LabelRoundTrip) {
@@ -267,12 +270,11 @@ TEST(Randomized, PerfectCompletenessAndWhpSoundness) {
   GmrParams no_params{tm::zigzag_halt(2, 1), 1, 3, policy, false, 4096};
   const LabeledGraph yes = build_gmr(yes_params).graph;
   const LabeledGraph no = build_gmr(no_params).graph;
-  Rng rng(17);
   const auto p_yes =
-      local::estimate_acceptance(*decider, yes, nullptr, 10, rng);
+      local::estimate_acceptance(*decider, yes, nullptr, 10, {{}, 17});
   EXPECT_EQ(p_yes.accepted, p_yes.trials);  // one-sided: p = 1
   const auto p_no =
-      local::estimate_acceptance(*decider, no, nullptr, 10, rng);
+      local::estimate_acceptance(*decider, no, nullptr, 10, {{}, 18});
   EXPECT_EQ(p_no.accepted, 0);  // rejection probability ~ 1 at this n
 }
 

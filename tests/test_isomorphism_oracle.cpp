@@ -33,8 +33,8 @@ namespace {
 
 // ---- the brute-force oracle ------------------------------------------------
 
-bool oracle_extend(const Graph& a, const std::vector<std::string>& pa,
-                   const Graph& b, const std::vector<std::string>& pb,
+bool oracle_extend(const CsrGraph& a, const std::vector<std::string>& pa,
+                   const CsrGraph& b, const std::vector<std::string>& pb,
                    std::vector<NodeId>& mapping, std::vector<bool>& used,
                    NodeId v) {
   const NodeId n = a.node_count();
@@ -67,8 +67,8 @@ bool oracle_extend(const Graph& a, const std::vector<std::string>& pa,
 
 // Tries every label-preserving bijection (with degree and prefix-edge
 // pruning). Correct by construction; exponential by design.
-bool oracle_isomorphic(const Graph& a, const std::vector<std::string>& pa,
-                       const Graph& b, const std::vector<std::string>& pb) {
+bool oracle_isomorphic(const CsrGraph& a, const std::vector<std::string>& pa,
+                       const CsrGraph& b, const std::vector<std::string>& pb) {
   if (a.node_count() != b.node_count() || a.edge_count() != b.edge_count()) {
     return false;
   }
@@ -77,35 +77,36 @@ bool oracle_isomorphic(const Graph& a, const std::vector<std::string>& pa,
   return oracle_extend(a, pa, b, pb, mapping, used, 0);
 }
 
-std::vector<std::string> blank(const Graph& g) {
+std::vector<std::string> blank(const CsrGraph& g) {
   return std::vector<std::string>(static_cast<std::size_t>(g.node_count()));
 }
 
 // Enumerate every graph on n nodes via its edge-set bitmask.
-Graph graph_from_mask(int n, long long mask) {
-  Graph g(static_cast<NodeId>(n));
+CsrGraph graph_from_mask(int n, long long mask) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
   int bit = 0;
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = u + 1; v < n; ++v, ++bit) {
       if ((mask >> bit) & 1) {
-        g.add_edge(u, v);
+        edges.emplace_back(u, v);
       }
     }
   }
-  return g;
+  return CsrGraph::from_edges(static_cast<NodeId>(n), edges);
 }
 
-std::pair<Graph, std::vector<std::string>> permuted(
-    const Graph& g, const std::vector<std::string>& payloads, Rng& rng) {
+std::pair<CsrGraph, std::vector<std::string>> permuted(
+    const CsrGraph& g, const std::vector<std::string>& payloads, Rng& rng) {
   const NodeId n = g.node_count();
   std::vector<NodeId> perm(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
   rng.shuffle(perm);
-  Graph h(n);
+  std::vector<std::pair<NodeId, NodeId>> permuted_edges;
   for (const auto& [u, v] : g.edges()) {
-    h.add_edge(perm[static_cast<std::size_t>(u)],
-               perm[static_cast<std::size_t>(v)]);
+    permuted_edges.emplace_back(perm[static_cast<std::size_t>(u)],
+                                perm[static_cast<std::size_t>(v)]);
   }
+  CsrGraph h = CsrGraph::from_edges(n, permuted_edges);
   std::vector<std::string> moved(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
     moved[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] =
@@ -125,7 +126,7 @@ TEST(Oracle, ExhaustiveConnectedUpTo5BothDirections) {
     const int pairs = n * (n - 1) / 2;
     std::map<std::string, std::vector<long long>> classes;
     for (long long mask = 0; mask < (1LL << pairs); ++mask) {
-      const Graph g = graph_from_mask(n, mask);
+      const CsrGraph g = graph_from_mask(n, mask);
       if (!is_connected(g)) {
         continue;
       }
@@ -133,9 +134,9 @@ TEST(Oracle, ExhaustiveConnectedUpTo5BothDirections) {
     }
     std::vector<long long> reps;
     for (const auto& [enc, members] : classes) {
-      const Graph rep = graph_from_mask(n, members.front());
+      const CsrGraph rep = graph_from_mask(n, members.front());
       for (const long long mask : members) {
-        const Graph g = graph_from_mask(n, mask);
+        const CsrGraph g = graph_from_mask(n, mask);
         ASSERT_TRUE(oracle_isomorphic(rep, blank(rep), g, blank(g)))
             << "n=" << n << " merged non-isomorphic graphs";
       }
@@ -143,8 +144,8 @@ TEST(Oracle, ExhaustiveConnectedUpTo5BothDirections) {
     }
     for (std::size_t i = 0; i < reps.size(); ++i) {
       for (std::size_t j = i + 1; j < reps.size(); ++j) {
-        const Graph a = graph_from_mask(n, reps[i]);
-        const Graph b = graph_from_mask(n, reps[j]);
+        const CsrGraph a = graph_from_mask(n, reps[i]);
+        const CsrGraph b = graph_from_mask(n, reps[j]);
         ASSERT_FALSE(oracle_isomorphic(a, blank(a), b, blank(b)))
             << "n=" << n << " split one isomorphism class";
       }
@@ -163,7 +164,7 @@ TEST(Oracle, ExhaustiveLabelledUpTo4BothDirections) {
     };
     std::map<std::string, std::vector<Item>> classes;
     for (long long mask = 0; mask < (1LL << pairs); ++mask) {
-      const Graph g = graph_from_mask(n, mask);
+      const CsrGraph g = graph_from_mask(n, mask);
       if (!is_connected(g)) {
         continue;
       }
@@ -182,9 +183,9 @@ TEST(Oracle, ExhaustiveLabelledUpTo4BothDirections) {
     std::vector<const Item*> reps;
     for (const auto& [enc, members] : classes) {
       const Item& rep = members.front();
-      const Graph rep_g = graph_from_mask(n, rep.mask);
+      const CsrGraph rep_g = graph_from_mask(n, rep.mask);
       for (const Item& item : members) {
-        const Graph g = graph_from_mask(n, item.mask);
+        const CsrGraph g = graph_from_mask(n, item.mask);
         ASSERT_TRUE(
             oracle_isomorphic(rep_g, rep.payloads, g, item.payloads))
             << "n=" << n << " merged non-isomorphic labelled graphs";
@@ -193,8 +194,8 @@ TEST(Oracle, ExhaustiveLabelledUpTo4BothDirections) {
     }
     for (std::size_t i = 0; i < reps.size(); ++i) {
       for (std::size_t j = i + 1; j < reps.size(); ++j) {
-        const Graph a = graph_from_mask(n, reps[i]->mask);
-        const Graph b = graph_from_mask(n, reps[j]->mask);
+        const CsrGraph a = graph_from_mask(n, reps[i]->mask);
+        const CsrGraph b = graph_from_mask(n, reps[j]->mask);
         ASSERT_FALSE(
             oracle_isomorphic(a, reps[i]->payloads, b, reps[j]->payloads))
             << "n=" << n << " split one labelled class";
@@ -214,7 +215,7 @@ TEST(Oracle, ClassCountsMatchA001349UpTo7) {
     const int pairs = n * (n - 1) / 2;
     std::unordered_set<std::string> classes;
     for (long long mask = 0; mask < (1LL << pairs); ++mask) {
-      const Graph g = graph_from_mask(n, mask);
+      const CsrGraph g = graph_from_mask(n, mask);
       if (!is_connected(g)) {
         continue;
       }
@@ -231,8 +232,9 @@ TEST(Oracle, RandomGraphsWithRandomPayloadsMatchOracle) {
   Rng rng(4242);
   for (int trial = 0; trial < 60; ++trial) {
     const NodeId n = static_cast<NodeId>(5 + rng.below(3));  // oracle-sized
-    const Graph a = make_random_connected(n, static_cast<NodeId>(rng.below(5)),
-                                          rng);
+    const CsrGraph a = make_random_connected(
+        n, static_cast<NodeId>(rng.below(5)),
+        42420 + static_cast<std::uint64_t>(trial));
     std::vector<std::string> pa(static_cast<std::size_t>(n));
     for (auto& p : pa) {
       p = std::string(1, static_cast<char>('a' + rng.below(3)));
@@ -242,8 +244,9 @@ TEST(Oracle, RandomGraphsWithRandomPayloadsMatchOracle) {
     ASSERT_TRUE(oracle_isomorphic(a, pa, b, pb));
     EXPECT_EQ(canonical_form(a, pa).encoding, canonical_form(b, pb).encoding);
     // Independent draw: equality iff the oracle agrees.
-    const Graph c = make_random_connected(n, static_cast<NodeId>(rng.below(5)),
-                                          rng);
+    const CsrGraph c = make_random_connected(
+        n, static_cast<NodeId>(rng.below(5)),
+        42920 + static_cast<std::uint64_t>(trial));
     std::vector<std::string> pc(static_cast<std::size_t>(n));
     for (auto& p : pc) {
       p = std::string(1, static_cast<char>('a' + rng.below(3)));
@@ -258,8 +261,8 @@ TEST(Oracle, RandomGraphsWithRandomPayloadsMatchOracle) {
 // trap for incomplete invariants (degree profiles cannot separate them).
 TEST(Oracle, RandomRegularPairsMatchOracle) {
   for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
-    const Graph a = make_random_regular(8, 3, seed);
-    const Graph b = make_random_regular(8, 3, seed + 100);
+    const CsrGraph a = make_random_regular(8, 3, seed);
+    const CsrGraph b = make_random_regular(8, 3, seed + 100);
     EXPECT_EQ(canonical_form(a).encoding == canonical_form(b).encoding,
               oracle_isomorphic(a, blank(a), b, blank(b)))
         << "seed " << seed;
@@ -272,8 +275,9 @@ TEST(Metamorphic, NodePermutationsNeverChangeTheEncoding) {
   Rng rng(77);
   for (int trial = 0; trial < 20; ++trial) {
     const NodeId n = static_cast<NodeId>(8 + rng.below(10));
-    const Graph g =
-        make_random_connected(n, static_cast<NodeId>(rng.below(8)), rng);
+    const CsrGraph g = make_random_connected(
+        n, static_cast<NodeId>(rng.below(8)),
+        7700 + static_cast<std::uint64_t>(trial));
     std::vector<std::string> payloads(static_cast<std::size_t>(n));
     for (auto& p : payloads) {
       p = std::to_string(rng.below(4));
@@ -301,8 +305,9 @@ TEST(Metamorphic, InjectiveLabelReencodingsPreserveTheClasses) {
   };
   for (int trial = 0; trial < 20; ++trial) {
     const NodeId n = static_cast<NodeId>(6 + rng.below(6));
-    const Graph g =
-        make_random_connected(n, static_cast<NodeId>(rng.below(6)), rng);
+    const CsrGraph g = make_random_connected(
+        n, static_cast<NodeId>(rng.below(6)),
+        8800 + static_cast<std::uint64_t>(trial));
     std::vector<std::string> pa(static_cast<std::size_t>(n));
     for (auto& p : pa) {
       p = std::string(1, static_cast<char>('a' + rng.below(2)));
@@ -325,20 +330,22 @@ TEST(Metamorphic, SingleEdgePerturbationsAlwaysChangeTheEncoding) {
   Rng rng(99);
   for (int trial = 0; trial < 20; ++trial) {
     const NodeId n = static_cast<NodeId>(6 + rng.below(6));
-    const Graph g =
-        make_random_connected(n, static_cast<NodeId>(1 + rng.below(6)), rng);
+    const CsrGraph g = make_random_connected(
+        n, static_cast<NodeId>(1 + rng.below(6)),
+        9900 + static_cast<std::uint64_t>(trial));
     const auto base = canonical_form(g);
     // Remove one random edge (different edge count ⇒ provably different
     // class; the encoding must notice).
     const auto edges = g.edges();
     const auto& [ru, rv] =
         edges[static_cast<std::size_t>(rng.below(edges.size()))];
-    Graph removed(n);
+    std::vector<std::pair<NodeId, NodeId>> kept;
     for (const auto& [u, v] : edges) {
       if (u != ru || v != rv) {
-        removed.add_edge(u, v);
+        kept.emplace_back(u, v);
       }
     }
+    const CsrGraph removed = CsrGraph::from_edges(n, kept);
     EXPECT_NE(canonical_form(removed).encoding, base.encoding);
     // Add one random absent edge.
     for (int attempts = 0; attempts < 64; ++attempts) {
@@ -349,8 +356,9 @@ TEST(Metamorphic, SingleEdgePerturbationsAlwaysChangeTheEncoding) {
       if (u == v || g.has_edge(u, v)) {
         continue;
       }
-      Graph added = g;
-      added.add_edge(u, v);
+      std::vector<std::pair<NodeId, NodeId>> extended = edges;
+      extended.emplace_back(u, v);
+      const CsrGraph added = CsrGraph::from_edges(n, extended);
       EXPECT_NE(canonical_form(added).encoding, base.encoding);
       break;
     }
@@ -361,8 +369,9 @@ TEST(Metamorphic, SingleLabelPerturbationsAlwaysChangeTheEncoding) {
   Rng rng(111);
   for (int trial = 0; trial < 20; ++trial) {
     const NodeId n = static_cast<NodeId>(6 + rng.below(6));
-    const Graph g =
-        make_random_connected(n, static_cast<NodeId>(rng.below(6)), rng);
+    const CsrGraph g = make_random_connected(
+        n, static_cast<NodeId>(rng.below(6)),
+        11100 + static_cast<std::uint64_t>(trial));
     std::vector<std::string> payloads(static_cast<std::size_t>(n), "same");
     const auto base = canonical_form(g, payloads);
     std::vector<std::string> mutated = payloads;
@@ -379,8 +388,9 @@ TEST(Metamorphic, CertificateIsImpliedByCanonicalEquality) {
   Rng rng(123);
   for (int trial = 0; trial < 15; ++trial) {
     const NodeId n = static_cast<NodeId>(6 + rng.below(8));
-    const Graph g =
-        make_random_connected(n, static_cast<NodeId>(rng.below(6)), rng);
+    const CsrGraph g = make_random_connected(
+        n, static_cast<NodeId>(rng.below(6)),
+        12300 + static_cast<std::uint64_t>(trial));
     auto [h, moved] = permuted(g, blank(g), rng);
     ASSERT_EQ(canonical_form(g).encoding, canonical_form(h).encoding);
     EXPECT_EQ(wl_certificate(g, blank(g)), wl_certificate(h, moved));
@@ -389,23 +399,14 @@ TEST(Metamorphic, CertificateIsImpliedByCanonicalEquality) {
   // P6 vs C3 + P3 share the degree profile {1,1,2,2,2,2} but refine apart.
   // (Regular same-degree pairs like C6 vs 2xC3 are exactly the 1-WL blind
   // spot; those share a certificate and are split by tier 2 only.)
-  const Graph p6 = make_path(6);
-  Graph triangle_plus_path(6);
-  triangle_plus_path.add_edge(0, 1);
-  triangle_plus_path.add_edge(1, 2);
-  triangle_plus_path.add_edge(2, 0);
-  triangle_plus_path.add_edge(3, 4);
-  triangle_plus_path.add_edge(4, 5);
+  const CsrGraph p6 = make_path(6);
+  const CsrGraph triangle_plus_path =
+      CsrGraph::from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}});
   EXPECT_NE(wl_certificate(p6, blank(p6)),
             wl_certificate(triangle_plus_path, blank(triangle_plus_path)));
-  const Graph c6 = make_cycle(6);
-  Graph two_triangles(6);
-  two_triangles.add_edge(0, 1);
-  two_triangles.add_edge(1, 2);
-  two_triangles.add_edge(2, 0);
-  two_triangles.add_edge(3, 4);
-  two_triangles.add_edge(4, 5);
-  two_triangles.add_edge(5, 3);
+  const CsrGraph c6 = make_cycle(6);
+  const CsrGraph two_triangles =
+      CsrGraph::from_edges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
   // The blind spot, pinned: equal certificates, distinct canonical forms.
   EXPECT_EQ(wl_certificate(c6, blank(c6)),
             wl_certificate(two_triangles, blank(two_triangles)));
@@ -424,7 +425,7 @@ TEST(Metamorphic, CertificateIsImpliedByCanonicalEquality) {
 TEST(OrbitPruning, HypercubesCompleteUnderTightBudgets) {
   Rng rng(7);
   for (int dims = 3; dims <= 6; ++dims) {
-    const Graph q = make_hypercube(dims);
+    const CsrGraph q = make_hypercube(dims);
     CanonicalStats stats;
     const auto base = canonical_form(q, blank(q), /*max_leaves=*/64, &stats);
     // |Aut(Q_d)| = 2^d d! (46080 at d = 6); the orbit-pruned search stays
@@ -440,7 +441,7 @@ TEST(OrbitPruning, HypercubesCompleteUnderTightBudgets) {
 TEST(OrbitPruning, CompleteBipartiteCompletesUnderTightBudgets) {
   Rng rng(8);
   for (NodeId m = 2; m <= 8; ++m) {
-    const Graph k = make_complete_bipartite(m, m);
+    const CsrGraph k = make_complete_bipartite(m, m);
     CanonicalStats stats;
     const auto base = canonical_form(k, blank(k), /*max_leaves=*/16, &stats);
     EXPECT_LE(stats.leaves, 8u) << "K_{" << m << "," << m << "}";
@@ -457,7 +458,7 @@ TEST(OrbitPruning, StarBallsCompleteUnderTightBudgets) {
   // twin-pruned search visits ONE leaf.
   Rng rng(9);
   for (const NodeId k : {7, 16, 64, 200}) {
-    const Graph star = make_star(k);
+    const CsrGraph star = make_star(k);
     CanonicalStats stats;
     const auto base =
         canonical_form(star, blank(star), /*max_leaves=*/4, &stats);
@@ -467,7 +468,7 @@ TEST(OrbitPruning, StarBallsCompleteUnderTightBudgets) {
               base.encoding);
   }
   // Centre-marked star balls (the census shape) behave identically.
-  const Graph star = make_star(32);
+  const CsrGraph star = make_star(32);
   std::vector<std::string> payloads(33, "N");
   payloads[0] = "C";
   CanonicalStats stats;
@@ -486,7 +487,7 @@ TEST(Census, AgreesWithPerBallCanonicalFormOnEveryFamily) {
   for (const gen::Family& family : gen::family_registry()) {
     const gen::FamilyInstanceSpec spec =
         gen::resolve_family_text(family.name, 24);
-    const Graph g = spec.build(11);
+    const CsrGraph g = spec.build(11);
     const std::vector<std::string> payloads(
         static_cast<std::size_t>(g.node_count()));
     for (const int radius : {1, 2}) {
@@ -494,7 +495,9 @@ TEST(Census, AgreesWithPerBallCanonicalFormOnEveryFamily) {
           canonical_census(g, payloads, radius, nullptr);
       const BallCensusResult pooled =
           canonical_census(g, payloads, radius, &pool);
-      ASSERT_EQ(serial.encodings, pooled.encodings)
+      ASSERT_EQ(serial.class_of, pooled.class_of)
+          << spec.canonical() << " r=" << radius;
+      ASSERT_EQ(serial.class_encoding, pooled.class_encoding)
           << spec.canonical() << " r=" << radius;
       EXPECT_EQ(serial.distinct, pooled.distinct);
       std::unordered_set<std::string> distinct;
@@ -508,7 +511,7 @@ TEST(Census, AgreesWithPerBallCanonicalFormOnEveryFamily) {
         }
         const std::string direct =
             canonical_form(sub.graph, ball_payloads).encoding;
-        ASSERT_EQ(serial.encodings[static_cast<std::size_t>(v)], direct)
+        ASSERT_EQ(serial.encoding_of(v), direct)
             << spec.canonical() << " node " << v << " r=" << radius;
         distinct.insert(direct);
       }
@@ -523,9 +526,8 @@ TEST(Census, AgreesWithPerBallCanonicalFormOnEveryFamily) {
       for (NodeId v = 0; v < g.node_count(); ++v) {
         const std::size_t c = serial.class_of[static_cast<std::size_t>(v)];
         ASSERT_LT(c, serial.class_representative.size());
-        EXPECT_EQ(serial.encodings[static_cast<std::size_t>(v)],
-                  serial.encodings[static_cast<std::size_t>(
-                      serial.class_representative[c])]);
+        EXPECT_EQ(serial.encoding_of(v),
+                  serial.encoding_of(serial.class_representative[c]));
       }
     }
   }
@@ -537,7 +539,7 @@ TEST(Census, AgreesWithPerBallCanonicalFormOnEveryFamily) {
 TEST(Census, CertificateBucketsAreCoarserThanClasses) {
   for (const char* selector : {"hypercube:dims=4", "gnp:n=32,permille=200"}) {
     const gen::FamilyInstanceSpec spec = gen::resolve_family_text(selector);
-    const Graph g = spec.build(5);
+    const CsrGraph g = spec.build(5);
     std::unordered_map<std::string, std::string> cert_of_encoding;
     std::unordered_set<std::string> certificates;
     std::unordered_set<std::string> encodings;
@@ -566,12 +568,12 @@ TEST(Census, CertificateBucketsAreCoarserThanClasses) {
 TEST(Census, HypercubeAndCompleteBipartiteClassesAreOracleExact) {
   for (const char* selector : {"hypercube:dims=4", "complete-bipartite"}) {
     const gen::FamilyInstanceSpec spec = gen::resolve_family_text(selector);
-    const Graph g = spec.build(3);
+    const CsrGraph g = spec.build(3);
     const std::vector<std::string> payloads(
         static_cast<std::size_t>(g.node_count()));
     const BallCensusResult census = canonical_census(g, payloads, 1, nullptr);
     struct BallData {
-      Graph g;
+      CsrGraph g;
       std::vector<std::string> payloads;
     };
     std::map<std::string, std::vector<BallData>> classes;
@@ -583,7 +585,7 @@ TEST(Census, HypercubeAndCompleteBipartiteClassesAreOracleExact) {
         ball_payloads.push_back(
             static_cast<NodeId>(i) == sub.from_parent.at(v) ? "C" : "N");
       }
-      classes[census.encodings[static_cast<std::size_t>(v)]].push_back(
+      classes[census.encoding_of(v)].push_back(
           {std::move(sub.graph), std::move(ball_payloads)});
     }
     ASSERT_EQ(static_cast<std::int64_t>(classes.size()), census.distinct);
@@ -611,13 +613,13 @@ TEST(Census, HypercubeAndCompleteBipartiteClassesAreOracleExact) {
 // extracted ball is byte-identical, so exactly one structure is
 // canonicalized no matter how many nodes the host has.
 TEST(Census, RawDedupCollapsesTransitiveHosts) {
-  const Graph cycle = make_cycle(48);
+  const CsrGraph cycle = make_cycle(48);
   const BallCensusResult census =
       canonical_census(cycle, blank(cycle), 1, nullptr);
   EXPECT_EQ(census.unique_structures, 1u);
   EXPECT_EQ(census.raw_duplicates, 47u);
   EXPECT_EQ(census.distinct, 1);
-  const Graph q6 = make_hypercube(6);
+  const CsrGraph q6 = make_hypercube(6);
   const BallCensusResult hyper = canonical_census(q6, blank(q6), 1, nullptr);
   EXPECT_EQ(hyper.unique_structures, 1u);
   EXPECT_EQ(hyper.distinct, 1);

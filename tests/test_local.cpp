@@ -114,12 +114,8 @@ TEST(Ball, ExtractionRadiusZero) {
 TEST(Ball, ExtractionIncludesEdgesAmongNeighbors) {
   // Triangle plus pendant: ball of radius 1 around node 0 must contain the
   // edge between its two triangle neighbours.
-  graph::Graph raw(4);
-  raw.add_edge(0, 1);
-  raw.add_edge(0, 2);
-  raw.add_edge(1, 2);
-  raw.add_edge(2, 3);
-  LabeledGraph g(std::move(raw));
+  LabeledGraph g(graph::CsrGraph::from_edges(
+      4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}}));
   const Ball b = extract_ball(g, nullptr, 0, 1);
   EXPECT_EQ(b.node_count(), 3);
   EXPECT_EQ(b.g.edge_count(), 3u);  // the triangle, not the pendant edge
@@ -187,14 +183,14 @@ TEST(Ball, CanonicalEncodingSeparatesIds) {
 
 TEST(Simulator, AcceptsIffAllNodesYes) {
   LabeledGraph g = LabeledGraph::uniform(make_cycle(5), Label{});
-  const auto all_yes = make_oblivious("yes", 0, [](const Ball&) {
+  const auto all_yes = make_oblivious("yes", 0, [](const BallView&) {
     return Verdict::yes;
   });
   const auto res = run_oblivious(*all_yes, g);
   EXPECT_TRUE(res.accepted);
   EXPECT_FALSE(res.first_rejecting.has_value());
 
-  const auto reject_somewhere = make_oblivious("no-at-deg2", 1, [](const Ball& b) {
+  const auto reject_somewhere = make_oblivious("no-at-deg2", 1, [](const BallView& b) {
     return b.g.degree(b.center) == 2 ? Verdict::no : Verdict::yes;
   });
   const auto res2 = run_oblivious(*reject_somewhere, g);
@@ -207,7 +203,7 @@ TEST(Simulator, ObliviousAlgorithmNeverSeesIds) {
   LabeledGraph g = LabeledGraph::uniform(make_path(4), Label{});
   const IdAssignment ids({9, 8, 7, 6});
   bool saw_ids = false;
-  const auto probe = make_oblivious("probe", 1, [&](const Ball& b) {
+  const auto probe = make_oblivious("probe", 1, [&](const BallView& b) {
     saw_ids |= b.has_ids();
     return Verdict::yes;
   });
@@ -219,7 +215,7 @@ TEST(Simulator, IdAwareAlgorithmSeesIds) {
   LabeledGraph g = LabeledGraph::uniform(make_path(4), Label{});
   const IdAssignment ids({9, 8, 7, 6});
   bool always_had_ids = true;
-  const auto probe = make_id_aware("probe", 1, [&](const Ball& b) {
+  const auto probe = make_id_aware("probe", 1, [&](const BallView& b) {
     always_had_ids &= b.has_ids();
     return Verdict::yes;
   });
@@ -230,25 +226,25 @@ TEST(Simulator, IdAwareAlgorithmSeesIds) {
 
 TEST(Simulator, ProbeDetectsIdDependence) {
   LabeledGraph g = LabeledGraph::uniform(make_cycle(6), Label{});
-  Rng rng(5);
   // Algorithm that rejects when its own id is the largest possible: clearly
   // id-dependent. With ids drawn as 6 distinct values from [0, 8), id 7 is
   // present in ~75% of assignments, so across 20 seeded trials both global
   // verdicts occur.
-  const auto threshold = make_id_aware("big-id-rejects", 0, [](const Ball& b) {
+  const auto threshold = make_id_aware("big-id-rejects", 0, [](const BallView& b) {
     return b.center_id() >= 7 ? Verdict::no : Verdict::yes;
   });
   const auto probe =
-      probe_id_dependence(*threshold, g, /*universe=*/8, 20, rng);
+      probe_id_dependence(*threshold, g, /*universe=*/8, 20, {{}, 5});
   EXPECT_TRUE(probe.some_node_output_changed);
   EXPECT_TRUE(probe.global_verdict_changed);
 
   // An id-reading but constant algorithm shows no dependence.
-  const auto constant = make_id_aware("const", 0, [](const Ball&) {
+  const auto constant = make_id_aware("const", 0, [](const BallView&) {
     return Verdict::yes;
   });
   const auto probe2 =
-      probe_id_dependence(*constant, g, /*universe=*/1'000'000, 10, rng);
+      probe_id_dependence(*constant, g, /*universe=*/1'000'000, 10,
+                          {{}, 6});
   EXPECT_FALSE(probe2.some_node_output_changed);
 }
 
@@ -260,7 +256,7 @@ TEST(Property, EvaluateDeciderSplitsCompletenessAndSoundness) {
     }
     return true;
   });
-  const auto decider = make_oblivious("check-ones", 0, [](const Ball& b) {
+  const auto decider = make_oblivious("check-ones", 0, [](const BallView& b) {
     return (b.center_label().size() >= 1 && b.center_label().at(0) == 1)
                ? Verdict::yes
                : Verdict::no;
@@ -279,7 +275,7 @@ TEST(Property, EvaluateDeciderSplitsCompletenessAndSoundness) {
   EXPECT_EQ(report.evaluations, 3);
 
   // A broken decider (always yes) fails exactly on the two no-instances.
-  const auto broken = make_oblivious("always-yes", 0, [](const Ball&) {
+  const auto broken = make_oblivious("always-yes", 0, [](const BallView&) {
     return Verdict::yes;
   });
   const auto report2 = evaluate_decider(*broken, prop, instances,

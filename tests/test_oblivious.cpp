@@ -14,7 +14,7 @@
 namespace locald::oblivious {
 namespace {
 
-using local::Ball;
+using local::BallView;
 using local::LabeledGraph;
 using local::Verdict;
 
@@ -27,7 +27,7 @@ TEST(Simulation, RejectsObliviousInner) {
 TEST(Simulation, ReproducesIdIndependentAlgorithmExactly) {
   // An id-reading decider whose output never depends on ids: A* equals it.
   auto reading = std::make_shared<local::LambdaAlgorithm>(
-      "agreement-with-ids", 1, false, [](const Ball& ball) {
+      "agreement-with-ids", 1, false, [](const BallView& ball) {
         (void)ball.center_id();
         const auto x = ball.center_label().at(0);
         for (graph::NodeId w : ball.g.neighbors(ball.center)) {
@@ -41,7 +41,8 @@ TEST(Simulation, ReproducesIdIndependentAlgorithmExactly) {
   const auto sim = make_oblivious_simulation(reading, options);
   Rng rng(2);
   for (int trial = 0; trial < 10; ++trial) {
-    LabeledGraph g(graph::make_random_connected(7, 3, rng));
+    LabeledGraph g(graph::make_random_connected(
+        7, 3, 200 + static_cast<std::uint64_t>(trial)));
     for (graph::NodeId v = 0; v < g.node_count(); ++v) {
       g.set_label(v, local::Label{static_cast<std::int64_t>(rng.below(2))});
     }
@@ -54,7 +55,7 @@ TEST(Simulation, ReproducesIdIndependentAlgorithmExactly) {
 
 TEST(Simulation, ExhaustiveOnTinyBallsSampledOnLarge) {
   auto reading = std::make_shared<local::LambdaAlgorithm>(
-      "const-with-ids", 0, false, [](const Ball& ball) {
+      "const-with-ids", 0, false, [](const BallView& ball) {
         (void)ball.center_id();
         return Verdict::yes;
       });
@@ -64,7 +65,7 @@ TEST(Simulation, ExhaustiveOnTinyBallsSampledOnLarge) {
   const auto sim = make_oblivious_simulation(reading, options);
   LabeledGraph tiny = LabeledGraph::uniform(graph::make_path(1),
                                             local::Label{});
-  const Ball b0 = local::extract_ball(tiny, nullptr, 0, 0);
+  const local::Ball b0 = local::extract_ball(tiny, nullptr, 0, 0);
   sim->evaluate(b0);
   EXPECT_TRUE(sim->last_stats().exhaustive);
   EXPECT_EQ(sim->last_stats().assignments_tried, 6u);
@@ -74,11 +75,11 @@ TEST(Simulation, ExhaustiveOnTinyBallsSampledOnLarge) {
   big.max_assignments = 50;
   auto reading2 = std::make_shared<local::LambdaAlgorithm>(
       "const-with-ids", 1, false,
-      [](const Ball& b) { (void)b.center_id(); return Verdict::yes; });
+      [](const BallView& b) { (void)b.center_id(); return Verdict::yes; });
   const auto sim2 = make_oblivious_simulation(reading2, big);
   LabeledGraph cyc = LabeledGraph::uniform(graph::make_cycle(9),
                                            local::Label{});
-  const Ball b1 = local::extract_ball(cyc, nullptr, 0, 1);
+  const local::Ball b1 = local::extract_ball(cyc, nullptr, 0, 1);
   sim2->evaluate(b1);
   EXPECT_FALSE(sim2->last_stats().exhaustive);
   EXPECT_EQ(sim2->last_stats().assignments_tried, 50u);
@@ -116,7 +117,7 @@ TEST(Simulation, UniverseSizeChangesVerdictForRuntimeBoundedInner) {
   // Inner: reject iff own id >= 50 (a stand-in for "simulation reaches the
   // halting step at id >= runtime").
   auto inner = std::make_shared<local::LambdaAlgorithm>(
-      "reject-at-big-id", 0, false, [](const Ball& ball) {
+      "reject-at-big-id", 0, false, [](const BallView& ball) {
         return ball.center_id() >= 50 ? Verdict::no : Verdict::yes;
       });
   LabeledGraph g = LabeledGraph::uniform(graph::make_path(1),

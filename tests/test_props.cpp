@@ -43,7 +43,8 @@ TEST(Coloring, DeciderAgreesWithOracle) {
   instances.push_back(colored_cycle(5, {0, 1}));
   instances.push_back(colored_cycle(7, {0, 0, 1}));
   for (int trial = 0; trial < 10; ++trial) {
-    LabeledGraph g(graph::make_random_connected(12, 6, rng));
+    LabeledGraph g(graph::make_random_connected(
+        12, 6, 2100 + static_cast<std::uint64_t>(trial)));
     for (graph::NodeId v = 0; v < g.node_count(); ++v) {
       g.set_label(v, Label{static_cast<std::int64_t>(rng.below(4))});
     }
@@ -80,7 +81,8 @@ TEST(Mis, DeciderAgreesWithOracleOnRandomBitLabellings) {
   locald::Rng rng(22);
   std::vector<LabeledGraph> instances;
   for (int trial = 0; trial < 30; ++trial) {
-    LabeledGraph g(graph::make_random_connected(10, 5, rng));
+    LabeledGraph g(graph::make_random_connected(
+        10, 5, 2200 + static_cast<std::uint64_t>(trial)));
     for (graph::NodeId v = 0; v < g.node_count(); ++v) {
       g.set_label(v, Label{static_cast<std::int64_t>(rng.below(2))});
     }
@@ -132,8 +134,9 @@ class ObliviousSweep
     : public ::testing::TestWithParam<int> {};
 
 TEST_P(ObliviousSweep, NoIdDependence) {
-  locald::Rng rng(23 + static_cast<std::uint64_t>(GetParam()));
-  LabeledGraph g(graph::make_random_connected(12, 8, rng));
+  const std::uint64_t seed = 23 + static_cast<std::uint64_t>(GetParam());
+  locald::Rng rng(seed);
+  LabeledGraph g(graph::make_random_connected(12, 8, seed));
   for (graph::NodeId v = 0; v < g.node_count(); ++v) {
     g.set_label(v, Label{static_cast<std::int64_t>(rng.below(3))});
   }
@@ -145,7 +148,7 @@ TEST_P(ObliviousSweep, NoIdDependence) {
   algs.push_back(cycle_decider());
   for (const auto& alg : algs) {
     const auto probe =
-        local::probe_id_dependence(*alg, g, 1'000'000, 6, rng);
+        local::probe_id_dependence(*alg, g, 1'000'000, 6, {{}, seed});
     EXPECT_FALSE(probe.some_node_output_changed) << alg->name();
   }
 }

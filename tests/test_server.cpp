@@ -21,6 +21,7 @@
 #include "server/server.h"
 #include "support/check.h"
 #include "support/json.h"
+#include "support/schema.h"
 
 namespace locald::server {
 namespace {
@@ -322,6 +323,28 @@ TEST(Api, ScenariosDocumentMirrorsRegistry) {
   }
 }
 
+TEST(Api, VersionDocumentCarriesSchemaAndGraphCore) {
+  const JsonValue v = parse_json(version_document());
+  EXPECT_EQ(v.find("tool")->as_string(), "locald-version");
+  EXPECT_EQ(v.find("schema_version")->as_integer(), kSchemaVersion);
+  EXPECT_EQ(v.find("graph_core")->as_string(), kGraphCoreId);
+  ASSERT_NE(v.find("build"), nullptr);
+  EXPECT_NE(v.find("build")->find("standard"), nullptr);
+}
+
+TEST(Api, EveryDocumentCarriesTheSchemaVersion) {
+  RunRequest req;
+  req.scenario = "promise-cycle";
+  exec::ExecContext serial;
+  for (const std::string& doc :
+       {scenarios_document(), families_document(), version_document(),
+        run_document(req, serial, nullptr), error_document(418, "teapot")}) {
+    const JsonValue v = parse_json(doc);
+    ASSERT_NE(v.find("schema_version"), nullptr) << doc;
+    EXPECT_EQ(v.find("schema_version")->as_integer(), kSchemaVersion);
+  }
+}
+
 TEST(Api, RunDocumentIsDeterministicAndParseable) {
   RunRequest req;
   req.scenario = "promise-cycle";
@@ -366,6 +389,10 @@ TEST(Routing, HealthzAndMetricsAndScenarios) {
   Server server{ServeOptions{}};
   EXPECT_EQ(server.handle(make_request("GET", "/v1/healthz")).status, 200);
   EXPECT_EQ(server.handle(make_request("GET", "/v1/metrics")).status, 200);
+  const HttpResponse version =
+      server.handle(make_request("GET", "/v1/version"));
+  EXPECT_EQ(version.status, 200);
+  EXPECT_EQ(version.body, version_document());
   const HttpResponse scenarios =
       server.handle(make_request("GET", "/v1/scenarios"));
   EXPECT_EQ(scenarios.status, 200);

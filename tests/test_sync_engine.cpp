@@ -34,7 +34,7 @@ TEST(Knowledge, MalformedPayloadRejected) {
 TEST(Knowledge, BallReconstructionMatchesExtraction) {
   // Build knowledge by hand for a 5-cycle with ids = node index, then check
   // the reconstructed radius-1 ball around node 0.
-  const graph::Graph c5 = make_cycle(5);
+  const graph::CsrGraph c5 = make_cycle(5);
   Knowledge k;
   for (graph::NodeId v = 0; v < 5; ++v) {
     KnownNode node;
@@ -57,7 +57,7 @@ TEST(Knowledge, BallReconstructionMatchesExtraction) {
 }
 
 TEST(Knowledge, ReconstructionIgnoresNodesBeyondRadius) {
-  const graph::Graph p5 = make_path(5);
+  const graph::CsrGraph p5 = make_path(5);
   Knowledge k;
   for (graph::NodeId v = 0; v < 5; ++v) {
     KnownNode node;
@@ -95,7 +95,7 @@ TEST(Equivalence, IdAwareAlgorithmOnGrid) {
   Rng rng(5);
   const IdAssignment ids = make_random_unbounded(12, 500, rng);
   // Id-aware horizon-2 algorithm: reject iff some ball node has id > 400.
-  const auto alg = make_id_aware("big-id", 2, [](const Ball& b) {
+  const auto alg = make_id_aware("big-id", 2, [](const BallView& b) {
     for (graph::NodeId v = 0; v < b.node_count(); ++v) {
       if (b.id_of(v) > 400) return Verdict::no;
     }
@@ -107,7 +107,7 @@ TEST(Equivalence, IdAwareAlgorithmOnGrid) {
 TEST(Equivalence, HorizonZero) {
   LabeledGraph g = LabeledGraph::uniform(make_path(4), Label{2});
   const IdAssignment ids = make_consecutive(4);
-  const auto alg = make_oblivious("label-check", 0, [](const Ball& b) {
+  const auto alg = make_oblivious("label-check", 0, [](const BallView& b) {
     return b.center_label().at(0) == 2 ? Verdict::yes : Verdict::no;
   });
   expect_equivalence(*alg, g, ids);
@@ -125,9 +125,9 @@ class EquivalenceSweep : public ::testing::TestWithParam<EquivParam> {};
 TEST_P(EquivalenceSweep, RandomGraphsRandomHorizons) {
   const auto p = GetParam();
   Rng rng(p.seed);
-  const graph::Graph raw = graph::make_random_connected(
+  const graph::CsrGraph raw = graph::make_random_connected(
       static_cast<graph::NodeId>(p.n), static_cast<graph::NodeId>(p.extra),
-      rng);
+      p.seed);
   LabeledGraph g(raw);
   for (graph::NodeId v = 0; v < g.node_count(); ++v) {
     g.set_label(v, Label{static_cast<std::int64_t>(rng.below(3))});
@@ -137,7 +137,7 @@ TEST_P(EquivalenceSweep, RandomGraphsRandomHorizons) {
   // A structurally sensitive oblivious algorithm: parity of the ball's edge
   // count, biased by the centre label.
   const auto alg = make_oblivious(
-      "ball-parity", p.horizon, [](const Ball& b) {
+      "ball-parity", p.horizon, [](const BallView& b) {
         const auto parity =
             (b.g.edge_count() + static_cast<std::size_t>(
                                     b.center_label().at(0))) % 2;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "graph/graph.h"
 #include "local/indistinguishability.h"
 #include "local/property.h"
 #include "local/simulator.h"
@@ -149,8 +150,13 @@ TEST(Oracles, RejectMutations) {
       const auto& lv = good.label(v);
       if (!coords_adjacent({lu.at(2), lu.at(3)}, {lv.at(2), lv.at(3)},
                            p.capital_R()) &&
-          !extra_edge.graph().has_edge(u, v)) {
-        extra_edge.mutable_graph().add_edge(u, v);
+          !good.graph().has_edge(u, v)) {
+        graph::GraphBuilder builder(good.node_count());
+        for (const auto& [a, b] : good.graph().edges()) {
+          builder.add_edge(a, b);
+        }
+        builder.add_edge(u, v);
+        extra_edge = LabeledGraph(builder.build(), good.labels());
         added = true;
       }
     }
@@ -228,22 +234,22 @@ TEST(Verifier, RejectsTPlusPivotAttack) {
   const Coord R = p.capital_R();
   LabeledGraph attack = build_T(p);
   const Patch h = subtree_patch(p, 0, 0);
-  const graph::NodeId pivot = attack.mutable_graph().add_node();
-  // Adding a node invalidates the label vector length; rebuild labels via
-  // set_label after extending.
-  // LabeledGraph keeps labels in a vector sized at construction; grow it:
-  // (mutable_graph().add_node() does not resize labels, so rebuild.)
+  // Rebuild T_r with one extra pivot node glued to the border.
+  const graph::NodeId pivot = attack.node_count();
   std::vector<local::Label> labels;
-  for (graph::NodeId v = 0; v + 1 < attack.node_count(); ++v) {
+  for (graph::NodeId v = 0; v < attack.node_count(); ++v) {
     labels.push_back(attack.label(v));
   }
   labels.push_back(pivot_label(p.r));
-  graph::Graph g2 = attack.graph();
+  graph::GraphBuilder g2(pivot + 1);
+  for (const auto& [a, b] : attack.graph().edges()) {
+    g2.add_edge(a, b);
+  }
   for (const CoordPair& c : expected_border(h, R)) {
     g2.add_edge(pivot, static_cast<graph::NodeId>(
                            graph::TreeIndex::id(static_cast<int>(c.y), c.x)));
   }
-  const LabeledGraph bad(std::move(g2), std::move(labels));
+  const LabeledGraph bad(g2.build(), std::move(labels));
   const auto verifier = make_P_prime_verifier(p);
   const auto run = local::run_oblivious(*verifier, bad);
   EXPECT_FALSE(run.accepted);
@@ -254,7 +260,7 @@ TEST(Verifier, RejectsPatchWithoutPivot) {
   const LabeledGraph with_pivot =
       build_patch_instance(p, subtree_patch(p, 1, 2));
   // Rebuild the same instance minus the pivot node (last node).
-  graph::Graph g(with_pivot.node_count() - 1);
+  graph::GraphBuilder g(with_pivot.node_count() - 1);
   std::vector<local::Label> labels;
   for (graph::NodeId v = 0; v + 1 < with_pivot.node_count(); ++v) {
     labels.push_back(with_pivot.label(v));
@@ -264,7 +270,7 @@ TEST(Verifier, RejectsPatchWithoutPivot) {
       g.add_edge(u, v);
     }
   }
-  const LabeledGraph orphan(std::move(g), std::move(labels));
+  const LabeledGraph orphan(g.build(), std::move(labels));
   const auto verifier = make_P_prime_verifier(p);
   EXPECT_FALSE(local::run_oblivious(*verifier, orphan).accepted);
 }
@@ -307,13 +313,12 @@ TEST(Decider, IsGenuinelyIdDependent) {
   const TreeParams p = params(2);
   const auto decider = make_P_decider(p);
   const LabeledGraph yes = build_patch_instance(p, subtree_patch(p, 0, 0));
-  Rng rng(9);
   // With ids drawn from beyond the (B) bound the decider misfires on
   // yes-instances: ids >= R slip in — exactly the paper's point that the
   // decider lives in LD only under (B). Universe 2R makes both outcomes
   // likely per node.
   const auto probe = local::probe_id_dependence(
-      *decider, yes, 2 * static_cast<local::Id>(p.capital_R()), 12, rng);
+      *decider, yes, 2 * static_cast<local::Id>(p.capital_R()), 12, {{}, 9});
   EXPECT_TRUE(probe.some_node_output_changed);
 }
 

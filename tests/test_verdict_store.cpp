@@ -315,7 +315,7 @@ TEST(VerdictStore, WarmReloadMatchesRecomputationOnEveryFamily) {
   // both verdicts realized across the registry's topologies — interior and
   // boundary balls differ in parity in most families.
   const local::LambdaAlgorithm probe(
-      "store-probe", 1, /*oblivious=*/true, [](const local::Ball& ball) {
+      "store-probe", 1, /*oblivious=*/true, [](const local::BallView& ball) {
         return ball.node_count() % 2 == 0 ? local::Verdict::yes
                                           : local::Verdict::no;
       });
@@ -335,7 +335,7 @@ TEST(VerdictStore, WarmReloadMatchesRecomputationOnEveryFamily) {
       cache.attach_store(&store);
       ExecContext ctx;
       ctx.cache = &cache;
-      const local::RunResult first = run_oblivious(probe, g, ctx);
+      const local::RunResult first = run_oblivious(probe, g, {ctx});
       EXPECT_EQ(first.outputs, reference.outputs) << family.name;
     }
 
@@ -348,7 +348,7 @@ TEST(VerdictStore, WarmReloadMatchesRecomputationOnEveryFamily) {
       cache.attach_store(&store);
       ExecContext ctx;
       ctx.cache = &cache;
-      const local::RunResult warm = run_oblivious(probe, g, ctx);
+      const local::RunResult warm = run_oblivious(probe, g, {ctx});
       EXPECT_EQ(warm.outputs, reference.outputs) << family.name;
       EXPECT_EQ(warm.accepted, reference.accepted) << family.name;
       const VerdictCache::Stats stats = cache.stats();
