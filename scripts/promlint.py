@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (format 0.0.4) document.
+
+Stdlib-only checker for the `GET /metrics` endpoint, run by CI against a
+live scrape. Validates the subset of the format locald emits:
+
+  - `# HELP <name> <text>` / `# TYPE <name> <counter|gauge|histogram|...>`
+    comment grammar, with TYPE preceding the family's first sample and at
+    most one HELP/TYPE per family.
+  - Sample lines `name[{label="value",...}] value [timestamp]` with legal
+    metric/label names, properly escaped label values (\\, \", \n only),
+    and parseable float values.
+  - Histogram families: `_bucket` samples carry an `le` label, cumulative
+    bucket counts are monotone ending in a mandatory `le="+Inf"` bucket
+    that equals `_count`.
+  - Counter samples are finite and non-negative.
+
+Usage: promlint.py [FILE]   (reads stdin when FILE is omitted)
+Exits 0 when clean, 1 with one line per violation otherwise.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# A sample line: name, optional {labels}, value, optional timestamp.
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{.*\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_labels(text, errors, lineno):
+    """Parse `{k="v",...}` into a dict, reporting escaping violations."""
+    labels = {}
+    body = text[1:-1]
+    pos = 0
+    while pos < len(body):
+        eq = body.find("=", pos)
+        if eq < 0:
+            errors.append(f"line {lineno}: malformed label pair in {text!r}")
+            return labels
+        name = body[pos:eq]
+        if not LABEL_NAME.match(name):
+            errors.append(f"line {lineno}: bad label name {name!r}")
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            errors.append(f"line {lineno}: label value must be quoted")
+            return labels
+        value = []
+        i = eq + 2
+        while i < len(body):
+            c = body[i]
+            if c == "\\":
+                if i + 1 >= len(body) or body[i + 1] not in ('\\', '"', "n"):
+                    errors.append(
+                        f"line {lineno}: illegal escape in label value"
+                    )
+                    return labels
+                value.append("\n" if body[i + 1] == "n" else body[i + 1])
+                i += 2
+            elif c == '"':
+                break
+            else:
+                value.append(c)
+                i += 1
+        else:
+            errors.append(f"line {lineno}: unterminated label value")
+            return labels
+        labels[name] = "".join(value)
+        pos = i + 1
+        if pos < len(body):
+            if body[pos] != ",":
+                errors.append(f"line {lineno}: expected ',' between labels")
+                return labels
+            pos += 1
+    return labels
+
+
+def base_family(name):
+    """Histogram sample names map back to their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text):
+    errors = []
+    helps = {}
+    types = {}
+    seen_samples = {}  # family -> list of (labels, float value, lineno)
+    sample_seen_before_type = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line != line.rstrip():
+            errors.append(f"line {lineno}: trailing whitespace")
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            kind = line[2:6]
+            rest = line[7:]
+            parts = rest.split(" ", 1)
+            name = parts[0]
+            if not METRIC_NAME.match(name):
+                errors.append(f"line {lineno}: bad metric name {name!r}")
+                continue
+            store = helps if kind == "HELP" else types
+            if name in store:
+                errors.append(f"line {lineno}: duplicate # {kind} for {name}")
+            store[name] = parts[1] if len(parts) > 1 else ""
+            if kind == "TYPE":
+                if store[name] not in VALID_TYPES:
+                    errors.append(
+                        f"line {lineno}: unknown type {store[name]!r}"
+                    )
+                if name in sample_seen_before_type:
+                    errors.append(
+                        f"line {lineno}: # TYPE {name} after its samples"
+                    )
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = m.group("name")
+        labels = {}
+        if m.group("labels"):
+            labels = parse_labels(m.group("labels"), errors, lineno)
+        raw_value = m.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            if raw_value not in ("+Inf", "-Inf", "NaN"):
+                errors.append(
+                    f"line {lineno}: unparseable value {raw_value!r}"
+                )
+                continue
+            value = float(raw_value.replace("Inf", "inf").replace("NaN", "nan"))
+        family = base_family(name)
+        sample_seen_before_type.add(family)
+        seen_samples.setdefault(family, []).append((name, labels, value, lineno))
+
+    for family, samples in seen_samples.items():
+        ftype = types.get(family) or types.get(samples[0][0])
+        if ftype is None:
+            errors.append(f"family {family}: no # TYPE line")
+            continue
+        if family not in helps and samples[0][0] not in helps:
+            errors.append(f"family {family}: no # HELP line")
+        if ftype == "counter":
+            for name, _labels, value, lineno in samples:
+                if not value >= 0:
+                    errors.append(
+                        f"line {lineno}: counter {name} is negative"
+                    )
+        if ftype == "histogram":
+            buckets = [s for s in samples if s[0] == family + "_bucket"]
+            counts = [s for s in samples if s[0] == family + "_count"]
+            if not buckets:
+                errors.append(f"family {family}: histogram has no _bucket")
+                continue
+            for name, labels, _value, lineno in buckets:
+                if "le" not in labels:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+            last = buckets[-1]
+            if last[1].get("le") != "+Inf":
+                errors.append(
+                    f"family {family}: final bucket is not le=\"+Inf\""
+                )
+            values = [b[2] for b in buckets]
+            if values != sorted(values):
+                errors.append(
+                    f"family {family}: bucket counts are not cumulative"
+                )
+            if counts and last[1].get("le") == "+Inf":
+                if counts[0][2] != last[2]:
+                    errors.append(
+                        f"family {family}: +Inf bucket != _count"
+                    )
+
+    return errors
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    errors = lint(text)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        samples = sum(1 for s in text.splitlines()
+                      if s and not s.startswith("#"))
+        print(f"promlint: clean ({samples} sample lines OK)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

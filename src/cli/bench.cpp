@@ -1,12 +1,12 @@
 #include "cli/bench.h"
 
-#include <sys/resource.h>
-
-#include <chrono>
 #include <optional>
 
 #include "exec/context.h"
 #include "gen/workload.h"
+#include "obs/process.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "support/format.h"
 #include "support/schema.h"
 
@@ -27,14 +27,6 @@ struct BenchCell {
   // monotone across cells; the jump at a cell is that cell's contribution.
   long peak_rss_kb = 0;
 };
-
-long process_peak_rss_kb() {
-  rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) {
-    return 0;
-  }
-  return usage.ru_maxrss;
-}
 
 bool deterministic_fields_equal(const gen::WorkloadResult& a,
                                 const gen::WorkloadResult& b) {
@@ -77,17 +69,17 @@ BenchCell run_cell(const std::string& selector, int size,
     }
     exec::ExecContext ctx;
     ctx.pool = pool ? &*pool : nullptr;
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch stopwatch;
     gen::WorkloadResult result;
     try {
+      obs::Span span("bench-cell",
+                     selector + " threads=" + std::to_string(threads));
       result = gen::run_family_workload(*spec, wopts, ctx);
     } catch (const std::exception& e) {
       cell.error = e.what();
       return cell;
     }
-    cell.wall_ms.push_back(std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count());
+    cell.wall_ms.push_back(stopwatch.elapsed_ms());
     if (t == 0) {
       cell.result = std::move(result);
     } else if (!deterministic_fields_equal(cell.result, result)) {
@@ -96,7 +88,7 @@ BenchCell run_cell(const std::string& selector, int size,
       cell.threads_agree = false;
     }
   }
-  cell.peak_rss_kb = process_peak_rss_kb();
+  cell.peak_rss_kb = static_cast<long>(obs::peak_rss_kb());
   return cell;
 }
 
@@ -208,7 +200,7 @@ int run_bench(const BenchOptions& bench_in, std::ostream& out) {
     bench.thread_grid.push_back(1);
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch bench_stopwatch;
   std::vector<BenchCell> cells;
   cells.reserve(bench.families.size() * bench.sizes.size());
   // Grid order is (family, size), families outermost; cells run serially
@@ -219,9 +211,7 @@ int run_bench(const BenchOptions& bench_in, std::ostream& out) {
       cells.push_back(run_cell(selector, size, bench));
     }
   }
-  const double total_ms = std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
+  const double total_ms = bench_stopwatch.elapsed_ms();
 
   bool all_ok = true;
   for (const BenchCell& cell : cells) {
@@ -258,7 +248,7 @@ int run_bench(const BenchOptions& bench_in, std::ostream& out) {
     w.key("total_wall_ms");
     w.value(total_ms, 3);
     w.key("peak_rss_kb");
-    w.value(static_cast<std::int64_t>(process_peak_rss_kb()));
+    w.value(static_cast<std::int64_t>(obs::peak_rss_kb()));
   }
   w.key("cells");
   w.begin_array();

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <functional>
 #include <iostream>
 #include <limits>
 #include <optional>
@@ -30,6 +31,9 @@
 #include "cli/sweep.h"
 #include "exec/context.h"
 #include "gen/family.h"
+#include "obs/process.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "server/api.h"
 #include "server/server.h"
 
@@ -93,7 +97,16 @@ int usage(std::ostream& out, int status) {
          "                  are shed with 503 + Retry-After (default 64)\n"
          "  --store DIR     serve only: persistent verdict store backing "
          "the shared\n"
-         "                  cache; a restarted server starts warm\n";
+         "                  cache; a restarted server starts warm\n"
+         "  --trace-out F   run/sweep/bench/serve: collect stage spans and "
+         "write Chrome\n"
+         "                  trace_event JSON to F (open in Perfetto or "
+         "chrome://tracing);\n"
+         "                  the deterministic stdout document is unchanged\n"
+         "  --access-log F  serve only: append one NDJSON line per request "
+         "to F (method,\n"
+         "                  path, status, bytes, duration, worker, cache "
+         "hits)\n";
   return status;
 }
 
@@ -266,7 +279,7 @@ int run_scenarios(const std::vector<std::string>& names,
     ScenarioOptions opts = base_opts;
     opts.exec.pool = pool ? &*pool : nullptr;
     opts.exec.cache = &cache;
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch stopwatch;
     if (opts.format == OutputFormat::text) {
       std::cout << "=== " << s->name << " (" << s->paper_ref << ") ===\n\n";
     }
@@ -274,13 +287,12 @@ int run_scenarios(const std::vector<std::string>& names,
     // rest of a --all run.
     bool ok = false;
     try {
+      obs::Span span("scenario", s->name);
       ok = s->run(opts, std::cout);
     } catch (const std::exception& e) {
       std::cerr << "[" << s->name << "] error: " << e.what() << "\n";
     }
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double secs = stopwatch.elapsed_seconds();
     if (opts.format == OutputFormat::text) {
       std::cout << "[" << s->name << "] "
                 << (ok ? "reproduced" : "MISMATCH with the paper") << " in "
@@ -312,6 +324,8 @@ int main_impl(int argc, char** argv) {
   int workers = -1;  // serve only
   int queue = -1;    // serve only
   std::string store;  // serve only; persistent verdict-store directory
+  std::string trace_out;   // run/sweep/bench/serve; Chrome trace JSON path
+  std::string access_log;  // serve only; NDJSON request log path
   bool run_all = false;
   bool timing = false;
   bool canon = false;          // bench --canon
@@ -360,6 +374,20 @@ int main_impl(int argc, char** argv) {
         return 2;
       }
       store = *value;
+    } else if (arg == "--trace-out") {
+      const auto value = take_value();
+      if (!value || value->empty()) {
+        std::cerr << "--trace-out needs a file path\n";
+        return 2;
+      }
+      trace_out = *value;
+    } else if (arg == "--access-log") {
+      const auto value = take_value();
+      if (!value || value->empty()) {
+        std::cerr << "--access-log needs a file path\n";
+        return 2;
+      }
+      access_log = *value;
     } else if (arg == "--seed" || arg == "--size" || arg == "--trials") {
       const auto value = take_value();
       const auto parsed = value ? parse_int(*value) : std::nullopt;
@@ -433,6 +461,36 @@ int main_impl(int argc, char** argv) {
     std::cerr << "--port/--workers/--queue/--store are serve options\n";
     return 2;
   }
+  if (command != "serve" && !access_log.empty()) {
+    std::cerr << "--access-log is a serve option\n";
+    return 2;
+  }
+  if (!trace_out.empty() && command != "run" && command != "sweep" &&
+      command != "bench" && command != "serve") {
+    std::cerr << "--trace-out applies to run, sweep, bench, and serve\n";
+    return 2;
+  }
+  // Traced commands: collect spans for exactly the command's duration and
+  // write the Chrome trace on the way out. The deterministic stdout
+  // document is untouched — the trace is its own file.
+  const auto with_trace = [&](const std::function<int()>& fn) -> int {
+    if (trace_out.empty()) return fn();
+    obs::tracing_start();
+    int code = 2;
+    try {
+      code = fn();
+    } catch (...) {
+      std::string ignored;
+      obs::tracing_stop_to_file(trace_out, &ignored);
+      throw;
+    }
+    std::string error;
+    if (!obs::tracing_stop_to_file(trace_out, &error)) {
+      std::cerr << "trace: " << error << "\n";
+      if (code == 0) code = 2;
+    }
+    return code;
+  };
   if (command != "bench" && thread_grid.size() > 1) {
     std::cerr << "--threads takes a comma-separated grid only for bench\n";
     return 2;
@@ -499,22 +557,25 @@ int main_impl(int argc, char** argv) {
         std::cerr << "--timing is not available with --format json\n";
         return 2;
       }
-      return run_scenario_json(names.front(), opts, threads);
+      return with_trace(
+          [&] { return run_scenario_json(names.front(), opts, threads); });
     }
-    return run_scenarios(names, opts, threads);
+    return with_trace([&] { return run_scenarios(names, opts, threads); });
   }
   if (command == "serve") {
     if (!positional.empty() || run_all || timing || !sizes.empty() ||
         !format.empty() || opts.size != 0 || opts.trials != 0 || seed_set ||
         !families.empty()) {
       std::cerr << "serve takes only --port, --threads, --workers, --queue, "
-                   "--store\n";
+                   "--store, --trace-out, --access-log\n";
       return 2;
     }
     server::ServeOptions serve_opts;
     if (port != -1) serve_opts.port = port;
     serve_opts.threads = threads;
     serve_opts.store_path = store;
+    serve_opts.trace_out = trace_out;
+    serve_opts.access_log_path = access_log;
     if (workers != -1) {
       if (workers == 0) {
         std::cerr << "--workers must be at least 1\n";
@@ -551,7 +612,8 @@ int main_impl(int argc, char** argv) {
     sweep.family = opts.family;
     sweep.threads = threads;
     sweep.timing = timing;
-    return run_sweep(positional.front(), sweep, std::cout);
+    return with_trace(
+        [&] { return run_sweep(positional.front(), sweep, std::cout); });
   }
   if (command == "bench") {
     if (!positional.empty() || run_all || !format.empty() || opts.size != 0 ||
@@ -571,7 +633,7 @@ int main_impl(int argc, char** argv) {
     bench.sizes = sizes;
     bench.thread_grid = thread_grid;
     bench.timing = timing;
-    return run_bench(bench, std::cout);
+    return with_trace([&] { return run_bench(bench, std::cout); });
   }
   std::cerr << "unknown command: " << command << "\n";
   return usage(std::cerr, 2);
@@ -580,4 +642,7 @@ int main_impl(int argc, char** argv) {
 }  // namespace
 }  // namespace locald::cli
 
-int main(int argc, char** argv) { return locald::cli::main_impl(argc, argv); }
+int main(int argc, char** argv) {
+  locald::obs::anchor_uptime();
+  return locald::cli::main_impl(argc, argv);
+}

@@ -2,10 +2,10 @@
 // pyramids, the Corollary-1 randomized decider, the machine-labelled-cycle
 // promise problem, and the fragment-policy ablation.
 #include <algorithm>
-#include <chrono>
 
 #include "cli/scenarios.h"
 #include "graph/pyramid.h"
+#include "obs/stopwatch.h"
 #include "halting/analysis.h"
 #include "halting/gmr.h"
 #include "halting/promise_halting.h"
@@ -42,7 +42,7 @@ bool run_fig2(const ScenarioOptions& opts, std::ostream& out) {
   const auto verifier = halting::make_gmr_verifier(3, policy, false, budget);
   const auto decider = halting::make_gmr_decider(3, policy, false, budget);
   for (const tm::ZooEntry& e : tm::small_zoo()) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch stopwatch;
     const auto exact = tm::count_fragments(e.machine, 3);
     std::string verify = "-";
     std::string decide = "-";
@@ -69,9 +69,7 @@ bool run_fig2(const ScenarioOptions& opts, std::ostream& out) {
       ok = ok && verified && correct;
       decide = cat(acc ? "accept" : "reject", correct ? " (ok)" : " (BAD)");
     }
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double secs = stopwatch.elapsed_seconds();
     std::vector<std::string> row{e.machine.name(), e.halts ? "yes" : "no",
                                  cat(exact), used, tbl, g_size, verify,
                                  decide};
@@ -114,17 +112,16 @@ bool run_fig3(const ScenarioOptions& opts, std::ostream& out) {
   TextTable table(columns);
   for (int h = 1; h <= max_h; ++h) {
     const graph::PyramidIndexer idx(h);
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch stopwatch;
     const graph::CsrGraph g = graph::build_pyramid(idx);
-    const auto t1 = std::chrono::steady_clock::now();
+    const double build_ms = stopwatch.elapsed_ms();
     const bool valid = h <= 5 ? graph::is_pyramid(g, h) : true;
     ok = ok && valid;
     std::vector<std::string> row{
         cat(h), cat(idx.side(0), "x", idx.side(0)), cat(g.node_count()),
         cat(g.edge_count()), cat(g.degree(idx.apex()))};
     if (opts.timing) {
-      row.push_back(fixed(
-          std::chrono::duration<double, std::milli>(t1 - t0).count(), 2));
+      row.push_back(fixed(build_ms, 2));
     }
     row.push_back(valid ? (h <= 5 ? "yes" : "unchecked") : "NO");
     table.add_row(std::move(row));

@@ -1,10 +1,10 @@
 // Section 2 scenarios: the Figure-1 layered trees T_r and the r-cycle
 // promise problem where identifiers leak n through the bound f.
 #include <algorithm>
-#include <chrono>
 
 #include "cli/scenarios.h"
 #include "local/indistinguishability.h"
+#include "obs/stopwatch.h"
 #include "local/property.h"
 #include "local/simulator.h"
 #include "support/rng.h"
@@ -33,7 +33,7 @@ bool run_fig1(const ScenarioOptions& opts, std::ostream& out) {
   }
   TextTable table(columns);
   for (int r = 1; r <= max_r; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch stopwatch;
     trees::TreeParams p;
     p.r = r;
     p.f = local::IdBound::linear_plus(1);
@@ -63,9 +63,7 @@ bool run_fig1(const ScenarioOptions& opts, std::ostream& out) {
     const bool row_ok = (r < 3 || audit.full_patch_coverage()) &&
                         audit.canonical_mismatch == 0 && report.all_correct();
     ok = ok && row_ok;
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double secs = stopwatch.elapsed_seconds();
     std::vector<std::string> row{
         cat(r), cat(R), cat(n), cat(audit.nodes_audited),
         fixed(static_cast<double>(audit.patch_covered) / audit.nodes_audited,

@@ -1,12 +1,13 @@
 #include "cli/sweep.h"
 
-#include <chrono>
 #include <iostream>
 #include <optional>
 #include <sstream>
 
 #include "cli/scenario.h"
 #include "exec/context.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "support/format.h"
 #include "support/schema.h"
 
@@ -38,17 +39,15 @@ CellResult run_cell(const Scenario& scenario, const SweepOptions& sweep,
   opts.exec.pool = pool;
   opts.exec.cache = &cache;
   std::ostringstream sink;  // tables are the run-mode UI; sweep keeps JSON
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch stopwatch;
   try {
+    obs::Span span("sweep-cell", "size=" + std::to_string(size));
     cell.ok = scenario.run(opts, sink);
   } catch (const std::exception& e) {
     cell.ok = false;
     cell.error = e.what();
   }
-  cell.wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t0)
-          .count();
+  cell.wall_ms = stopwatch.elapsed_ms();
   cell.cache = cache.stats();
   return cell;
 }
@@ -116,7 +115,7 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
   w.begin_array();
   if (flush) flush();
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const obs::Stopwatch sweep_stopwatch;
   bool all_ok = true;
   // Cells run in grid order on one thread; parallelism lives inside the
   // scenario's hot paths, which keeps nested pools out of the picture and
@@ -146,10 +145,7 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
     w.end_object();
     if (flush) flush();
   }
-  const double total_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t0)
-          .count();
+  const double total_ms = sweep_stopwatch.elapsed_ms();
 
   w.end_array();
   if (sweep.timing) {

@@ -1,6 +1,7 @@
 #include "exec/verdict_cache.h"
 
 #include "exec/verdict_store.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace locald::exec {
@@ -75,6 +76,25 @@ void VerdictCache::clear() {
     std::lock_guard<std::mutex> lk(shard.mu);
     shard.map.clear();
   }
+}
+
+std::vector<std::shared_ptr<void>> VerdictCache::register_metrics() {
+  obs::Registry& reg = obs::registry();
+  std::vector<std::shared_ptr<void>> handles;
+  handles.push_back(reg.counter_fn(
+      "locald_cache_hits_total", "Verdict-cache memory-tier hits",
+      [this] { return hits_.load(std::memory_order_relaxed); }));
+  handles.push_back(reg.counter_fn(
+      "locald_cache_store_hits_total",
+      "Verdict-cache hits answered from the attached persistent store",
+      [this] { return store_hits_.load(std::memory_order_relaxed); }));
+  handles.push_back(reg.counter_fn(
+      "locald_cache_misses_total", "Verdict-cache misses (neither tier)",
+      [this] { return misses_.load(std::memory_order_relaxed); }));
+  handles.push_back(reg.gauge_fn(
+      "locald_cache_entries", "Memoized verdicts resident in memory",
+      [this] { return static_cast<double>(stats().entries); }));
+  return handles;
 }
 
 VerdictCache::Stats VerdictCache::stats() const {

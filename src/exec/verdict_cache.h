@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -73,6 +74,13 @@ class VerdictCache {
     }
   };
   Stats stats() const;
+
+  // Registers this cache's tiers into the process metrics registry under
+  // `locald_cache_*`. Callback-based: the registry pulls from the same
+  // atomics `stats()` reads, so Prometheus and JSON surfaces always agree.
+  // The returned handles own the registration — drop them to unregister
+  // (last registration wins when several caches coexist, e.g. server tests).
+  std::vector<std::shared_ptr<void>> register_metrics();
 
   // Drops every memoized verdict; hit/miss counters keep accumulating
   // (they are reported as monotonic metrics). Long-lived owners — the

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/format.h"
 #include "support/hash.h"
@@ -142,6 +143,7 @@ void VerdictStore::open_shard(Shard& shard, std::size_t index) {
     LOCALD_CHECK(::ftruncate(shard.fd, 0) == 0,
                  cat("verdict store: ftruncate(", file, ")"));
     dropped_bytes_ += file_size;
+    truncations_ += 1;
     open_shard(shard, index);
     return;
   }
@@ -200,6 +202,7 @@ void VerdictStore::open_shard(Shard& shard, std::size_t index) {
     // Torn or unwalkable tail: truncate so new appends start on a clean
     // record boundary.
     dropped_bytes_ += file_size - offset;
+    truncations_ += 1;
     LOCALD_CHECK(::ftruncate(shard.fd, static_cast<off_t>(offset)) == 0,
                  cat("verdict store: ftruncate(", file, ")"));
     ::munmap(mapped, static_cast<std::size_t>(file_size));
@@ -303,12 +306,16 @@ void VerdictStore::append(std::uint64_t fingerprint,
   shard.index.emplace(hash, shard.size);
   shard.size += bytes.size();
   appended_.fetch_add(1, std::memory_order_relaxed);
+  appended_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
 }
 
 void VerdictStore::sync() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard.mu);
-    if (shard.fd >= 0) ::fsync(shard.fd);
+    if (shard.fd >= 0) {
+      ::fsync(shard.fd);
+      fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -317,8 +324,44 @@ VerdictStore::Stats VerdictStore::stats() const {
   s.records_loaded = records_loaded_;
   s.quarantined = quarantined_;
   s.dropped_bytes = dropped_bytes_;
+  s.truncations = truncations_;
   s.appended = appended_.load(std::memory_order_relaxed);
+  s.appended_bytes = appended_bytes_.load(std::memory_order_relaxed);
+  s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::vector<std::shared_ptr<void>> VerdictStore::register_metrics() {
+  obs::Registry& reg = obs::registry();
+  std::vector<std::shared_ptr<void>> handles;
+  handles.push_back(reg.counter_fn(
+      "locald_store_records_loaded_total",
+      "Valid verdict records indexed when the store opened",
+      [this] { return records_loaded_; }));
+  handles.push_back(reg.counter_fn(
+      "locald_store_appended_total",
+      "Verdict records appended to the store by this process",
+      [this] { return appended_.load(std::memory_order_relaxed); }));
+  handles.push_back(reg.counter_fn(
+      "locald_store_appended_bytes_total",
+      "Log bytes appended to the store by this process",
+      [this] { return appended_bytes_.load(std::memory_order_relaxed); }));
+  handles.push_back(reg.counter_fn(
+      "locald_store_fsyncs_total", "Shard fsync calls issued by sync()",
+      [this] { return fsyncs_.load(std::memory_order_relaxed); }));
+  handles.push_back(reg.counter_fn(
+      "locald_store_quarantined_total",
+      "Checksum-failed records skipped during crash recovery",
+      [this] { return quarantined_; }));
+  handles.push_back(reg.counter_fn(
+      "locald_store_truncations_total",
+      "Crash-recovery truncations applied to shard logs at open",
+      [this] { return truncations_; }));
+  handles.push_back(reg.counter_fn(
+      "locald_store_dropped_bytes_total",
+      "Torn-tail bytes discarded during crash recovery",
+      [this] { return dropped_bytes_; }));
+  return handles;
 }
 
 }  // namespace locald::exec

@@ -36,6 +36,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -76,9 +77,17 @@ class VerdictStore {
     std::uint64_t records_loaded = 0;  // valid records indexed at open
     std::uint64_t quarantined = 0;     // checksum-failed records skipped
     std::uint64_t dropped_bytes = 0;   // truncated-tail bytes discarded
+    std::uint64_t truncations = 0;     // crash-recovery ftruncate calls
     std::uint64_t appended = 0;        // records written by this process
+    std::uint64_t appended_bytes = 0;  // log bytes written by this process
+    std::uint64_t fsyncs = 0;          // shard fsync calls issued by sync()
   };
   Stats stats() const;
+
+  // Registers the durability counters into the process metrics registry
+  // under `locald_store_*` (callback-based — the registry reads the same
+  // state `stats()` reports). Handles own the registration.
+  std::vector<std::shared_ptr<void>> register_metrics();
 
   std::size_t shard_count() const { return shards_.size(); }
   const std::string& path() const { return path_; }
@@ -107,7 +116,10 @@ class VerdictStore {
   std::uint64_t records_loaded_ = 0;
   std::uint64_t quarantined_ = 0;
   std::uint64_t dropped_bytes_ = 0;
+  std::uint64_t truncations_ = 0;
   std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> appended_bytes_{0};
+  std::atomic<std::uint64_t> fsyncs_{0};
 };
 
 }  // namespace locald::exec

@@ -7,6 +7,7 @@
 #include "local/algorithm.h"
 #include "local/ball.h"
 #include "local/labeled_graph.h"
+#include "obs/trace.h"
 #include "support/format.h"
 
 namespace locald::gen {
@@ -91,11 +92,18 @@ WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
                                    const exec::ExecContext& exec) {
   WorkloadResult out;
   out.family = spec.canonical();
-  const graph::CsrGraph g = spec.build(opts.seed);
+  obs::Span workload_span("family-workload", spec.canonical());
+  const graph::CsrGraph g = [&] {
+    obs::Span span("build-graph");
+    return spec.build(opts.seed);
+  }();
   out.nodes = g.node_count();
   out.edges = static_cast<std::int64_t>(g.edge_count());
   out.max_degree = g.node_count() == 0 ? 0 : g.max_degree();
-  check_invariants(spec.invariants(), g, out);
+  {
+    obs::Span span("invariant-audit");
+    check_invariants(spec.invariants(), g, out);
+  }
 
   const local::LabeledGraph instance(g);
 
@@ -121,14 +129,20 @@ WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
       panel().size(), std::vector<local::Verdict>(
                           census.class_representative.size(),
                           local::Verdict::yes));
-  exec.for_each(census.class_representative.size(), [&](std::size_t k) {
-    static thread_local local::BallScratch scratch;
-    const local::BallView ball = scratch.extract(
-        instance, nullptr, census.class_representative[k], 1);
-    for (std::size_t a = 0; a < panel().size(); ++a) {
-      class_verdicts[a][k] = panel()[a]->evaluate(ball);
-    }
-  });
+  {
+    obs::Span span("panel-evaluate",
+                   "classes=" +
+                       std::to_string(census.class_representative.size()));
+    exec.for_each(census.class_representative.size(), [&](std::size_t k) {
+      static thread_local local::BallScratch scratch;
+      const local::BallView ball = scratch.extract(
+          instance, nullptr, census.class_representative[k], 1);
+      obs::Span eval_span("evaluate-class");
+      for (std::size_t a = 0; a < panel().size(); ++a) {
+        class_verdicts[a][k] = panel()[a]->evaluate(ball);
+      }
+    });
+  }
 
   for (std::size_t a = 0; a < panel().size(); ++a) {
     PanelVerdict verdict;

@@ -4,11 +4,14 @@
 #include <atomic>
 #include <functional>
 #include <numeric>
+#include <optional>
 #include <string_view>
 #include <unordered_map>
 
 #include "exec/thread_pool.h"
 #include "graph/ball_slice.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/hash.h"
 
 namespace locald::graph {
@@ -22,6 +25,30 @@ using Coloring = std::vector<int>;
 std::atomic<std::uint64_t> g_forms{0};
 std::atomic<std::uint64_t> g_census_balls{0};
 std::atomic<std::uint64_t> g_census_raw_hits{0};
+
+// Bridge the process-wide canonicalization counters into the metrics
+// registry, once, on first census/counter use. Handles are deliberately
+// leaked: these counters live for the whole process.
+void ensure_canon_metrics_registered() {
+  static const bool once = [] {
+    obs::Registry& reg = obs::registry();
+    static std::vector<obs::MetricHandle> handles;
+    handles.push_back(reg.counter_fn(
+        "locald_canon_forms_total",
+        "Tier-2 canonical form computations (one per unique structure)",
+        [] { return g_forms.load(std::memory_order_relaxed); }));
+    handles.push_back(reg.counter_fn(
+        "locald_canon_census_balls_total",
+        "Balls passed through the bulk canonical census",
+        [] { return g_census_balls.load(std::memory_order_relaxed); }));
+    handles.push_back(reg.counter_fn(
+        "locald_canon_census_raw_hits_total",
+        "Census balls deduplicated before tier-2 canonicalization",
+        [] { return g_census_raw_hits.load(std::memory_order_relaxed); }));
+    return true;
+  }();
+  (void)once;
+}
 
 // Discovered-generator cap: enough to collapse every orbit the experiments
 // meet; a bound so adversarial inputs cannot grow the list without limit.
@@ -636,20 +663,25 @@ BallCensusResult canonical_census(const CsrGraph& host,
   const std::size_t n = static_cast<std::size_t>(host.node_count());
   const CsrSpan hs = host.span();
   BallCensusResult result;
+  ensure_canon_metrics_registered();
   g_census_balls.fetch_add(n, std::memory_order_relaxed);
   if (n == 0) {
     return result;
   }
+  obs::Span census_span("ball-census", "balls=" + std::to_string(n));
 
   // Stage 1 (parallel): stream every ball through a structural hash. The
   // slice lives in a per-thread arena; nothing per-node is materialized
   // beyond the 8-byte hash.
   std::vector<std::uint64_t> hash(n);
-  run_indexed(pool, n, [&](std::size_t i) {
-    thread_local BallScratch scratch;
-    hash[i] = slice_hash(scratch.extract(hs, static_cast<NodeId>(i), radius),
-                         payloads);
-  });
+  {
+    obs::Span span("census-extract-hash");
+    run_indexed(pool, n, [&](std::size_t i) {
+      thread_local BallScratch scratch;
+      hash[i] = slice_hash(
+          scratch.extract(hs, static_cast<NodeId>(i), radius), payloads);
+    });
+  }
 
   // Tentative dedup in node order (scheduling-independent): group by hash.
   std::vector<NodeId> representative;
@@ -683,6 +715,10 @@ BallCensusResult canonical_census(const CsrGraph& host,
     NodeId n = 0;
     NodeId center = 0;
   };
+  // One stage span at a time, re-aimed as the census advances; emplace/reset
+  // keeps sibling stages from nesting into each other.
+  std::optional<obs::Span> stage_span;
+  stage_span.emplace("census-dedup-verify");
   std::vector<std::uint32_t> slot_members(representative.size(), 0);
   for (std::size_t i = 0; i < n; ++i) {
     ++slot_members[slot[i]];
@@ -769,6 +805,9 @@ BallCensusResult canonical_census(const CsrGraph& host,
                               std::memory_order_relaxed);
 
   // Stage 2 (parallel): one tier-2 search per unique structure.
+  stage_span.reset();
+  stage_span.emplace("census-canonicalize",
+                     "unique=" + std::to_string(representative.size()));
   std::vector<std::string> encodings(representative.size());
   run_indexed(pool, representative.size(), [&](std::size_t k) {
     thread_local BallScratch scratch;
@@ -777,6 +816,7 @@ BallCensusResult canonical_census(const CsrGraph& host,
         canonical_form(s.local, slice_payloads(s, payloads), max_leaves)
             .encoding;
   });
+  stage_span.reset();
 
   // Stage 3: fold unique structures into classes (distinct structures can
   // share a canonical form) and scatter in node order. Slots are ordered
@@ -804,6 +844,7 @@ BallCensusResult canonical_census(const CsrGraph& host,
 }
 
 CanonicalizationCounters canonicalization_counters() {
+  ensure_canon_metrics_registered();
   CanonicalizationCounters out;
   out.forms = g_forms.load(std::memory_order_relaxed);
   out.census_balls = g_census_balls.load(std::memory_order_relaxed);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/trace.h"
 #include "support/hash.h"
 
 namespace locald::local {
@@ -61,6 +62,10 @@ RunResult run_impl(const LocalAlgorithm& alg, const LabeledGraph& g,
   // instead of stripping afterwards.
   const IdAssignment* visible_ids = alg.id_oblivious() ? nullptr : ids;
   const int radius = run_radius(alg, options);
+  // One stage span for the whole node loop: extraction + canonical-encoding
+  // memo keys + evaluation. Per-ball spans would swamp the trace at 10^6
+  // nodes, so the inner pipeline is visible via the census/workload spans.
+  obs::Span span("local-run", alg.name());
   options.exec.for_each(n, [&](std::size_t i) {
     // One extraction arena per worker thread, reused across all nodes that
     // thread processes. Nested parallel_for runs inline on the calling

@@ -1,0 +1,58 @@
+#include "obs/access_log.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "support/check.h"
+#include "support/format.h"
+
+namespace locald::obs {
+
+namespace {
+
+// Wall-clock milliseconds since the Unix epoch — the event label. Durations
+// in the same line come from steady_clock via the caller.
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+AccessLog::AccessLog(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  LOCALD_CHECK(f != nullptr, "cannot open access log: " + path);
+  file_ = f;
+}
+
+AccessLog::~AccessLog() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void AccessLog::write(const AccessEntry& entry) {
+  std::string line = "{\"ts_ms\":";
+  line += std::to_string(wall_ms());
+  line += ",\"method\":";
+  line += json_quote(entry.method);
+  line += ",\"path\":";
+  line += json_quote(entry.path);
+  line += ",\"status\":";
+  line += std::to_string(entry.status);
+  line += ",\"bytes\":";
+  line += std::to_string(entry.response_bytes);
+  line += ",\"duration_ms\":";
+  line += fixed(entry.duration_ms, 3);
+  line += ",\"worker\":";
+  line += std::to_string(entry.worker);
+  line += ",\"cache_hits\":";
+  line += std::to_string(entry.cache_hits);
+  line += "}\n";
+  std::lock_guard<std::mutex> lk(mu_);
+  auto* f = static_cast<std::FILE*>(file_);
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fflush(f);
+  ++lines_;
+}
+
+}  // namespace locald::obs

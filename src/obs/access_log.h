@@ -1,0 +1,47 @@
+// Structured NDJSON access log for `locald serve --access-log FILE`.
+//
+// One JSON object per line, flushed per line so a tailing consumer (or a
+// crashed server's post-mortem) sees every completed request. Timestamps
+// are wall-clock (they label events for humans and log shippers); the
+// duration is measured on steady_clock by the caller, so the two never mix.
+// The log is a volatile side channel: it must not influence any
+// deterministic document.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace locald::obs {
+
+struct AccessEntry {
+  std::string method;
+  std::string path;
+  int status = 0;
+  std::uint64_t response_bytes = 0;
+  double duration_ms = 0.0;
+  int worker = -1;               // serving worker thread index
+  std::uint64_t cache_hits = 0;  // verdict-cache hits during the request
+};
+
+class AccessLog {
+ public:
+  // Opens `path` for append. Throws Error (LOCALD_CHECK) if it cannot.
+  explicit AccessLog(const std::string& path);
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  // Serializes `entry` as one NDJSON line and flushes. Thread-safe.
+  void write(const AccessEntry& entry);
+
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::mutex mu_;
+  void* file_ = nullptr;  // std::FILE*, kept opaque to the header
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace locald::obs

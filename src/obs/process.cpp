@@ -1,0 +1,43 @@
+#include "obs/process.h"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace locald::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point& uptime_anchor() {
+  static std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return anchor;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+double uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       uptime_anchor())
+      .count();
+}
+
+void anchor_uptime() { uptime_anchor() = std::chrono::steady_clock::now(); }
+
+}  // namespace locald::obs

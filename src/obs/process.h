@@ -1,0 +1,21 @@
+// Process-level observability facts: uptime, peak RSS. Shared by `locald
+// bench --timing`, the `/v1/metrics` "process" section, and the Prometheus
+// surface so all three report the same numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace locald::obs {
+
+// Peak resident set size in KiB (getrusage ru_maxrss); 0 if unavailable.
+std::uint64_t peak_rss_kb();
+
+// Seconds since this process first asked for its uptime (a static
+// steady_clock anchor; calling early in main pins it to process start).
+double uptime_seconds();
+
+// Forces the uptime anchor to "now". Called once at the top of main so
+// uptime measures the process, not the first metrics scrape.
+void anchor_uptime();
+
+}  // namespace locald::obs

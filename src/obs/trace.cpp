@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/format.h"
+
+namespace locald::obs {
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::string detail;
+  std::int64_t start_us;
+  std::int64_t dur_us;
+  std::uint32_t tid;
+  int depth;
+};
+
+// One buffer per thread, owned jointly by the thread (via a thread_local
+// shared_ptr) and the session registry (so events survive thread exit until
+// the session is drained). The per-buffer mutex is uncontended on the append
+// path — only the draining thread ever competes for it.
+struct ThreadBuf {
+  std::mutex mu;
+  std::uint32_t tid = 0;
+  std::vector<Event> events;
+};
+
+struct Session {
+  std::mutex mu;  // guards buffers/next_tid/generation
+  std::vector<std::shared_ptr<ThreadBuf>> buffers;
+  std::uint32_t next_tid = 0;
+  // Bumped by tracing_start(); a thread whose cached buffer carries an older
+  // generation re-registers, so stale events from a previous session never
+  // leak into the next one.
+  std::uint64_t generation = 0;
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+Session& session() {
+  static Session* s = new Session();  // leaked: spans may outlive statics
+  return *s;
+}
+
+struct LocalBuf {
+  std::shared_ptr<ThreadBuf> buf;
+  std::uint64_t generation = 0;
+};
+
+ThreadBuf& thread_buf() {
+  static thread_local LocalBuf local;
+  Session& s = session();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (!local.buf || local.generation != s.generation) {
+    local.buf = std::make_shared<ThreadBuf>();
+    local.buf->tid = s.next_tid++;
+    local.generation = s.generation;
+    s.buffers.push_back(local.buf);
+  }
+  return *local.buf;
+}
+
+thread_local int t_depth = 0;
+
+std::int64_t now_us_since_epoch() {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return (now_ns - g_epoch_ns.load(std::memory_order_relaxed)) / 1000;
+}
+
+}  // namespace
+
+bool tracing_active() { return g_enabled.load(std::memory_order_relaxed); }
+
+void tracing_start() {
+  Session& s = session();
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.buffers.clear();
+    s.next_tid = 0;
+    ++s.generation;
+  }
+  g_epoch_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count(),
+                   std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+std::string tracing_stop_json() {
+  g_enabled.store(false, std::memory_order_release);
+  std::vector<std::shared_ptr<ThreadBuf>> buffers;
+  {
+    Session& s = session();
+    std::lock_guard<std::mutex> lk(s.mu);
+    buffers = s.buffers;
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    for (const Event& e : buf->events) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(e.tid);
+      out += ",\"ts\":";
+      out += std::to_string(e.start_us);
+      out += ",\"dur\":";
+      out += std::to_string(e.dur_us);
+      out += ",\"name\":";
+      out += json_quote(e.name);
+      out += ",\"args\":{\"depth\":";
+      out += std::to_string(e.depth);
+      if (!e.detail.empty()) {
+        out += ",\"detail\":";
+        out += json_quote(e.detail);
+      }
+      out += "}}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool tracing_stop_to_file(const std::string& path, std::string* error) {
+  const std::string doc = tracing_stop_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open trace file: " + path;
+    return false;
+  }
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (!ok && error != nullptr) *error = "short write to trace file: " + path;
+  return ok;
+}
+
+std::size_t tracing_event_count() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lk(s.mu);
+  std::size_t total = 0;
+  for (const auto& buf : s.buffers) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    total += buf->events.size();
+  }
+  return total;
+}
+
+Span::Span(const char* name) : Span(name, std::string()) {}
+
+Span::Span(const char* name, std::string detail) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  active_ = true;
+  name_ = name;
+  detail_ = std::move(detail);
+  depth_ = t_depth++;
+  start_us_ = now_us_since_epoch();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  --t_depth;
+  // A session stopping mid-span drops the event: the buffer it would land
+  // in may already be drained, and a truncated session is volatile output
+  // anyway.
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  const std::int64_t end_us = now_us_since_epoch();
+  ThreadBuf& buf = thread_buf();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  buf.events.push_back(Event{name_, std::move(detail_), start_us_,
+                             end_us - start_us_, buf.tid, depth_});
+}
+
+}  // namespace locald::obs

@@ -1,0 +1,72 @@
+// Span-based tracing with Chrome trace_event output.
+//
+// A `Span` is an RAII stage marker: construction records the start, the
+// destructor records a complete event (name, start, duration, thread,
+// nesting depth) into a per-thread buffer. Spans on one thread nest by
+// construction — the destructor of an inner span always runs before its
+// enclosing span's — so the emitted events satisfy the Chrome trace
+// containment invariant (two events on one thread are either disjoint or
+// one contains the other) and render as a flame graph in `chrome://tracing`
+// or Perfetto (https://ui.perfetto.dev, open the file directly).
+//
+// Collection is process-wide and opt-in: until `tracing_start()` runs,
+// constructing a span is one relaxed atomic load and no allocation — cheap
+// enough to leave instrumentation permanently in hot paths like the census
+// stages. While active, each thread appends to its own buffer under a
+// per-thread mutex (uncontended except at drain time), so tracing never
+// serializes the thread pool. `tracing_stop_json()` disables collection and
+// renders everything buffered as `{"traceEvents": [...]}` JSON.
+//
+// Determinism contract: spans are a pure side channel. They observe wall
+// time but never feed a deterministic document — `--trace-out` writes to
+// its own file, and the byte-gated JSON on stdout must be identical with
+// tracing on or off (enforced by tests and the CI trace gate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace locald::obs {
+
+// True while a trace session is collecting.
+bool tracing_active();
+
+// Clears previously buffered events and enables collection. Start/stop are
+// not reentrant; callers own the "one session at a time" discipline (the
+// CLI starts one per invocation, the server one per lifetime).
+void tracing_start();
+
+// Disables collection, drains every thread's buffer, and renders the
+// session as a Chrome trace_event JSON document. Safe to call with no
+// session active (returns an empty-trace document).
+std::string tracing_stop_json();
+
+// `tracing_stop_json` written to `path`. Returns false and fills `*error`
+// when the file cannot be written.
+bool tracing_stop_to_file(const std::string& path, std::string* error);
+
+// Number of events buffered so far (racy while threads append; exact once
+// collection is disabled). For tests and flush heuristics.
+std::size_t tracing_event_count();
+
+class Span {
+ public:
+  // `name` must outlive the trace session — string literals in practice.
+  // `detail` is an optional free-form argument shown in the trace viewer
+  // (kept out of the name so event names stay low-cardinality).
+  explicit Span(const char* name);
+  Span(const char* name, std::string detail);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* name_ = nullptr;
+  std::string detail_;
+  std::int64_t start_us_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace locald::obs

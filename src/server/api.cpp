@@ -5,6 +5,7 @@
 
 #include "cli/sweep.h"
 #include "gen/family.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/format.h"
 #include "support/json.h"
@@ -240,6 +241,7 @@ std::string run_document(const RunRequest& request,
   bool ok = false;
   std::string error;
   try {
+    obs::Span span("run-document", scenario->name);
     ok = scenario->run(opts, tables);
   } catch (const std::exception& e) {
     error = e.what();
@@ -309,6 +311,7 @@ std::string sweep_document(const SweepRequest& request,
                            exec::ThreadPool* pool, bool* ok_out) {
   const cli::SweepOptions sweep = sweep_options_for(request, pool);
   std::ostringstream out;
+  obs::Span span("sweep-document", request.scenario);
   const int exit_code = cli::run_sweep(request.scenario, sweep, out);
   if (ok_out != nullptr) *ok_out = exit_code == 0;
   return out.str();

@@ -10,6 +10,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/process.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "server/api.h"
 #include "support/check.h"
 #include "support/format.h"
@@ -84,8 +87,14 @@ std::string metrics_document(const MetricsSnapshot& m) {
     w.value(m.store.quarantined);
     w.key("dropped_bytes");
     w.value(m.store.dropped_bytes);
+    w.key("truncations");
+    w.value(m.store.truncations);
     w.key("appended");
     w.value(m.store.appended);
+    w.key("appended_bytes");
+    w.value(m.store.appended_bytes);
+    w.key("fsyncs");
+    w.value(m.store.fsyncs);
     w.end_object();
   }
   w.key("canon");
@@ -96,6 +105,17 @@ std::string metrics_document(const MetricsSnapshot& m) {
   w.value(m.canon.census_balls);
   w.key("census_raw_hits");
   w.value(m.canon.census_raw_hits);
+  w.end_object();
+  w.key("process");
+  w.begin_object();
+  w.key("uptime_seconds");
+  w.value(m.uptime_seconds, 3);
+  w.key("peak_rss_kb");
+  w.value(m.peak_rss_kb);
+  w.key("open_connections");
+  w.value(m.in_flight);
+  w.key("queue_depth");
+  w.value(m.queue_depth);
   w.end_object();
   w.end_object();
   out << "\n";
@@ -130,6 +150,45 @@ Server::Server(ServeOptions options) : options_(std::move(options)) {
   LOCALD_CHECK(options_.threads >= 0, "threads must be non-negative");
   LOCALD_CHECK(options_.workers >= 1, "at least one request worker");
   LOCALD_CHECK(options_.max_queue >= 1, "queue bound must be at least 1");
+
+  obs::Registry& reg = obs::registry();
+  requests_total_ = reg.counter("locald_http_requests_total",
+                                "HTTP responses written by request workers");
+  connections_total_ = reg.counter("locald_http_connections_total",
+                                   "Connections served by request workers");
+  rejected_total_ = reg.counter("locald_http_rejected_total",
+                                "Connections shed with 503 by the acceptor");
+  errors_total_ = reg.counter("locald_http_errors_total",
+                              "Responses with status >= 400");
+  cache_resets_ = reg.counter(
+      "locald_cache_resets_total",
+      "Shared verdict-cache memory-tier resets (entry budget exceeded)");
+  response_bytes_ = reg.counter("locald_http_response_bytes_total",
+                                "Response body bytes written to clients");
+  in_flight_ = reg.gauge("locald_http_open_connections",
+                         "Connections currently inside a request worker");
+  request_seconds_ = reg.histogram(
+      "locald_http_request_seconds", "End-to-end request service latency",
+      obs::Histogram::default_latency_buckets_seconds());
+  metric_handles_.push_back(reg.gauge_fn(
+      "locald_http_queue_depth", "Accepted connections awaiting a worker",
+      [this] {
+        std::lock_guard<std::mutex> lk(queue_mu_);
+        return static_cast<double>(queue_.size());
+      }));
+  metric_handles_.push_back(reg.gauge_fn(
+      "locald_process_uptime_seconds", "Seconds since process start",
+      [] { return obs::uptime_seconds(); }));
+  metric_handles_.push_back(
+      reg.gauge_fn("locald_process_peak_rss_kb",
+                   "Peak resident set size in KiB (getrusage)",
+                   [] { return static_cast<double>(obs::peak_rss_kb()); }));
+  for (auto& handle : cache_.register_metrics()) {
+    metric_handles_.push_back(std::move(handle));
+  }
+  // Force the process-wide canonicalization counters into the registry so
+  // a scrape before the first census already exposes them (at zero).
+  (void)graph::canonicalization_counters();
 }
 
 Server::~Server() { stop(); }
@@ -145,6 +204,15 @@ void Server::start() {
     // cold by accident.
     store_.emplace(options_.store_path, options_.store_shards);
     cache_.attach_store(&*store_);
+    for (auto& handle : store_->register_metrics()) {
+      metric_handles_.push_back(std::move(handle));
+    }
+  }
+  if (!options_.access_log_path.empty()) {
+    access_log_.emplace(options_.access_log_path);
+  }
+  if (!options_.trace_out.empty()) {
+    obs::tracing_start();
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -178,7 +246,7 @@ void Server::start() {
 
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
   acceptor_ = std::thread([this] { accept_loop(); });
 }
@@ -210,9 +278,17 @@ void Server::stop() {
     listen_fd_ = -1;
   }
   // Whatever was still queued never reached a worker; close, don't answer.
-  std::lock_guard<std::mutex> lk(queue_mu_);
-  for (int fd : queue_) ::close(fd);
-  queue_.clear();
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    for (int fd : queue_) ::close(fd);
+    queue_.clear();
+  }
+  if (!options_.trace_out.empty()) {
+    // Best-effort: trace output is a volatile side channel, and stop() must
+    // never fail because a disk filled up.
+    std::string ignored;
+    obs::tracing_stop_to_file(options_.trace_out, &ignored);
+  }
 }
 
 void Server::accept_loop() {
@@ -262,7 +338,7 @@ void Server::accept_loop() {
       }
     }
     if (shed) {
-      rejected_total_.fetch_add(1, std::memory_order_relaxed);
+      rejected_total_->add(1);
       send_all(fd, busy);
       ::close(fd);
     } else {
@@ -271,7 +347,7 @@ void Server::accept_loop() {
   }
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(int worker) {
   while (true) {
     int fd = -1;
     {
@@ -281,14 +357,14 @@ void Server::worker_loop() {
       fd = queue_.front();
       queue_.pop_front();
     }
-    serve_connection(fd);
+    serve_connection(fd, worker);
     ::close(fd);
   }
 }
 
-void Server::serve_connection(int fd) {
-  in_flight_.fetch_add(1, std::memory_order_relaxed);
-  connections_total_.fetch_add(1, std::memory_order_relaxed);
+void Server::serve_connection(int fd, int worker) {
+  in_flight_->add(1);
+  connections_total_->add(1);
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     active_fds_.insert(fd);
@@ -326,18 +402,51 @@ void Server::serve_connection(int fd) {
         read_http_request(source, options_.limits, &leftover);
     if (parsed.idle_close) break;  // client hung up between requests
     // Counted before routing so a /v1/metrics response includes itself.
-    requests_total_.fetch_add(1, std::memory_order_relaxed);
+    requests_total_->add(1);
     ++handled;
+
+    // Request-scoped observability: service latency on the monotonic
+    // stopwatch, verdict-cache activity deltas for the access log, and one
+    // span per request when tracing is on. All volatile side channels.
+    const obs::Stopwatch stopwatch;
+    const auto cache_hits_now = [this] {
+      const exec::VerdictCache::Stats s = cache_.stats();
+      return s.hits + s.store_hits;
+    };
+    const std::uint64_t hits_before =
+        access_log_.has_value() ? cache_hits_now() : 0;
+    const auto finish_request = [&](const std::string& method,
+                                    const std::string& path, int status,
+                                    std::uint64_t bytes) {
+      const double seconds = stopwatch.elapsed_seconds();
+      request_seconds_->observe(seconds);
+      response_bytes_->add(bytes);
+      if (access_log_.has_value()) {
+        obs::AccessEntry entry;
+        entry.method = method;
+        entry.path = path;
+        entry.status = status;
+        entry.response_bytes = bytes;
+        entry.duration_ms = seconds * 1e3;
+        entry.worker = worker;
+        entry.cache_hits = cache_hits_now() - hits_before;
+        access_log_->write(entry);
+      }
+    };
 
     if (parsed.status != 200) {
       // After a framing error the byte stream is unreliable; answer and
       // close regardless of what the client asked for.
-      errors_total_.fetch_add(1, std::memory_order_relaxed);
-      send_all(fd, serialize_http_response(
-                       error_response(parsed.status, parsed.error), false));
+      errors_total_->add(1);
+      const HttpResponse bad = error_response(parsed.status, parsed.error);
+      send_all(fd, serialize_http_response(bad, false));
+      finish_request(parsed.request.method, "", bad.status,
+                     bad.body.size());
       break;
     }
 
+    obs::Span request_span("http-request", cat(parsed.request.method, " ",
+                                               parsed.request.path()));
     const bool keep_alive = request_keep_alive(parsed.request) &&
                             handled < options_.max_requests_per_connection;
 
@@ -348,26 +457,35 @@ void Server::serve_connection(int fd) {
       // (HTTP/1.0 clients cannot parse chunked framing and fall through to
       // the buffered path below.)
       bool io_failed = false;
+      std::uint64_t bytes_sent = 0;
       const std::optional<HttpResponse> early =
-          stream_sweep(fd, parsed.request, keep_alive, &io_failed);
+          stream_sweep(fd, parsed.request, keep_alive, &io_failed,
+                       &bytes_sent);
       if (!early.has_value()) {
         maybe_reset_cache();
+        finish_request(parsed.request.method, parsed.request.path(), 200,
+                       bytes_sent);
         if (io_failed || !keep_alive) break;
         continue;
       }
-      errors_total_.fetch_add(1, std::memory_order_relaxed);
-      if (!send_all(fd, serialize_http_response(*early, keep_alive))) break;
-      if (!keep_alive) break;
+      errors_total_->add(1);
+      const bool sent =
+          send_all(fd, serialize_http_response(*early, keep_alive));
+      finish_request(parsed.request.method, parsed.request.path(),
+                     early->status, early->body.size());
+      if (!sent || !keep_alive) break;
       continue;
     }
 
     const HttpResponse response = handle(parsed.request);
     if (response.status >= 400) {
-      errors_total_.fetch_add(1, std::memory_order_relaxed);
+      errors_total_->add(1);
     }
     const bool sent =
         send_all(fd, serialize_http_response(response, keep_alive));
     maybe_reset_cache();
+    finish_request(parsed.request.method, parsed.request.path(),
+                   response.status, response.body.size());
     if (!sent || !keep_alive) break;
   }
 
@@ -375,14 +493,16 @@ void Server::serve_connection(int fd) {
     std::lock_guard<std::mutex> lk(queue_mu_);
     active_fds_.erase(fd);
   }
-  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  in_flight_->add(-1);
 }
 
 std::optional<HttpResponse> Server::stream_sweep(int fd,
                                                  const HttpRequest& request,
                                                  bool keep_alive,
-                                                 bool* io_failed) {
+                                                 bool* io_failed,
+                                                 std::uint64_t* bytes_sent) {
   *io_failed = false;
+  *bytes_sent = 0;
   SweepRequest sweep;
   try {
     sweep = parse_sweep_request(request.body);
@@ -413,6 +533,7 @@ std::optional<HttpResponse> Server::stream_sweep(int fd,
         sweep, pool_ ? &*pool_ : nullptr,
         [&](const std::string& piece) {
           if (!send_all(fd, encode_chunk(piece))) throw ClientGone{};
+          *bytes_sent += piece.size();
         },
         nullptr);
   } catch (const ClientGone&) {
@@ -449,18 +570,18 @@ bool Server::send_all(int fd, const std::string& bytes) {
 void Server::maybe_reset_cache() {
   if (cache_.stats().entries > options_.cache_reset_entries) {
     cache_.clear();
-    cache_resets_.fetch_add(1, std::memory_order_relaxed);
+    cache_resets_->add(1);
   }
 }
 
 MetricsSnapshot Server::metrics() const {
   MetricsSnapshot m;
-  m.requests_total = requests_total_.load(std::memory_order_relaxed);
-  m.connections_total = connections_total_.load(std::memory_order_relaxed);
-  m.rejected_total = rejected_total_.load(std::memory_order_relaxed);
-  m.errors_total = errors_total_.load(std::memory_order_relaxed);
-  m.cache_resets = cache_resets_.load(std::memory_order_relaxed);
-  m.in_flight = in_flight_.load(std::memory_order_relaxed);
+  m.requests_total = requests_total_->value();
+  m.connections_total = connections_total_->value();
+  m.rejected_total = rejected_total_->value();
+  m.errors_total = errors_total_->value();
+  m.cache_resets = cache_resets_->value();
+  m.in_flight = static_cast<std::uint64_t>(in_flight_->value());
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     m.queue_depth = queue_.size();
@@ -468,6 +589,8 @@ MetricsSnapshot Server::metrics() const {
   m.workers = options_.workers;
   m.max_queue = options_.max_queue;
   m.pool_parallelism = pool_ ? pool_->parallelism() : 1;
+  m.uptime_seconds = obs::uptime_seconds();
+  m.peak_rss_kb = obs::peak_rss_kb();
   m.cache = cache_.stats();
   if (store_.has_value()) {
     m.store_attached = true;
@@ -497,6 +620,12 @@ HttpResponse Server::handle(const HttpRequest& request) {
     } else if (path == "/v1/metrics") {
       if (request.method != "GET") return method_not_allowed("GET");
       response.body = metrics_document(metrics());
+    } else if (path == "/metrics") {
+      // Prometheus text exposition (0.0.4) from the same registry the JSON
+      // surface reads — standard scrapers point here unmodified.
+      if (request.method != "GET") return method_not_allowed("GET");
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = obs::registry().render_prometheus();
     } else if (path == "/v1/run") {
       if (request.method != "POST") return method_not_allowed("POST");
       const RunRequest run = parse_run_request(request.body);
@@ -523,7 +652,7 @@ HttpResponse Server::handle(const HttpRequest& request) {
       return error_response(
           404, cat("no such endpoint ", json_quote(path),
                    "; endpoints: /v1/healthz /v1/version /v1/scenarios "
-                   "/v1/families /v1/metrics /v1/run /v1/sweep"));
+                   "/v1/families /v1/metrics /metrics /v1/run /v1/sweep"));
     }
   } catch (const Error& e) {
     // Caller-facing precondition (bad JSON, bad field): the request's fault.

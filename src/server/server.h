@@ -51,6 +51,8 @@
 #include "exec/verdict_cache.h"
 #include "exec/verdict_store.h"
 #include "graph/isomorphism.h"
+#include "obs/access_log.h"
+#include "obs/metrics.h"
 #include "server/http.h"
 
 namespace locald::server {
@@ -73,6 +75,11 @@ struct ServeOptions {
   // empty = in-memory cache only, verdicts die with the process.
   std::string store_path;
   std::size_t store_shards = 16;
+  // NDJSON access log (`locald serve --access-log FILE`); empty = disabled.
+  std::string access_log_path;
+  // Span-trace collection over the server's life, written as Chrome trace
+  // JSON on stop() (`locald serve --trace-out FILE`); empty = disabled.
+  std::string trace_out;
 };
 
 // A point-in-time view for GET /v1/metrics. Counters are monotonic over the
@@ -88,6 +95,10 @@ struct MetricsSnapshot {
   int workers = 0;
   int max_queue = 0;
   int pool_parallelism = 1;
+  // Process section: uptime, peak RSS, and the two gauges above double as
+  // the open-connection / queue-depth facts.
+  double uptime_seconds = 0.0;
+  std::uint64_t peak_rss_kb = 0;
   exec::VerdictCache::Stats cache;
   // Persistent-store section; meaningful only when `store_attached`.
   bool store_attached = false;
@@ -128,14 +139,15 @@ class Server {
 
  private:
   void accept_loop();
-  void worker_loop();
-  void serve_connection(int fd);
+  void worker_loop(int worker);
+  void serve_connection(int fd, int worker);
   // Streams POST /v1/sweep with chunked transfer coding. Engaged result:
   // a pre-head validation failure (400/404) for the caller to answer
   // buffered. nullopt: the response left on the wire (or the client went
   // away mid-stream — `*io_failed` true, caller must close).
   std::optional<HttpResponse> stream_sweep(int fd, const HttpRequest& request,
-                                           bool keep_alive, bool* io_failed);
+                                           bool keep_alive, bool* io_failed,
+                                           std::uint64_t* bytes_sent);
   bool send_all(int fd, const std::string& bytes);
   void maybe_reset_cache();
 
@@ -158,12 +170,24 @@ class Server {
   std::unordered_set<int> active_fds_;
   bool stopping_ = false;
 
-  std::atomic<std::uint64_t> requests_total_{0};
-  std::atomic<std::uint64_t> connections_total_{0};
-  std::atomic<std::uint64_t> rejected_total_{0};
-  std::atomic<std::uint64_t> errors_total_{0};
-  std::atomic<std::uint64_t> cache_resets_{0};
-  std::atomic<std::uint64_t> in_flight_{0};
+  std::optional<obs::AccessLog> access_log_;  // engaged via access_log_path
+
+  // Registry-backed instruments (the old hand-maintained atomics). The
+  // server owns the handles; `metrics()` and the Prometheus exposition read
+  // the same objects, so the two surfaces cannot disagree. A later Server
+  // in the same process re-registers the names and wins the export.
+  std::shared_ptr<obs::Counter> requests_total_;
+  std::shared_ptr<obs::Counter> connections_total_;
+  std::shared_ptr<obs::Counter> rejected_total_;
+  std::shared_ptr<obs::Counter> errors_total_;
+  std::shared_ptr<obs::Counter> cache_resets_;
+  std::shared_ptr<obs::Counter> response_bytes_;
+  std::shared_ptr<obs::Gauge> in_flight_;
+  std::shared_ptr<obs::Histogram> request_seconds_;
+  // Callback registrations (queue depth, process facts, cache/store tiers).
+  // Declared last so they unregister first during destruction, while every
+  // member they read is still alive.
+  std::vector<obs::MetricHandle> metric_handles_;
 };
 
 }  // namespace locald::server

@@ -11,7 +11,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -696,6 +700,146 @@ TEST(ServerSocket, MidStreamDisconnectLeavesGaugesConsistent) {
   EXPECT_EQ(m.find("in_flight")->as_integer(), 1);
   EXPECT_EQ(m.find("queue_depth")->as_integer(), 0);
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Observability surfaces
+// ---------------------------------------------------------------------------
+
+// Simple unlabeled samples from a Prometheus exposition: name -> value text.
+std::map<std::string, std::string> prometheus_samples(
+    const std::string& text) {
+  std::map<std::string, std::string> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::string name = line.substr(0, space);
+    if (name.find('{') != std::string::npos) continue;  // labeled child
+    samples[name] = line.substr(space + 1);
+  }
+  return samples;
+}
+
+TEST(ServerSocket, PrometheusEndpointAgreesWithJsonMetrics) {
+  Server server{test_options()};
+  server.start();
+  // Give the cache and canon counters something to count.
+  ASSERT_EQ(request(server.port(),
+                    post("/v1/run", R"({"scenario": "promise-halting"})"))
+                .status,
+            200);
+  ASSERT_EQ(request(server.port(),
+                    post("/v1/run", R"({"scenario": "promise-halting"})"))
+                .status,
+            200);
+
+  const ClientResponse prom = request(server.port(), get("/metrics"));
+  ASSERT_EQ(prom.status, 200);
+  EXPECT_NE(prom.head.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  // Exposition shape: HELP/TYPE pairs for the core families, a histogram
+  // closed by its mandatory +Inf bucket.
+  EXPECT_NE(prom.body.find("# HELP locald_http_requests_total "),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("# TYPE locald_http_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.body.find("# TYPE locald_http_request_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.body.find("locald_http_request_seconds_bucket{le=\"+Inf\"} "),
+      std::string::npos);
+
+  const ClientResponse json = request(server.port(), get("/v1/metrics"));
+  ASSERT_EQ(json.status, 200);
+  const JsonValue m = parse_json(json.body);
+  const auto samples = prometheus_samples(prom.body);
+
+  // The two surfaces render the same instruments. Compare the counters a
+  // GET scrape cannot itself move: cache and canonicalization totals.
+  EXPECT_EQ(samples.at("locald_cache_hits_total"),
+            std::to_string(m.find("cache")->find("hits")->as_integer()));
+  EXPECT_EQ(samples.at("locald_cache_misses_total"),
+            std::to_string(m.find("cache")->find("misses")->as_integer()));
+  EXPECT_EQ(samples.at("locald_canon_forms_total"),
+            std::to_string(m.find("canon")->find("forms")->as_integer()));
+  EXPECT_EQ(
+      samples.at("locald_canon_census_balls_total"),
+      std::to_string(m.find("canon")->find("census_balls")->as_integer()));
+
+  // The process section is populated on both surfaces.
+  EXPECT_GT(m.find("process")->find("peak_rss_kb")->as_integer(), 0);
+  EXPECT_GE(m.find("process")->find("uptime_seconds")->as_double(), 0.0);
+  EXPECT_GT(std::stoll(samples.at("locald_process_peak_rss_kb")), 0);
+  server.stop();
+}
+
+TEST(ServerSocket, AccessLogRecordsEveryRequest) {
+  const std::string log_path = "test_server_access.log";
+  std::remove(log_path.c_str());
+  ServeOptions options = test_options();
+  options.access_log_path = log_path;
+  Server server{options};
+  server.start();
+  ASSERT_EQ(request(server.port(),
+                    post("/v1/run", R"({"scenario": "promise-halting"})"))
+                .status,
+            200);
+  ASSERT_EQ(request(server.port(), get("/nope")).status, 404);
+  server.stop();  // joins workers: every finished request is flushed
+
+  std::ifstream in(log_path);
+  std::string line;
+  std::vector<JsonValue> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(parse_json(line));
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].find("method")->as_string(), "POST");
+  EXPECT_EQ(lines[0].find("path")->as_string(), "/v1/run");
+  EXPECT_EQ(lines[0].find("status")->as_integer(), 200);
+  EXPECT_GT(lines[0].find("bytes")->as_integer(), 0);
+  EXPECT_GE(lines[0].find("duration_ms")->as_double(), 0.0);
+  EXPECT_GE(lines[0].find("worker")->as_integer(), 0);
+  EXPECT_GE(lines[0].find("cache_hits")->as_integer(), 0);
+  EXPECT_EQ(lines[1].find("method")->as_string(), "GET");
+  EXPECT_EQ(lines[1].find("path")->as_string(), "/nope");
+  EXPECT_EQ(lines[1].find("status")->as_integer(), 404);
+  std::remove(log_path.c_str());
+}
+
+TEST(ServerSocket, TraceOutWritesChromeTraceOnStop) {
+  const std::string trace_path = "test_server_trace.json";
+  std::remove(trace_path.c_str());
+  ServeOptions options = test_options();
+  options.trace_out = trace_path;
+  Server server{options};
+  server.start();
+  ASSERT_EQ(request(server.port(),
+                    post("/v1/run", R"({"scenario": "promise-halting"})"))
+                .status,
+            200);
+  server.stop();  // disables the session and writes the file
+
+  std::ifstream in(trace_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const JsonValue root = parse_json(buf.str());
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_request = false;
+  bool saw_run_document = false;
+  for (const JsonValue& e : events->items()) {
+    const std::string& name = e.find("name")->as_string();
+    saw_request = saw_request || name == "http-request";
+    saw_run_document = saw_run_document || name == "run-document";
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_run_document);
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace

@@ -213,6 +213,33 @@ TEST(VerdictStore, TornTailShorterThanARecordHeaderIsDropped) {
   EXPECT_EQ(file_size(only_shard(dir.path)), intact);
 }
 
+TEST(VerdictStore, DurabilityCountersTrackAppendsSyncsAndTruncations) {
+  TempDir dir;
+  {
+    VerdictStore store(dir.path, 1);
+    EXPECT_EQ(store.stats().appended_bytes, 0u);
+    EXPECT_EQ(store.stats().fsyncs, 0u);
+    store.append(fp("ball-a"), "alg", "ball-a", true);
+    store.append(fp("ball-b"), "alg", "ball-b", false);
+    const VerdictStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.appended, 2u);
+    // Two records, each a header plus algorithm + encoding payload.
+    EXPECT_GT(stats.appended_bytes, 2 * kRecordHeaderBytes);
+    store.sync();
+    EXPECT_EQ(store.stats().fsyncs, 1u);  // one shard, one fsync
+    store.sync();
+    EXPECT_EQ(store.stats().fsyncs, 2u);
+  }  // destructor syncs once more
+  truncate_by(only_shard(dir.path), 3);
+  VerdictStore recovered(dir.path, 1);
+  // Crash recovery cut the torn tail with exactly one ftruncate.
+  EXPECT_EQ(recovered.stats().truncations, 1u);
+  EXPECT_GT(recovered.stats().dropped_bytes, 0u);
+  // Per-process counters start at zero in the recovered life.
+  EXPECT_EQ(recovered.stats().appended_bytes, 0u);
+  EXPECT_EQ(recovered.stats().fsyncs, 0u);
+}
+
 TEST(VerdictStore, FlippedChecksumByteQuarantinesOnlyThatRecord) {
   TempDir dir;
   {
