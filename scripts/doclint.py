@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Lint README.md and docs/*.md against the tree they describe.
+
+Stdlib-only checker, run by CI so the prose cannot drift from the code.
+Three claim classes are extracted and verified:
+
+  - File paths in inline code spans (`src/...`, `docs/...`, a bare
+    `graph/isomorphism.h`, ...) must name a file or directory that exists,
+    either verbatim from the repo root or under `src/`.
+  - CLI flags in inline code spans (`--threads`, `--faults`, ...) must
+    appear in `locald help` output — pass a dump via --help-text; without
+    one the usage text in src/cli/main.cpp is scraped as a fallback.
+  - `/v1/*` endpoints mentioned anywhere (prose, tables, curl examples)
+    must appear in the server's route dispatch (src/server/server.cpp),
+    so the docs can never advertise an endpoint the router would 404.
+
+Usage: doclint.py [--root DIR] [--help-text FILE]
+Exits 0 when clean, 1 with one line per violation otherwise.
+"""
+
+import argparse
+import glob
+import os
+import re
+import sys
+
+INLINE_CODE = re.compile(r"`([^`]+)`")
+# A path-like span: slash-separated tokens, at least two of them, nothing
+# but filename characters (spans holding selectors, URLs, or shell lines
+# contain ':', '=', spaces, ... and simply fail the whole-span match).
+PATH_SPAN = re.compile(r"^[A-Za-z0-9_.-]+(?:/[A-Za-z0-9_.-]+)+$")
+FLAG = re.compile(r"--[a-z][a-z-]*")
+ENDPOINT = re.compile(r"/v1/[a-z_]+")
+# Doc paths that intentionally name build products, not tracked files.
+IGNORED_PREFIXES = ("build/", "./build")
+
+
+def extract_flags(text):
+    return set(FLAG.findall(text))
+
+
+def known_flags(root, help_text_path):
+    """Ground truth for CLI flags: real `locald help` output when CI hands
+    us one, the usage() string table in main.cpp otherwise."""
+    if help_text_path:
+        with open(help_text_path, "r", encoding="utf-8") as f:
+            return extract_flags(f.read()), help_text_path
+    fallback = os.path.join(root, "src", "cli", "main.cpp")
+    with open(fallback, "r", encoding="utf-8") as f:
+        return extract_flags(f.read()), fallback
+
+
+def known_endpoints(root):
+    """Ground truth for routes: every /v1/* literal in the server's
+    dispatch (including the 404 catalogue, which lists them all)."""
+    source = os.path.join(root, "src", "server", "server.cpp")
+    with open(source, "r", encoding="utf-8") as f:
+        return set(ENDPOINT.findall(f.read())), source
+
+
+def path_exists(root, span):
+    if os.path.exists(os.path.join(root, span)):
+        return True
+    # Prose often drops the `src/` prefix: `graph/isomorphism.h`.
+    return os.path.exists(os.path.join(root, "src", span))
+
+
+def lint_doc(root, doc, flags, endpoints):
+    errors = []
+    rel = os.path.relpath(doc, root)
+    with open(doc, "r", encoding="utf-8") as f:
+        text = f.read()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for span in INLINE_CODE.findall(line):
+            if PATH_SPAN.match(span):
+                if span.startswith(IGNORED_PREFIXES):
+                    continue
+                if not path_exists(root, span):
+                    errors.append(
+                        f"{rel}:{lineno}: path `{span}` not in the tree"
+                    )
+            # Only spans that are themselves flag spellings or locald
+            # invocations are held to the help text; inline mentions of
+            # other tools' flags stay out of scope.
+            if span.startswith("--") or "locald" in span:
+                for flag in extract_flags(span):
+                    if flag not in flags:
+                        errors.append(
+                            f"{rel}:{lineno}: flag `{flag}` not in "
+                            f"locald help"
+                        )
+        for endpoint in ENDPOINT.findall(line):
+            if endpoint not in endpoints:
+                errors.append(
+                    f"{rel}:{lineno}: endpoint {endpoint} not routed"
+                )
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="check README/docs claims against the tree"
+    )
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--help-text",
+        default=None,
+        help="file holding `locald help` output (ground truth for flags)",
+    )
+    args = parser.parse_args()
+
+    docs = [os.path.join(args.root, "README.md")]
+    docs += sorted(glob.glob(os.path.join(args.root, "docs", "*.md")))
+    docs = [d for d in docs if os.path.exists(d)]
+    if not docs:
+        print("doclint: no documents found", file=sys.stderr)
+        return 2
+
+    flags, flag_source = known_flags(args.root, args.help_text)
+    endpoints, route_source = known_endpoints(args.root)
+
+    errors = []
+    for doc in docs:
+        errors.extend(lint_doc(args.root, doc, flags, endpoints))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        names = ", ".join(os.path.relpath(d, args.root) for d in docs)
+        print(
+            f"doclint: clean ({names}; flags vs "
+            f"{os.path.relpath(flag_source, args.root)}, routes vs "
+            f"{os.path.relpath(route_source, args.root)})"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 
 #include "exec/context.h"
 #include "gen/workload.h"
+#include "local/fault_profile.h"
 #include "obs/process.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
@@ -20,6 +21,8 @@ struct BenchCell {
   int size = 0;
   std::string error;  // resolution/build failure; empty otherwise
   gen::WorkloadResult result;   // from the first thread count
+  // Event-engine robustness pass (bench --faults only), first thread count.
+  std::optional<gen::FaultRobustnessResult> fault;
   bool threads_agree = true;    // later counts reproduced `result`
   std::vector<double> wall_ms;  // per thread-grid entry
   // Process peak RSS observed right after the cell's runs, in KiB.
@@ -47,6 +50,24 @@ bool deterministic_fields_equal(const gen::WorkloadResult& a,
   return true;
 }
 
+bool fault_fields_equal(const gen::FaultRobustnessResult& a,
+                        const gen::FaultRobustnessResult& b) {
+  if (a.family != b.family || a.profile != b.profile || a.nodes != b.nodes ||
+      !(a.stats == b.stats) || a.panel.size() != b.panel.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.panel.size(); ++i) {
+    if (a.panel[i].algorithm != b.panel[i].algorithm ||
+        a.panel[i].sync_yes != b.panel[i].sync_yes ||
+        a.panel[i].faulty_yes != b.panel[i].faulty_yes ||
+        a.panel[i].agree_nodes != b.panel[i].agree_nodes ||
+        a.panel[i].control_identical != b.panel[i].control_identical) {
+      return false;
+    }
+  }
+  return true;
+}
+
 BenchCell run_cell(const std::string& selector, int size,
                    const BenchOptions& bench) {
   BenchCell cell;
@@ -58,6 +79,15 @@ BenchCell run_cell(const std::string& selector, int size,
   } catch (const std::exception& e) {
     cell.error = e.what();
     return cell;
+  }
+  std::optional<local::FaultProfileInstance> profile;
+  if (!bench.faults.empty()) {
+    try {
+      profile.emplace(local::resolve_faults_text(bench.faults));
+    } catch (const std::exception& e) {
+      cell.error = e.what();
+      return cell;
+    }
   }
   gen::WorkloadOptions wopts;
   wopts.seed = bench.seed;
@@ -71,10 +101,14 @@ BenchCell run_cell(const std::string& selector, int size,
     ctx.pool = pool ? &*pool : nullptr;
     const obs::Stopwatch stopwatch;
     gen::WorkloadResult result;
+    std::optional<gen::FaultRobustnessResult> fault;
     try {
       obs::Span span("bench-cell",
                      selector + " threads=" + std::to_string(threads));
       result = gen::run_family_workload(*spec, wopts, ctx);
+      if (profile) {
+        fault.emplace(gen::run_fault_robustness(*spec, wopts, *profile, ctx));
+      }
     } catch (const std::exception& e) {
       cell.error = e.what();
       return cell;
@@ -82,7 +116,10 @@ BenchCell run_cell(const std::string& selector, int size,
     cell.wall_ms.push_back(stopwatch.elapsed_ms());
     if (t == 0) {
       cell.result = std::move(result);
-    } else if (!deterministic_fields_equal(cell.result, result)) {
+      cell.fault = std::move(fault);
+    } else if (!deterministic_fields_equal(cell.result, result) ||
+               (cell.fault.has_value() != fault.has_value()) ||
+               (cell.fault && !fault_fields_equal(*cell.fault, *fault))) {
       // The engine's central promise broke: record it as a cell failure so
       // the gate trips even without CI's external byte diff.
       cell.threads_agree = false;
@@ -143,10 +180,48 @@ void write_cell(JsonWriter& w, const BenchCell& cell,
     w.end_object();
   }
   w.end_array();
+  if (cell.fault) {
+    const gen::FaultRobustnessResult& f = *cell.fault;
+    w.key("fault");
+    w.begin_object();
+    w.key("profile");
+    w.value(f.profile);
+    w.key("rows");
+    w.begin_array();
+    for (const gen::FaultPanelRow& row : f.panel) {
+      w.begin_object();
+      w.key("algorithm");
+      w.value(row.algorithm);
+      w.key("sync_yes");
+      w.value(row.sync_yes);
+      w.key("faulty_yes");
+      w.value(row.faulty_yes);
+      w.key("agree_nodes");
+      w.value(row.agree_nodes);
+      w.key("control_identical");
+      w.value(row.control_identical);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("events_dispatched");
+    w.value(f.stats.events_dispatched);
+    w.key("messages_dropped");
+    w.value(f.stats.messages_dropped);
+    w.key("messages_delayed");
+    w.value(f.stats.messages_delayed);
+    w.key("fragments_sent");
+    w.value(f.stats.fragments_sent);
+    w.key("max_queue_depth");
+    w.value(f.stats.max_queue_depth);
+    w.key("ok");
+    w.value(f.ok());
+    w.end_object();
+  }
   w.key("threads_agree");
   w.value(cell.threads_agree);
   w.key("ok");
-  w.value(r.invariants_ok && cell.threads_agree);
+  w.value(r.invariants_ok && cell.threads_agree &&
+          (!cell.fault || cell.fault->ok()));
   if (bench.timing) {
     w.key("timing");
     w.begin_array();
@@ -216,7 +291,7 @@ int run_bench(const BenchOptions& bench_in, std::ostream& out) {
   bool all_ok = true;
   for (const BenchCell& cell : cells) {
     all_ok = all_ok && cell.error.empty() && cell.result.invariants_ok &&
-             cell.threads_agree;
+             cell.threads_agree && (!cell.fault || cell.fault->ok());
   }
 
   JsonWriter w(out, 2);
@@ -229,6 +304,10 @@ int run_bench(const BenchOptions& bench_in, std::ostream& out) {
   w.value(kGraphCoreId);
   w.key("seed");
   w.value(bench.seed);
+  if (!bench.faults.empty()) {
+    w.key("faults");
+    w.value(bench.faults);
+  }
   w.key("panel");
   w.begin_array();
   for (const std::string& name : gen::workload_panel_names()) {

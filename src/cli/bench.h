@@ -33,6 +33,11 @@ struct BenchOptions {
   bool canon = false;
   // `--family` selectors in grid order; empty = every registered family.
   std::vector<std::string> families;
+  // `--faults` profile selector; when non-empty every cell additionally
+  // runs the event-engine fault-robustness pass (gen::run_fault_robustness)
+  // under this profile, with its deterministic fields included in the
+  // document and in the cross-thread-count agreement gate.
+  std::string faults;
   // `--sizes` grid applied to each family's size mapping; empty = {0}
   // (family defaults).
   std::vector<int> sizes;

@@ -1,13 +1,15 @@
 // Entry point of the `locald` scenario runner.
 //
-//   locald list [--families] [--format text|csv|json]
+//   locald list [--families|--faults] [--format text|csv|json]
 //   locald run <scenario>... [--seed N] [--size N] [--trials N]
-//              [--family spec] [--threads N] [--format text|csv|json]
+//              [--family spec] [--faults spec] [--threads N]
+//              [--format text|csv|json]
 //   locald run --all [options]
 //   locald sweep <scenario> [--sizes a,b,c] [--trials N] [--seed N]
-//                [--family spec] [--threads N] [--timing] [--format json]
-//   locald bench [--family spec]... [--sizes a,b,c] [--seed N]
-//                [--threads a,b,c] [--timing]
+//                [--family spec] [--faults spec] [--threads N] [--timing]
+//                [--format json]
+//   locald bench [--family spec]... [--faults spec] [--sizes a,b,c]
+//                [--seed N] [--threads a,b,c] [--timing]
 //   locald serve [--port P] [--threads N] [--workers N] [--queue N]
 //                [--store DIR]
 //   locald help [scenario]
@@ -31,6 +33,7 @@
 #include "cli/sweep.h"
 #include "exec/context.h"
 #include "gen/family.h"
+#include "local/fault_profile.h"
 #include "obs/process.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
@@ -46,6 +49,7 @@ int usage(std::ostream& out, int status) {
          "usage:\n"
          "  locald list [--format text|csv]      enumerate paper scenarios\n"
          "  locald list --families               enumerate graph families\n"
+         "  locald list --faults                 enumerate fault profiles\n"
          "  locald run <scenario>... [options]   run named scenarios\n"
          "  locald run --all [options]           run the whole registry\n"
          "  locald sweep <scenario> [options]    fan one scenario across a\n"
@@ -71,6 +75,12 @@ int usage(std::ostream& out, int status) {
          "`locald list\n"
          "                  --families`); family-aware scenarios only; "
          "repeatable for bench\n"
+         "  --faults P      fault-profile selector `name:k=v,...` (see "
+         "`locald list\n"
+         "                  --faults`); fault-aware scenarios only; the "
+         "event engine's\n"
+         "                  schedule is seeded, so results stay bit-"
+         "identical\n"
          "  --canon         bench: the pinned canonicalization-bound grid "
          "(symmetric-ball\n"
          "                  families exercising the census kernel)\n"
@@ -178,6 +188,28 @@ int list_families(const ScenarioOptions& opts, const std::string& format) {
   return 0;
 }
 
+int list_faults(const ScenarioOptions& opts, const std::string& format) {
+  if (format == "json") {
+    // The same bytes GET /v1/faults serves (CI diff-checks this).
+    std::cout << server::faults_document();
+    return 0;
+  }
+  TextTable table({"profile", "parameters", "summary"});
+  for (const local::FaultProfile& p : local::fault_registry()) {
+    std::vector<std::string> params;
+    for (const local::FaultParamSpec& spec : p.params) {
+      params.push_back(cat(spec.name, "=", spec.default_value));
+    }
+    table.add_row({p.name, join(params, ","), p.summary});
+  }
+  if (opts.format == OutputFormat::csv) {
+    std::cout << table.render_csv();
+  } else {
+    std::cout << table.render();
+  }
+  return 0;
+}
+
 // `run --format json`: one scenario, the same document POST /v1/run returns
 // for the same (scenario, seed, size, trials) — CI byte-compares the two.
 int run_scenario_json(const std::string& name, const ScenarioOptions& base,
@@ -192,6 +224,11 @@ int run_scenario_json(const std::string& name, const ScenarioOptions& base,
               << "`locald help " << name << "`)\n";
     return 2;
   }
+  if (!base.faults.empty() && scenario->fault_help.empty()) {
+    std::cerr << "scenario " << name << " does not take --faults (see "
+              << "`locald help " << name << "`)\n";
+    return 2;
+  }
   std::optional<exec::ThreadPool> pool;
   if (threads != 1) {
     pool.emplace(threads);
@@ -203,6 +240,7 @@ int run_scenario_json(const std::string& name, const ScenarioOptions& base,
   request.size = base.size;
   request.trials = base.trials;
   request.family = base.family;
+  request.fault_profile = base.faults;
   exec::ExecContext ctx;
   ctx.pool = pool ? &*pool : nullptr;
   ctx.cache = &cache;
@@ -250,6 +288,8 @@ int help_scenario(const std::string& name) {
             << (s->size_help.empty() ? "unused" : s->size_help)
             << "\n  --family: "
             << (s->family_help.empty() ? "unsupported" : s->family_help)
+            << "\n  --faults: "
+            << (s->fault_help.empty() ? "unsupported" : s->fault_help)
             << "\n";
   return 0;
 }
@@ -269,6 +309,11 @@ int run_scenarios(const std::vector<std::string>& names,
     }
     if (!base_opts.family.empty() && s->family_help.empty()) {
       std::cerr << "scenario " << name << " does not take --family (see "
+                << "`locald help " << name << "`)\n";
+      return 2;
+    }
+    if (!base_opts.faults.empty() && s->fault_help.empty()) {
+      std::cerr << "scenario " << name << " does not take --faults (see "
                 << "`locald help " << name << "`)\n";
       return 2;
     }
@@ -330,6 +375,7 @@ int main_impl(int argc, char** argv) {
   bool timing = false;
   bool canon = false;          // bench --canon
   bool families_flag = false;  // list --families
+  bool faults_flag = false;    // list --faults (no selector value)
   bool seed_set = false;  // an explicit --seed 42 must still be rejectable
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -345,6 +391,16 @@ int main_impl(int argc, char** argv) {
       canon = true;
     } else if (arg == "--families") {
       families_flag = true;
+    } else if (arg == "--faults") {
+      // Value-less `--faults` lists the profile registry (`locald list
+      // --faults`, mirroring --families); with a selector it picks the
+      // profile for run/sweep/bench.
+      if (i + 1 >= args.size() ||
+          (!args[i + 1].empty() && args[i + 1][0] == '-')) {
+        faults_flag = true;
+      } else {
+        opts.faults = args[++i];
+      }
     } else if (arg == "--family") {
       const auto value = take_value();
       if (!value || value->empty()) {
@@ -500,6 +556,11 @@ int main_impl(int argc, char** argv) {
                  "--families`\n";
     return 2;
   }
+  if (command != "list" && faults_flag) {
+    std::cerr << "--faults without a selector lists the profile registry: "
+                 "`locald list --faults`\n";
+    return 2;
+  }
   if (command != "bench" && families.size() > 1) {
     std::cerr << "--family is repeatable only for bench\n";
     return 2;
@@ -514,13 +575,24 @@ int main_impl(int argc, char** argv) {
                  "enumerate families use `locald list --families`\n";
     return 2;
   }
+  if ((command == "list" || command == "help") && !opts.faults.empty()) {
+    std::cerr << "--faults with a selector applies to run/sweep/bench; to "
+                 "enumerate profiles use `locald list --faults`\n";
+    return 2;
+  }
   const int threads = thread_grid.empty() ? 1 : thread_grid.front();
   if (!families.empty()) {
     opts.family = families.front();
   }
   if (command == "list") {
-    return families_flag ? list_families(opts, format)
-                         : list_scenarios(opts, format);
+    if (families_flag && faults_flag) {
+      std::cerr << "--families and --faults list different registries; "
+                   "pick one\n";
+      return 2;
+    }
+    if (families_flag) return list_families(opts, format);
+    if (faults_flag) return list_faults(opts, format);
+    return list_scenarios(opts, format);
   }
   if (command == "help" || command == "--help" || command == "-h") {
     if (positional.empty()) {
@@ -565,7 +637,7 @@ int main_impl(int argc, char** argv) {
   if (command == "serve") {
     if (!positional.empty() || run_all || timing || !sizes.empty() ||
         !format.empty() || opts.size != 0 || opts.trials != 0 || seed_set ||
-        !families.empty()) {
+        !families.empty() || !opts.faults.empty()) {
       std::cerr << "serve takes only --port, --threads, --workers, --queue, "
                    "--store, --trace-out, --access-log\n";
       return 2;
@@ -610,6 +682,7 @@ int main_impl(int argc, char** argv) {
     sweep.sizes = sizes;
     sweep.trials = opts.trials;
     sweep.family = opts.family;
+    sweep.faults = opts.faults;
     sweep.threads = threads;
     sweep.timing = timing;
     return with_trace(
@@ -618,8 +691,8 @@ int main_impl(int argc, char** argv) {
   if (command == "bench") {
     if (!positional.empty() || run_all || !format.empty() || opts.size != 0 ||
         opts.trials != 0) {
-      std::cerr << "bench takes --canon, --family (repeatable), --sizes, "
-                   "--seed, --threads a,b,c, --timing\n";
+      std::cerr << "bench takes --canon, --family (repeatable), --faults, "
+                   "--sizes, --seed, --threads a,b,c, --timing\n";
       return 2;
     }
     if (canon && !families.empty()) {
@@ -630,6 +703,7 @@ int main_impl(int argc, char** argv) {
     bench.seed = opts.seed;
     bench.canon = canon;
     bench.families = families;
+    bench.faults = opts.faults;
     bench.sizes = sizes;
     bench.thread_grid = thread_grid;
     bench.timing = timing;

@@ -8,7 +8,8 @@ const std::vector<Scenario>& scenario_registry() {
   static const std::vector<Scenario> registry = [] {
     std::vector<Scenario> all;
     for (auto* section : {&matrix_scenarios, &tree_scenarios,
-                          &halting_scenarios, &gen_scenarios}) {
+                          &halting_scenarios, &gen_scenarios,
+                          &fault_scenarios}) {
       auto scenarios = (*section)();
       all.insert(all.end(), std::make_move_iterator(scenarios.begin()),
                  std::make_move_iterator(scenarios.end()));

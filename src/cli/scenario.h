@@ -33,6 +33,10 @@ struct ScenarioOptions {
   // built-in topology. Only meaningful for scenarios declaring
   // `family_help`; the driver and the HTTP API reject it elsewhere.
   std::string family;
+  // `--faults name:k=v,...` selector (local/fault_profile.h); empty = the
+  // scenario's default profile. Only meaningful for scenarios declaring
+  // `fault_help`; the driver and the HTTP API reject it elsewhere.
+  std::string faults;
   OutputFormat format = OutputFormat::text;
   // Include wall-clock columns in scenario tables (`locald run --timing`).
   // Scheduling-dependent, so off by default: the default output of every
@@ -55,6 +59,11 @@ struct Scenario {
   // Runs the scenario, writing tables to `out`. Returns true when every
   // reproduced verdict matched the paper's prediction.
   std::function<bool(const ScenarioOptions&, std::ostream&)> run;
+  // What --faults selects here (empty: unsupported). Declared after `run`
+  // so the registry's positional aggregate initializers — written before
+  // fault profiles existed — keep their meaning; scenarios opting in set
+  // the field by name.
+  std::string fault_help;
 };
 
 // The full registry, in paper order.

@@ -13,5 +13,6 @@ std::vector<Scenario> matrix_scenarios();   // Section 1.1 (Table 1)
 std::vector<Scenario> tree_scenarios();     // Section 2 (Fig. 1, promise cycles)
 std::vector<Scenario> halting_scenarios();  // Section 3 + Appendix A
 std::vector<Scenario> gen_scenarios();      // gen/ workload-generator families
+std::vector<Scenario> fault_scenarios();    // event-engine fault robustness
 
 }  // namespace locald::cli

@@ -35,6 +35,7 @@ CellResult run_cell(const Scenario& scenario, const SweepOptions& sweep,
   opts.size = size;
   opts.trials = sweep.trials;
   opts.family = sweep.family;
+  opts.faults = sweep.faults;
   opts.format = OutputFormat::csv;
   opts.exec.pool = pool;
   opts.exec.cache = &cache;
@@ -65,6 +66,12 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
   if (!sweep.family.empty() && scenario->family_help.empty()) {
     std::cerr << "scenario " << scenario_name
               << " does not take --family (see `locald help " << scenario_name
+              << "`)\n";
+    return 2;
+  }
+  if (!sweep.faults.empty() && scenario->fault_help.empty()) {
+    std::cerr << "scenario " << scenario_name
+              << " does not take --faults (see `locald help " << scenario_name
               << "`)\n";
     return 2;
   }
@@ -100,6 +107,10 @@ int run_sweep(const std::string& scenario_name, const SweepOptions& sweep,
   if (!sweep.family.empty()) {
     w.key("family");
     w.value(sweep.family);
+  }
+  if (!sweep.faults.empty()) {
+    w.key("faults");
+    w.value(sweep.faults);
   }
   // 0 means "each cell ran its scenario-default trial count", which the
   // sweep cannot know; omitting the field beats recording a false zero.

@@ -28,6 +28,10 @@ struct SweepOptions {
   // rejected otherwise). For `family-workload` the size grid then sweeps
   // the family's size mapping.
   std::string family;
+  // `--faults` profile selector handed to every cell (fault-aware scenarios
+  // only; rejected otherwise). The event engine's schedule is seeded, so the
+  // byte-identity contract above holds with faults enabled.
+  std::string faults;
   int threads = 1;         // 0 = hardware parallelism
   bool timing = false;     // include the volatile timing/cache fields
   // Externally-owned pool (the serving layer's process-wide one). When set,

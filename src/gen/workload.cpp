@@ -6,7 +6,9 @@
 #include "graph/isomorphism.h"
 #include "local/algorithm.h"
 #include "local/ball.h"
+#include "local/identifiers.h"
 #include "local/labeled_graph.h"
+#include "local/sync_engine.h"
 #include "obs/trace.h"
 #include "support/format.h"
 
@@ -162,6 +164,50 @@ WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
   // class once and hits on the rest.
   out.memo_hits = static_cast<std::int64_t>(panel().size()) *
                   (out.nodes - out.ball_classes);
+  return out;
+}
+
+FaultRobustnessResult run_fault_robustness(
+    const FamilyInstanceSpec& spec, const WorkloadOptions& opts,
+    const local::FaultProfileInstance& profile,
+    const exec::ExecContext& exec) {
+  FaultRobustnessResult out;
+  out.family = spec.canonical();
+  out.profile = profile.canonical();
+  obs::Span pass_span("fault-robustness", out.profile);
+  const local::LabeledGraph instance(spec.build(opts.seed));
+  out.nodes = instance.node_count();
+  // Consecutive transport ids: the panel is Id-oblivious, so any
+  // deterministic assignment yields the same verdicts.
+  const local::IdAssignment ids =
+      local::make_consecutive(instance.node_count());
+  const local::FaultProfileInstance control =
+      local::resolve_faults_text("none");
+
+  out.panel.resize(panel().size());
+  std::vector<local::EventStats> stats(panel().size());
+  exec.for_each(panel().size(), [&](std::size_t a) {
+    const local::LocalAlgorithm& alg = *panel()[a];
+    obs::Span row_span("fault-panel-row", alg.name());
+    FaultPanelRow row;
+    row.algorithm = alg.name();
+    const std::vector<local::Verdict> sync =
+        local::run_via_message_passing(alg, instance, ids);
+    const local::EventRunResult clean =
+        local::run_via_event_engine(alg, instance, ids, control, opts.seed);
+    const local::EventRunResult faulty =
+        local::run_via_event_engine(alg, instance, ids, profile, opts.seed);
+    row.control_identical = clean.verdicts == sync;
+    for (std::size_t v = 0; v < sync.size(); ++v) {
+      row.sync_yes += sync[v] == local::Verdict::yes ? 1 : 0;
+      row.faulty_yes += faulty.verdicts[v] == local::Verdict::yes ? 1 : 0;
+      row.agree_nodes += faulty.verdicts[v] == sync[v] ? 1 : 0;
+    }
+    stats[a] = faulty.stats;
+    out.panel[a] = std::move(row);
+  });
+  // The schedule is payload-independent, so every row saw the same one.
+  out.stats = stats.empty() ? local::EventStats{} : stats.front();
   return out;
 }
 

@@ -31,6 +31,7 @@
 
 #include "exec/context.h"
 #include "gen/family.h"
+#include "local/event_engine.h"
 
 namespace locald::gen {
 
@@ -68,5 +69,51 @@ const std::vector<std::string>& workload_panel_names();
 WorkloadResult run_family_workload(const FamilyInstanceSpec& spec,
                                    const WorkloadOptions& opts,
                                    const exec::ExecContext& exec);
+
+// --- Fault robustness -------------------------------------------------------
+//
+// The event-engine robustness pass shared by the `fault-robustness`
+// scenario and `locald bench --faults`: every panel algorithm runs over the
+// built instance through the synchronous engine, through the event engine
+// under the `none` control profile, and through the event engine under
+// `profile`. Every field is a pure function of (family spec, profile,
+// seed) — the event engine's schedule is seeded, so the whole result may
+// appear in byte-gated documents.
+
+struct FaultPanelRow {
+  std::string algorithm;
+  std::int64_t sync_yes = 0;       // sync-engine yes-nodes (the clean truth)
+  std::int64_t faulty_yes = 0;     // event engine under `profile`
+  std::int64_t agree_nodes = 0;    // nodes where faulty == sync, per node
+  // The `none`-profile event run reproduced the sync engine verbatim — the
+  // equivalence the engine promises; any false here is an engine bug, not a
+  // property of the profile.
+  bool control_identical = false;
+};
+
+struct FaultRobustnessResult {
+  std::string family;   // canonical family encoding
+  std::string profile;  // canonical profile encoding
+  std::int64_t nodes = 0;
+  std::vector<FaultPanelRow> panel;
+  // The faulty schedule's deterministic statistics. The schedule depends
+  // only on (graph, rounds, profile, seed) — not on payloads — and every
+  // panel algorithm runs the same round count, so one stats block covers
+  // all rows.
+  local::EventStats stats;
+
+  bool ok() const {
+    for (const FaultPanelRow& row : panel) {
+      if (!row.control_identical) return false;
+    }
+    return true;
+  }
+};
+
+// Runs the pass. Deterministic at every `exec` thread count (algorithms
+// fan out across the pool; each row is an independent pure function).
+FaultRobustnessResult run_fault_robustness(
+    const FamilyInstanceSpec& spec, const WorkloadOptions& opts,
+    const local::FaultProfileInstance& profile, const exec::ExecContext& exec);
 
 }  // namespace locald::gen

@@ -1,0 +1,95 @@
+// Event-driven message-passing runtime with seeded fault injection.
+//
+// `local/sync_engine` runs the LOCAL model's clean lockstep rounds. This
+// engine runs the SAME algorithm interface over a discrete-event simulation
+// instead: messages become events on a priority queue ordered by (virtual
+// time, sequence number), and a fault profile (local/fault_profile.h) may
+// delay, drop, retransmit, or fragment them in flight. Nodes progress in
+// alpha-synchronizer style — a node applies its round-r update the moment
+// every round-r inbox slot has resolved (payload delivered or definitively
+// lost), buffering messages that arrive for future rounds — so the
+// execution is asynchronous even though the algorithm is written in rounds.
+//
+// Determinism contract: the schedule is a pure function of
+// (graph, algorithm, profile, seed).
+//  - Every fault decision (drop per attempt, delay per message, jitter per
+//    fragment) is drawn from a counter-based stream
+//    `Rng::stream(seed ^ plane, arc, index(round, attempt))`, keyed by the
+//    directed arc and the (round, attempt) pair — never from engine state —
+//    so decisions are call-order-independent.
+//  - The queue orders ties by a sequence number assigned at push time, and
+//    one run is a single-threaded simulation, so pops are totally ordered.
+//  - A lost message resolves its inbox slot to the empty string: the
+//    algorithm sees a fixed-arity inbox (one slot per port, in port order)
+//    with gaps, exactly the sync engine's shape.
+// Under the `none` profile every message arrives at its synchronous slot
+// and the engine reproduces `run_message_passing` verbatim (tested).
+//
+// EventStats is part of the deterministic result — it reports the simulated
+// schedule, not wall-clock behaviour — so scenarios may print it in
+// byte-gated documents. The engine also feeds process-wide obs/ counters
+// (events dispatched, drops, fragments, delays, max queue depth) for the
+// volatile metric surfaces; those never flow back into results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "local/fault_profile.h"
+#include "local/sync_engine.h"
+
+namespace locald::local {
+
+// Deterministic statistics of one simulated schedule.
+struct EventStats {
+  std::uint64_t events_dispatched = 0;   // queue pops
+  std::uint64_t messages_sent = 0;       // one per (directed arc, round)
+  std::uint64_t messages_delivered = 0;  // resolved with a payload
+  std::uint64_t messages_dropped = 0;    // every attempt lost
+  std::uint64_t messages_delayed = 0;    // delivered after the sync slot
+  std::uint64_t fragments_sent = 0;      // pieces of split payloads
+  std::uint64_t retransmissions = 0;     // attempts after the first
+  std::uint64_t max_queue_depth = 0;     // high-water mark of pending events
+
+  bool operator==(const EventStats&) const = default;
+};
+
+struct EventRunResult {
+  std::vector<Verdict> verdicts;
+  EventStats stats;
+};
+
+// Runs `alg.rounds()` rounds of `alg` on the event engine under `profile`.
+// `ids` may be null for anonymous runs (as in run_message_passing).
+EventRunResult run_event_driven(const MessagePassingAlgorithm& alg,
+                                const LabeledGraph& g, const IdAssignment* ids,
+                                const FaultProfileInstance& profile,
+                                std::uint64_t seed);
+
+// Convenience mirroring run_via_message_passing: full-information gathering
+// for `alg` (horizon + 1 rounds) through the event engine. Under `none`
+// this reproduces run_via_message_passing's verdicts exactly; under lossy
+// profiles nodes decide on whatever partial ball knowledge got through.
+EventRunResult run_via_event_engine(const LocalAlgorithm& alg,
+                                    const LabeledGraph& g,
+                                    const IdAssignment& ids,
+                                    const FaultProfileInstance& profile,
+                                    std::uint64_t seed);
+
+// Process-wide event-engine counters, accumulated across every run in this
+// process. Scheduling-dependent in aggregate (how many runs happened), so
+// they belong to the volatile metric surfaces only — /v1/metrics and
+// GET /metrics — like the canonicalization counters they mirror.
+struct EventEngineCounters {
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_fragmented = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t max_queue_depth = 0;  // high-water mark across all runs
+};
+
+// Reading the counters also registers them with obs::registry() (idempotent),
+// the same lazy-bridge pattern as graph::canonicalization_counters().
+EventEngineCounters event_engine_counters();
+
+}  // namespace locald::local

@@ -1,0 +1,144 @@
+// Fault profiles: the registry of network-misbehaviour models the
+// event-driven runtime (local/event_engine.h) injects into a message-passing
+// execution.
+//
+// The paper's LOCAL model assumes clean synchronous rounds; the follow-up
+// literature probes what survives under model perturbations. A fault
+// profile is the network-side analogue of a graph family: a named,
+// parameterized misbehaviour source with
+//  - a parameter schema (names, defaults, valid ranges), and
+//  - a resolved knob set (`FaultKnobs`) the event engine reads — per-hop
+//    delay bound, per-attempt loss probability, bounded retransmission
+//    attempts, and payload fragmentation.
+//
+// Determinism contract: a profile never draws randomness itself. The event
+// engine draws every delay/loss/fragmentation decision from counter-based
+// streams `Rng::stream(seed, plane, index)` keyed by (arc, round, attempt),
+// so a faulty schedule is a pure function of (graph, algorithm, profile,
+// seed) — call-order- and thread-count-independent like every other
+// randomized artifact in locald.
+//
+// Selector syntax, shared by `--faults` and the JSON APIs (deliberately the
+// `--family` grammar from gen/family.h):
+//
+//   <name>                      e.g. "drop"
+//   <name>:<k>=<v>,<k>=<v>...   e.g. "drop:per-mille=250,attempts=2"
+//
+// `FaultProfileInstance::canonical()` re-encodes a resolved spec with every
+// parameter spelled out in schema order.
+//
+// This header also hosts the structural/label mutation operators
+// (mutate_label, mutate_add_edge, mutate_swap_labels) that the differential
+// fault-injection tests originally defined privately; promoting them here
+// makes "perturb an instance" a first-class library operation alongside
+// "perturb the network".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "local/labeled_graph.h"
+#include "support/rng.h"
+
+namespace locald::local {
+
+// One named integer parameter of a fault profile (the gen::ParamSpec shape;
+// local/ cannot include gen/ — gen depends on local).
+struct FaultParamSpec {
+  std::string name;
+  std::int64_t default_value = 0;
+  std::int64_t min_value = 0;
+  std::int64_t max_value = 0;
+  std::string help;
+};
+
+// The resolved knob set the event engine consumes. The clean profile is the
+// default-constructed value: no delay, no loss, one attempt, one fragment.
+struct FaultKnobs {
+  std::int64_t delay_max = 0;        // extra delivery delay in [0, delay_max]
+  std::int64_t loss_per_mille = 0;   // per-attempt drop probability (x/1000)
+  std::int64_t attempts = 1;         // transmission attempts per message
+  std::int64_t fragments = 1;        // pieces a delivered payload splits into
+};
+
+class FaultProfile;
+
+// A parsed (but not yet validated) `--faults` selector.
+struct FaultProfileSpec {
+  std::string profile;
+  std::vector<std::pair<std::string, std::int64_t>> params;  // as written
+};
+
+// Parse the selector syntax above. Throws Error on malformed text
+// (empty name, missing '=', non-integer value, duplicate key).
+FaultProfileSpec parse_fault_spec(const std::string& text);
+
+// A spec resolved against the registry: every schema parameter has a value.
+class FaultProfileInstance {
+ public:
+  FaultProfileInstance(const FaultProfile* profile,
+                       std::vector<std::int64_t> values);
+
+  const FaultProfile& profile() const { return *profile_; }
+  const std::vector<std::int64_t>& values() const { return values_; }
+  std::int64_t value(const std::string& param) const;
+
+  // Canonical encoding: "name:k=v,..." with every parameter in schema order.
+  std::string canonical() const;
+
+  FaultKnobs knobs() const;
+
+ private:
+  const FaultProfile* profile_;
+  std::vector<std::int64_t> values_;
+};
+
+// A registered, parameterized fault profile.
+class FaultProfile {
+ public:
+  using KnobsFn = FaultKnobs (*)(const std::vector<std::int64_t>& values);
+
+  std::string name;
+  std::string summary;
+  std::vector<FaultParamSpec> params;
+  KnobsFn knobs = nullptr;
+
+  int param_index(const std::string& param_name) const;  // -1 when unknown
+};
+
+// The full registry, in presentation order: none, delay, drop, fragment,
+// chaos (see fault_profile.cpp).
+const std::vector<FaultProfile>& fault_registry();
+
+// Lookup by name; nullptr when unknown.
+const FaultProfile* find_fault_profile(const std::string& name);
+
+// Validate `spec` against the registry and fill unset parameters with their
+// defaults. Throws Error on unknown profile, unknown parameter, or
+// out-of-range value.
+FaultProfileInstance resolve_faults(const FaultProfileSpec& spec);
+
+// parse + resolve in one step (the CLI/API entry point).
+FaultProfileInstance resolve_faults_text(const std::string& text);
+
+// --- Instance mutation operators ------------------------------------------
+//
+// Deterministic given the Rng state; used by the differential fault-
+// injection tests and available to any robustness harness.
+
+// Random single-field label perturbation (guaranteed non-zero delta).
+LabeledGraph mutate_label(const LabeledGraph& g, Rng& rng);
+
+// Random extra edge between two previously non-adjacent nodes; returns the
+// input unchanged when 64 attempts find no non-adjacent pair.
+LabeledGraph mutate_add_edge(const LabeledGraph& g, Rng& rng);
+
+// Random label swap between two nodes (keeps the label multiset intact,
+// breaks positional consistency).
+LabeledGraph mutate_swap_labels(const LabeledGraph& g, Rng& rng);
+
+// Uniformly random choice of the three operators above.
+LabeledGraph mutate(const LabeledGraph& g, Rng& rng);
+
+}  // namespace locald::local

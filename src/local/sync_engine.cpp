@@ -235,6 +235,12 @@ std::string FullInfoGather::update(const std::string& state,
   auto [self, knowledge] = decode_knowledge(state);
   std::vector<Id> neighbor_ids;
   for (const std::string& msg : inbox) {
+    if (msg.empty()) {
+      // A lost message (event engine, faulty profiles): this round taught
+      // us nothing about that port. Knowledge merging is a union, so a
+      // neighbour heard in any other round still lands in the adjacency.
+      continue;
+    }
     auto [sender, their] = decode_knowledge(msg);
     neighbor_ids.push_back(sender);
     merge_into(knowledge, their);

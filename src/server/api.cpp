@@ -5,6 +5,7 @@
 
 #include "cli/sweep.h"
 #include "gen/family.h"
+#include "local/fault_profile.h"
 #include "obs/trace.h"
 #include "support/check.h"
 #include "support/format.h"
@@ -62,6 +63,19 @@ std::string take_family(const JsonValue& root) {
   return family->as_string();
 }
 
+std::string take_fault_profile(const JsonValue& root) {
+  const JsonValue* faults = root.find("fault_profile");
+  if (faults == nullptr) {
+    return {};
+  }
+  LOCALD_CHECK(faults->is_string(),
+               "field \"fault_profile\" must be a string");
+  LOCALD_CHECK(!faults->as_string().empty(),
+               "field \"fault_profile\" must be a non-empty selector "
+               "(see /v1/faults)");
+  return faults->as_string();
+}
+
 void reject_unknown_fields(const JsonValue& root,
                            std::initializer_list<const char*> known) {
   for (const auto& [key, value] : root.members()) {
@@ -85,9 +99,17 @@ void check_family_supported(const cli::Scenario& scenario,
                    " does not take a family"));
 }
 
+void check_faults_supported(const cli::Scenario& scenario,
+                            const std::string& fault_profile) {
+  LOCALD_CHECK(fault_profile.empty() || !scenario.fault_help.empty(),
+               cat("scenario ", json_quote(scenario.name),
+                   " does not take a fault profile"));
+}
+
 RunRequest parse_run_request(const std::string& body) {
   const JsonValue root = parse_object_body(body);
-  reject_unknown_fields(root, {"scenario", "seed", "size", "trials", "family"});
+  reject_unknown_fields(
+      root, {"scenario", "seed", "size", "trials", "family", "fault_profile"});
   RunRequest req;
   req.scenario = take_scenario_name(root);
   if (const JsonValue* v = root.find("seed")) req.seed = take_seed(*v, "seed");
@@ -96,15 +118,18 @@ RunRequest parse_run_request(const std::string& body) {
     req.trials = take_count(*v, "trials");
   }
   req.family = take_family(root);
+  req.fault_profile = take_fault_profile(root);
   return req;
 }
 
 SweepRequest parse_sweep_request(const std::string& body) {
   const JsonValue root = parse_object_body(body);
-  reject_unknown_fields(root, {"scenario", "seed", "sizes", "trials", "family"});
+  reject_unknown_fields(
+      root, {"scenario", "seed", "sizes", "trials", "family", "fault_profile"});
   SweepRequest req;
   req.scenario = take_scenario_name(root);
   req.family = take_family(root);
+  req.fault_profile = take_fault_profile(root);
   if (const JsonValue* v = root.find("seed")) req.seed = take_seed(*v, "seed");
   if (const JsonValue* v = root.find("trials")) {
     req.trials = take_count(*v, "trials");
@@ -195,6 +220,47 @@ std::string families_document() {
   return out.str();
 }
 
+std::string faults_document() {
+  std::ostringstream out;
+  JsonWriter w(out, 2);
+  w.begin_object();
+  w.key("tool");
+  w.value("locald-faults");
+  w.key("schema_version");
+  w.value(kSchemaVersion);
+  w.key("faults");
+  w.begin_array();
+  for (const local::FaultProfile& p : local::fault_registry()) {
+    w.begin_object();
+    w.key("name");
+    w.value(p.name);
+    w.key("summary");
+    w.value(p.summary);
+    w.key("params");
+    w.begin_array();
+    for (const local::FaultParamSpec& spec : p.params) {
+      w.begin_object();
+      w.key("name");
+      w.value(spec.name);
+      w.key("default");
+      w.value(spec.default_value);
+      w.key("min");
+      w.value(spec.min_value);
+      w.key("max");
+      w.value(spec.max_value);
+      w.key("help");
+      w.value(spec.help);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  return out.str();
+}
+
 std::string version_document() {
   std::ostringstream out;
   JsonWriter w(out, 2);
@@ -228,12 +294,14 @@ std::string run_document(const RunRequest& request,
                cat("unknown scenario ", json_quote(request.scenario),
                    " (see /v1/scenarios or `locald list`)"));
   check_family_supported(*scenario, request.family);
+  check_faults_supported(*scenario, request.fault_profile);
 
   cli::ScenarioOptions opts;
   opts.seed = request.seed;
   opts.size = request.size;
   opts.trials = request.trials;
   opts.family = request.family;
+  opts.faults = request.fault_profile;
   opts.format = cli::OutputFormat::csv;  // the machine-readable renderer
   opts.exec = exec;
 
@@ -269,6 +337,10 @@ std::string run_document(const RunRequest& request,
     w.key("family");
     w.value(request.family);
   }
+  if (!request.fault_profile.empty()) {
+    w.key("faults");
+    w.value(request.fault_profile);
+  }
   w.key("ok");
   w.value(ok);
   if (!error.empty()) {
@@ -295,11 +367,13 @@ cli::SweepOptions sweep_options_for(const SweepRequest& request,
                cat("unknown scenario ", json_quote(request.scenario),
                    " (see /v1/scenarios or `locald list`)"));
   check_family_supported(*scenario, request.family);
+  check_faults_supported(*scenario, request.fault_profile);
   cli::SweepOptions sweep;
   sweep.seed = request.seed;
   sweep.sizes = request.sizes;
   sweep.trials = request.trials;
   sweep.family = request.family;
+  sweep.faults = request.fault_profile;
   sweep.timing = false;  // scheduling-dependent fields never leave /v1/metrics
   sweep.pool = pool;
   return sweep;

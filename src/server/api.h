@@ -31,6 +31,11 @@ struct RunRequest {
   // gen/family.h selector ("name:k=v,..."); empty = the scenario's built-in
   // topology. Only family-aware scenarios accept it (400 otherwise).
   std::string family;
+  // local/fault_profile.h selector ("name:k=v,..."); empty = the scenario's
+  // default profile. Only fault-aware scenarios accept it (400 otherwise).
+  // The event engine's schedule is seeded, so fault-parameterized documents
+  // keep the byte-identity contract.
+  std::string fault_profile;
 };
 
 // Body of POST /v1/sweep, mirroring `cli::SweepOptions` minus the
@@ -40,7 +45,8 @@ struct SweepRequest {
   std::uint64_t seed = 42;
   std::vector<int> sizes;  // empty = the scenario's default size
   int trials = 0;
-  std::string family;  // as in RunRequest; handed to every cell
+  std::string family;         // as in RunRequest; handed to every cell
+  std::string fault_profile;  // as in RunRequest; handed to every cell
 };
 
 // Decode a request body. Both throw `Error` (surfaced as HTTP 400) on
@@ -57,6 +63,10 @@ std::string scenarios_document();
 // mapping availability): GET /v1/families and
 // `locald list --families --format json`.
 std::string families_document();
+
+// The event engine's fault-profile catalog (names, parameter schemas):
+// GET /v1/faults and `locald list --faults --format json`.
+std::string faults_document();
 
 // GET /v1/version: build information (compiler, language standard), the
 // document schema version every /v1 response carries, and the graph-core
@@ -95,6 +105,12 @@ void sweep_document_stream(const SweepRequest& request,
 // to a streamed response head; the document builders re-check internally.
 void check_family_supported(const cli::Scenario& scenario,
                             const std::string& family);
+
+// Throws `Error` (HTTP 400) when `fault_profile` is non-empty but
+// `scenario` is not fault-parameterized; same timing as
+// check_family_supported.
+void check_faults_supported(const cli::Scenario& scenario,
+                            const std::string& fault_profile);
 
 // {"error": ..., "status": N} — the uniform 4xx/5xx body.
 std::string error_document(int status, const std::string& message);

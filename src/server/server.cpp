@@ -106,6 +106,19 @@ std::string metrics_document(const MetricsSnapshot& m) {
   w.key("census_raw_hits");
   w.value(m.canon.census_raw_hits);
   w.end_object();
+  w.key("events");
+  w.begin_object();
+  w.key("dispatched");
+  w.value(m.events.events_dispatched);
+  w.key("messages_dropped");
+  w.value(m.events.messages_dropped);
+  w.key("messages_fragmented");
+  w.value(m.events.messages_fragmented);
+  w.key("messages_delayed");
+  w.value(m.events.messages_delayed);
+  w.key("max_queue_depth");
+  w.value(m.events.max_queue_depth);
+  w.end_object();
   w.key("process");
   w.begin_object();
   w.key("uptime_seconds");
@@ -186,9 +199,10 @@ Server::Server(ServeOptions options) : options_(std::move(options)) {
   for (auto& handle : cache_.register_metrics()) {
     metric_handles_.push_back(std::move(handle));
   }
-  // Force the process-wide canonicalization counters into the registry so
-  // a scrape before the first census already exposes them (at zero).
+  // Force the process-wide canonicalization and event-engine counters into
+  // the registry so a scrape before any work already exposes them (at zero).
   (void)graph::canonicalization_counters();
+  (void)local::event_engine_counters();
 }
 
 Server::~Server() { stop(); }
@@ -519,6 +533,7 @@ std::optional<HttpResponse> Server::stream_sweep(int fd,
   }
   try {
     check_family_supported(*scenario, sweep.family);
+    check_faults_supported(*scenario, sweep.fault_profile);
   } catch (const Error& e) {
     return error_response(400, e.what());
   }
@@ -598,6 +613,7 @@ MetricsSnapshot Server::metrics() const {
     m.store = store_->stats();
   }
   m.canon = graph::canonicalization_counters();
+  m.events = local::event_engine_counters();
   return m;
 }
 
@@ -617,6 +633,9 @@ HttpResponse Server::handle(const HttpRequest& request) {
     } else if (path == "/v1/families") {
       if (request.method != "GET") return method_not_allowed("GET");
       response.body = families_document();
+    } else if (path == "/v1/faults") {
+      if (request.method != "GET") return method_not_allowed("GET");
+      response.body = faults_document();
     } else if (path == "/v1/metrics") {
       if (request.method != "GET") return method_not_allowed("GET");
       response.body = metrics_document(metrics());
@@ -652,7 +671,8 @@ HttpResponse Server::handle(const HttpRequest& request) {
       return error_response(
           404, cat("no such endpoint ", json_quote(path),
                    "; endpoints: /v1/healthz /v1/version /v1/scenarios "
-                   "/v1/families /v1/metrics /metrics /v1/run /v1/sweep"));
+                   "/v1/families /v1/faults /v1/metrics /metrics /v1/run "
+                   "/v1/sweep"));
     }
   } catch (const Error& e) {
     // Caller-facing precondition (bad JSON, bad field): the request's fault.

@@ -51,6 +51,7 @@
 #include "exec/verdict_cache.h"
 #include "exec/verdict_store.h"
 #include "graph/isomorphism.h"
+#include "local/event_engine.h"
 #include "obs/access_log.h"
 #include "obs/metrics.h"
 #include "server/http.h"
@@ -109,6 +110,10 @@ struct MetricsSnapshot {
   // raw-structure dedup before any search. Monotonic, scheduling-dependent
   // — /v1/metrics is the one endpoint allowed to be volatile.
   graph::CanonicalizationCounters canon;
+  // Process-wide event-engine counters (local/event_engine.h): events
+  // dispatched, messages dropped/fragmented/delayed, deepest queue seen.
+  // Monotonic accumulations over every event-driven run in the process.
+  local::EventEngineCounters events;
 };
 
 class Server {

@@ -14,8 +14,12 @@
 #include "graph/graph.h"
 #include "halting/gmr.h"
 #include "halting/verifier.h"
+#include "local/fault_profile.h"
 #include "local/property.h"
 #include "local/simulator.h"
+#include "server/api.h"
+#include "server/http.h"
+#include "server/server.h"
 #include "tm/zoo.h"
 #include "trees/construction.h"
 #include "trees/decide.h"
@@ -25,62 +29,11 @@ namespace {
 
 using local::LabeledGraph;
 
-// Random single-field label perturbation.
-LabeledGraph mutate_label(const LabeledGraph& g, Rng& rng) {
-  LabeledGraph out = g;
-  const graph::NodeId v =
-      static_cast<graph::NodeId>(rng.below(g.node_count()));
-  local::Label l = out.label(v);
-  std::vector<std::int64_t> fields = l.fields();
-  if (fields.empty()) {
-    fields.push_back(0);
-  }
-  const std::size_t i = rng.below(fields.size());
-  fields[i] += rng.range(-3, 3) | 1;  // guaranteed non-zero delta
-  out.set_label(v, local::Label(std::move(fields)));
-  return out;
-}
-
-// Random extra edge between two previously non-adjacent nodes.
-LabeledGraph mutate_add_edge(const LabeledGraph& g, Rng& rng) {
-  for (int attempt = 0; attempt < 64; ++attempt) {
-    const graph::NodeId u =
-        static_cast<graph::NodeId>(rng.below(g.node_count()));
-    const graph::NodeId v =
-        static_cast<graph::NodeId>(rng.below(g.node_count()));
-    if (u != v && !g.graph().has_edge(u, v)) {
-      graph::GraphBuilder builder(g.node_count());
-      for (const auto& [a, b] : g.graph().edges()) {
-        builder.add_edge(a, b);
-      }
-      builder.add_edge(u, v);
-      return LabeledGraph(builder.build(), g.labels());
-    }
-  }
-  return g;
-}
-
-// Random label swap between two nodes (keeps the multiset intact, breaks
-// positional consistency).
-LabeledGraph mutate_swap_labels(const LabeledGraph& g, Rng& rng) {
-  LabeledGraph out = g;
-  const graph::NodeId u =
-      static_cast<graph::NodeId>(rng.below(g.node_count()));
-  const graph::NodeId v =
-      static_cast<graph::NodeId>(rng.below(g.node_count()));
-  const local::Label lu = out.label(u);
-  out.set_label(u, out.label(v));
-  out.set_label(v, lu);
-  return out;
-}
-
-LabeledGraph mutate(const LabeledGraph& g, Rng& rng) {
-  switch (rng.below(3)) {
-    case 0: return mutate_label(g, rng);
-    case 1: return mutate_add_edge(g, rng);
-    default: return mutate_swap_labels(g, rng);
-  }
-}
+// The mutation operators are library code now (local/fault_profile.h);
+// these tests exercise them through the public registry surface.
+using local::mutate;
+using local::mutate_add_edge;
+using local::mutate_label;
 
 class Sec2Fuzz : public ::testing::TestWithParam<int> {};
 
@@ -193,6 +146,104 @@ TEST_P(DeciderStability, VerdictStableAcrossBoundedAssignments) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeciderStability, ::testing::Range(0, 5));
+
+// --- Fault-profile selector round trips ------------------------------------
+
+TEST(FaultSelector, CanonicalSpellsEveryDefaultAndIsAFixedPoint) {
+  for (const local::FaultProfile& p : local::fault_registry()) {
+    const auto inst = local::resolve_faults_text(p.name);
+    // Bare name resolves to all defaults...
+    for (const local::FaultParamSpec& spec : p.params) {
+      EXPECT_EQ(inst.value(spec.name), spec.default_value) << p.name;
+    }
+    // ...and the canonical encoding re-resolves to itself.
+    const std::string canonical = inst.canonical();
+    EXPECT_EQ(local::resolve_faults_text(canonical).canonical(), canonical)
+        << p.name;
+  }
+}
+
+TEST(FaultSelector, PartialOverrideRoundTrips) {
+  const auto inst = local::resolve_faults_text("drop:per-mille=50");
+  EXPECT_EQ(inst.value("per-mille"), 50);
+  EXPECT_EQ(inst.value("attempts"), 3);  // untouched default
+  EXPECT_EQ(inst.canonical(), "drop:per-mille=50,attempts=3");
+  EXPECT_EQ(local::resolve_faults_text(inst.canonical()).canonical(),
+            inst.canonical());
+}
+
+TEST(FaultSelector, KnobsReflectResolvedValues) {
+  const auto knobs =
+      local::resolve_faults_text("chaos:delay=5,per-mille=10,pieces=4")
+          .knobs();
+  EXPECT_EQ(knobs.delay_max, 5);
+  EXPECT_EQ(knobs.loss_per_mille, 10);
+  EXPECT_EQ(knobs.attempts, 4);  // chaos default
+  EXPECT_EQ(knobs.fragments, 4);
+}
+
+TEST(FaultSelector, MalformedSelectorsThrow) {
+  EXPECT_THROW(local::resolve_faults_text("nope"), Error);
+  EXPECT_THROW(local::resolve_faults_text("drop:unknown=1"), Error);
+  EXPECT_THROW(local::resolve_faults_text("drop:per-mille=2000"), Error);
+  EXPECT_THROW(local::resolve_faults_text("drop:per-mille=1,per-mille=2"),
+               Error);
+  EXPECT_THROW(local::resolve_faults_text("drop:per-mille"), Error);
+  EXPECT_THROW(local::resolve_faults_text(""), Error);
+  EXPECT_THROW(local::resolve_faults_text("drop:per-mille=abc"), Error);
+}
+
+// --- CLI vs HTTP byte agreement under a fault profile ----------------------
+
+// The serving layer's byte-identity contract must survive fault
+// parameterization: `locald run --format json` (run_document) at one and at
+// several threads, and a routed POST /v1/run, all emit literally the same
+// bytes for the same (scenario, seed, size, trials, fault_profile) tuple.
+TEST(FaultByteIdentity, CliAndServerAgreeAcrossThreadCounts) {
+  server::RunRequest request;
+  request.scenario = "fault-robustness";
+  request.seed = 7;
+  request.size = 12;
+  request.trials = 2;
+  request.fault_profile = "chaos:delay=1,per-mille=300,attempts=2,pieces=2";
+
+  exec::VerdictCache serial_cache;
+  exec::ExecContext serial;
+  serial.cache = &serial_cache;
+  const std::string cli_serial = server::run_document(request, serial, nullptr);
+
+  exec::ThreadPool pool(3);
+  exec::VerdictCache parallel_cache;
+  exec::ExecContext parallel;
+  parallel.pool = &pool;
+  parallel.cache = &parallel_cache;
+  const std::string cli_parallel =
+      server::run_document(request, parallel, nullptr);
+  EXPECT_EQ(cli_serial, cli_parallel);
+
+  server::Server srv(server::ServeOptions{});
+  server::HttpRequest http;
+  http.method = "POST";
+  http.target = "/v1/run";
+  http.version = "HTTP/1.1";
+  http.body =
+      "{\"scenario\":\"fault-robustness\",\"seed\":7,\"size\":12,"
+      "\"trials\":2,\"fault_profile\":"
+      "\"chaos:delay=1,per-mille=300,attempts=2,pieces=2\"}";
+  const server::HttpResponse response = srv.handle(http);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, cli_serial);
+}
+
+TEST(FaultByteIdentity, UnsupportedScenarioRejectsFaultProfile) {
+  server::Server srv(server::ServeOptions{});
+  server::HttpRequest http;
+  http.method = "POST";
+  http.target = "/v1/run";
+  http.version = "HTTP/1.1";
+  http.body = "{\"scenario\":\"table1-matrix\",\"fault_profile\":\"chaos\"}";
+  EXPECT_EQ(srv.handle(http).status, 400);
+}
 
 }  // namespace
 }  // namespace locald

@@ -403,6 +403,18 @@ TEST(Routing, HealthzAndMetricsAndScenarios) {
   EXPECT_EQ(scenarios.body, scenarios_document());
 }
 
+TEST(Routing, FaultsCatalogMatchesDocumentBuilder) {
+  Server server{ServeOptions{}};
+  const HttpResponse faults = server.handle(make_request("GET", "/v1/faults"));
+  EXPECT_EQ(faults.status, 200);
+  EXPECT_EQ(faults.body, faults_document());
+  // Every registered profile appears by name in the catalog.
+  EXPECT_NE(faults.body.find("\"none\""), std::string::npos);
+  EXPECT_NE(faults.body.find("\"drop\""), std::string::npos);
+  EXPECT_NE(faults.body.find("\"chaos\""), std::string::npos);
+  EXPECT_EQ(server.handle(make_request("POST", "/v1/faults")).status, 405);
+}
+
 TEST(Routing, MethodAndPathErrors) {
   Server server{ServeOptions{}};
   const HttpResponse wrong_method =
