@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Multi-process serving smoke: one writer and one read-only follower share a
+# single --store directory and must answer /v1/run byte-identically — to each
+# other and to a cold single-threaded CLI run. Also gates the two crash-path
+# contracts: a second concurrent writer is rejected fast with a clear error,
+# and a follower keeps serving from the shared log after the writer is killed
+# with SIGKILL.
+#
+# Usage: serve_follower_smoke.sh LOCALD_BIN
+set -euo pipefail
+
+LOCALD="${1:?usage: serve_follower_smoke.sh LOCALD_BIN}"
+WRITER_PORT=18091
+SECOND_PORT=18092
+FOLLOWER_PORT=18093
+
+WORK="$(mktemp -d /tmp/locald-follower-smoke-XXXXXX)"
+STORE="$WORK/store"
+WRITER_PID=""
+FOLLOWER_PID=""
+cleanup() {
+  [ -n "$WRITER_PID" ] && kill -9 "$WRITER_PID" 2>/dev/null || true
+  [ -n "$FOLLOWER_PID" ] && kill -9 "$FOLLOWER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_healthz() {
+  local port="$1"
+  for _ in $(seq 1 50); do
+    curl -sf "http://127.0.0.1:$port/v1/healthz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "::error::server on port $port never became healthy" >&2
+  return 1
+}
+
+# --- Writer up, holding the store's write lease -----------------------------
+"$LOCALD" serve --port "$WRITER_PORT" --threads 2 --workers 4 \
+  --store "$STORE" &
+WRITER_PID=$!
+wait_healthz "$WRITER_PORT"
+
+# --- A second writer on the same store must fail fast, not interleave -------
+set +e
+timeout 10 "$LOCALD" serve --port "$SECOND_PORT" --threads 1 --workers 1 \
+  --store "$STORE" >"$WORK/second.out" 2>"$WORK/second.err"
+SECOND_STATUS=$?
+set -e
+if [ "$SECOND_STATUS" -eq 0 ]; then
+  echo "::error::second writer on $STORE was accepted; expected rejection" >&2
+  exit 1
+fi
+if ! grep -q "live writer" "$WORK/second.err"; then
+  echo "::error::second-writer error does not name the held lease:" >&2
+  cat "$WORK/second.err" >&2
+  exit 1
+fi
+
+# --- Follower up BEFORE the store is warmed, so the records it will serve
+# --- arrive via the tail-refresh path, not the open-time load ---------------
+"$LOCALD" serve --port "$FOLLOWER_PORT" --threads 2 --workers 4 \
+  --store "$STORE" --follower &
+FOLLOWER_PID=$!
+wait_healthz "$FOLLOWER_PORT"
+
+BODY='{"scenario": "promise-halting", "seed": 7}'
+curl -sf -X POST -d "$BODY" \
+  "http://127.0.0.1:$WRITER_PORT/v1/run" >"$WORK/writer.json"
+curl -sf -X POST -d "$BODY" \
+  "http://127.0.0.1:$FOLLOWER_PORT/v1/run" >"$WORK/follower.json"
+cmp "$WORK/writer.json" "$WORK/follower.json"
+
+# The follower's answer came off the shared log: correct role, at least one
+# tail refresh, and store hits feeding its cache.
+curl -sf "http://127.0.0.1:$FOLLOWER_PORT/v1/metrics" \
+  >"$WORK/follower_metrics.json"
+python3 - "$WORK/follower_metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["store"]["role"] == "follower", m["store"]
+assert m["store"]["tail_refreshes"] >= 1, m["store"]
+assert m["cache"]["store_hits"] > 0, m["cache"]
+EOF
+curl -sf "http://127.0.0.1:$WRITER_PORT/v1/metrics" \
+  >"$WORK/writer_metrics.json"
+python3 - "$WORK/writer_metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["store"]["role"] == "writer", m["store"]
+assert m["store"]["appended"] > 0, m["store"]
+EOF
+
+# Both processes match a cold single-threaded CLI run bit for bit.
+"$LOCALD" run promise-halting --seed 7 --threads 1 --format json \
+  >"$WORK/cold.json"
+cmp "$WORK/writer.json" "$WORK/cold.json"
+
+# --- Writer dies hard; the follower keeps serving the last good prefix ------
+kill -9 "$WRITER_PID"
+WRITER_PID=""
+curl -sf -X POST -d "$BODY" \
+  "http://127.0.0.1:$FOLLOWER_PORT/v1/run" >"$WORK/follower_after.json"
+cmp "$WORK/follower.json" "$WORK/follower_after.json"
+
+echo "follower smoke OK: writer/follower/CLI byte-identical," \
+  "second writer rejected, follower survived kill -9"

@@ -11,7 +11,7 @@
 //   locald bench [--family spec]... [--faults spec] [--sizes a,b,c]
 //                [--seed N] [--threads a,b,c] [--timing]
 //   locald serve [--port P] [--threads N] [--workers N] [--queue N]
-//                [--store DIR]
+//                [--store DIR [--follower]]
 //   locald help [scenario]
 //
 // Exit status: 0 when every executed scenario reproduced the paper's
@@ -107,7 +107,16 @@ int usage(std::ostream& out, int status) {
          "                  are shed with 503 + Retry-After (default 64)\n"
          "  --store DIR     serve only: persistent verdict store backing "
          "the shared\n"
-         "                  cache; a restarted server starts warm\n"
+         "                  cache; a restarted server starts warm. One "
+         "process per\n"
+         "                  store is the writer (it holds the write "
+         "lease); start\n"
+         "                  more with --follower\n"
+         "  --follower      serve only: open --store DIR read-only and "
+         "follow the\n"
+         "                  writer's appends (tail refresh on miss); a "
+         "second writer\n"
+         "                  without this flag is rejected at startup\n"
          "  --trace-out F   run/sweep/bench/serve: collect stage spans and "
          "write Chrome\n"
          "                  trace_event JSON to F (open in Perfetto or "
@@ -264,7 +273,8 @@ int run_serve(const server::ServeOptions& serve_opts) {
             << " (workers=" << serve_opts.workers
             << ", queue=" << serve_opts.max_queue;
   if (!serve_opts.store_path.empty()) {
-    std::cout << ", store=" << serve_opts.store_path;
+    std::cout << ", store=" << serve_opts.store_path << " ("
+              << (serve_opts.store_follower ? "follower" : "writer") << ")";
   }
   std::cout << "); Ctrl-C to stop\n" << std::flush;
   std::signal(SIGINT, on_shutdown_signal);
@@ -368,7 +378,8 @@ int main_impl(int argc, char** argv) {
   int port = -1;     // serve only; -1 = default
   int workers = -1;  // serve only
   int queue = -1;    // serve only
-  std::string store;  // serve only; persistent verdict-store directory
+  std::string store;     // serve only; persistent verdict-store directory
+  bool follower = false;  // serve only; open --store read-only
   std::string trace_out;   // run/sweep/bench/serve; Chrome trace JSON path
   std::string access_log;  // serve only; NDJSON request log path
   bool run_all = false;
@@ -430,6 +441,8 @@ int main_impl(int argc, char** argv) {
         return 2;
       }
       store = *value;
+    } else if (arg == "--follower") {
+      follower = true;
     } else if (arg == "--trace-out") {
       const auto value = take_value();
       if (!value || value->empty()) {
@@ -513,8 +526,15 @@ int main_impl(int argc, char** argv) {
   }
 
   if (command != "serve" &&
-      (port != -1 || workers != -1 || queue != -1 || !store.empty())) {
-    std::cerr << "--port/--workers/--queue/--store are serve options\n";
+      (port != -1 || workers != -1 || queue != -1 || !store.empty() ||
+       follower)) {
+    std::cerr << "--port/--workers/--queue/--store/--follower are serve "
+                 "options\n";
+    return 2;
+  }
+  if (follower && store.empty()) {
+    std::cerr << "--follower requires --store DIR (the shared store to "
+                 "follow)\n";
     return 2;
   }
   if (command != "serve" && !access_log.empty()) {
@@ -639,13 +659,14 @@ int main_impl(int argc, char** argv) {
         !format.empty() || opts.size != 0 || opts.trials != 0 || seed_set ||
         !families.empty() || !opts.faults.empty()) {
       std::cerr << "serve takes only --port, --threads, --workers, --queue, "
-                   "--store, --trace-out, --access-log\n";
+                   "--store, --follower, --trace-out, --access-log\n";
       return 2;
     }
     server::ServeOptions serve_opts;
     if (port != -1) serve_opts.port = port;
     serve_opts.threads = threads;
     serve_opts.store_path = store;
+    serve_opts.store_follower = follower;
     serve_opts.trace_out = trace_out;
     serve_opts.access_log_path = access_log;
     if (workers != -1) {

@@ -61,9 +61,11 @@ void VerdictCache::insert(std::uint64_t fingerprint,
   // Two threads can race to decide the same class; they must agree.
   LOCALD_ASSERT(inserted || it->second == accepted,
                 "conflicting verdicts memoized for one canonical class");
-  if (store_ != nullptr && inserted) {
+  if (store_ != nullptr && inserted && store_->writable()) {
     // Write-through: the store dedups replays, so a promote-then-reinsert
-    // never grows the log.
+    // never grows the log. A follower's store is read-only — its freshly
+    // decided verdicts stay in the memory tier, and the shared log grows
+    // only through the single writer.
     store_->append(fingerprint, algorithm, encoding, accepted);
   }
 }

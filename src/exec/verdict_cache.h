@@ -27,6 +27,10 @@
 // into the memory tier), and `clear()` syncs the store before dropping
 // entries — so eviction trades memory for a disk detour, never for
 // recomputation. `locald serve --store PATH` rides on this to start warm.
+// A read-only follower store (`VerdictStore::Role::follower`) skips the
+// write-through: the follower's own decisions live only in its memory
+// tier, while the single writer's appends arrive via the store's tail
+// refresh on the next miss.
 #pragma once
 
 #include <atomic>

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -40,6 +41,10 @@ static_assert(sizeof(RecordHeader) == 16);
 // A canonical encoding is bounded by the memo ball cap upstream; anything
 // near this bound in a length field is log corruption, not a real record.
 constexpr std::uint32_t kMaxKeyBytes = 1u << 24;
+
+// Test hook (test_fail_next_append_after): byte count after which the next
+// append fails mid-write, or -1 when disarmed.
+std::atomic<long> g_fail_append_after{-1};
 
 std::uint32_t fold32(std::uint64_t h) {
   return static_cast<std::uint32_t>(h ^ (h >> 32));
@@ -84,23 +89,52 @@ void write_fully(int fd, const char* data, std::size_t len,
   }
 }
 
-std::string shard_file(const std::string& path, std::size_t index) {
-  return cat(path, "/shard-", index < 10 ? "0" : "", index, ".log");
+// Shard file names are zero-padded to a fixed width per store so a
+// directory listing sorts in shard-index order: two digits covers the
+// common counts, three once the store is sharded past 100 files.
+std::string shard_file(const std::string& path, std::size_t index,
+                       std::size_t count) {
+  const std::size_t width = count > 100 ? 3 : 2;
+  std::string digits = std::to_string(index);
+  while (digits.size() < width) digits.insert(digits.begin(), '0');
+  return cat(path, "/shard-", digits, ".log");
 }
 
 }  // namespace
 
-VerdictStore::VerdictStore(std::string path, std::size_t shard_count)
-    : path_(std::move(path)), shards_(shard_count == 0 ? 1 : shard_count) {
+void VerdictStore::test_fail_next_append_after(std::size_t bytes) {
+  g_fail_append_after.store(static_cast<long>(bytes),
+                            std::memory_order_relaxed);
+}
+
+VerdictStore::VerdictStore(std::string path, std::size_t shard_count,
+                           Role role)
+    : path_(std::move(path)), role_(role), shards_(shard_count) {
   LOCALD_CHECK(!path_.empty(), "verdict store path must be non-empty");
-  LOCALD_CHECK(shards_.size() <= 256,
-               "verdict store shard count must be at most 256");
-  if (::mkdir(path_.c_str(), 0755) != 0 && errno != EEXIST) {
-    throw Error(cat("verdict store: cannot create directory ", path_, ": ",
-                    std::strerror(errno)));
+  LOCALD_CHECK(shard_count >= 1 && shard_count <= 256,
+               "verdict store shard count must be in [1, 256]");
+  if (writable()) {
+    if (::mkdir(path_.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw Error(cat("verdict store: cannot create directory ", path_, ": ",
+                      std::strerror(errno)));
+    }
+    acquire_write_lease();
   }
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    open_shard(shards_[i], i);
+  try {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      open_shard(shards_[i], i);
+    }
+  } catch (...) {
+    // Half-open stores must not leak the lease or shard descriptors; the
+    // destructor will not run for a throwing constructor.
+    for (Shard& shard : shards_) {
+      if (shard.map != nullptr) {
+        ::munmap(const_cast<char*>(shard.map), shard.map_size);
+      }
+      if (shard.fd >= 0) ::close(shard.fd);
+    }
+    if (lease_fd_ >= 0) ::close(lease_fd_);
+    throw;
   }
 }
 
@@ -112,14 +146,54 @@ VerdictStore::~VerdictStore() {
     }
     if (shard.fd >= 0) ::close(shard.fd);
   }
+  // Closing the lease descriptor releases the OFD lock with it.
+  if (lease_fd_ >= 0) ::close(lease_fd_);
+}
+
+void VerdictStore::acquire_write_lease() {
+  const std::string lock_file = cat(path_, "/LOCK");
+  lease_fd_ = ::open(lock_file.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (lease_fd_ < 0) {
+    throw Error(cat("verdict store: cannot open write lease ", lock_file,
+                    ": ", std::strerror(errno)));
+  }
+  // An open-file-description (OFD) lock: held for the life of this open
+  // description, released on close or process death — never by another fd
+  // in this process touching the file — and it conflicts between two
+  // opens even inside one process, so the single-writer invariant is
+  // testable without forking.
+  struct flock lease{};
+  lease.l_type = F_WRLCK;
+  lease.l_whence = SEEK_SET;
+  lease.l_start = 0;
+  lease.l_len = 0;  // the whole file
+  if (::fcntl(lease_fd_, F_OFD_SETLK, &lease) != 0) {
+    const bool held = errno == EAGAIN || errno == EACCES;
+    const std::string why = std::strerror(errno);
+    ::close(lease_fd_);
+    lease_fd_ = -1;
+    if (held) {
+      throw Error(cat("verdict store: ", path_,
+                      " already has a live writer (write lease ", lock_file,
+                      " is held); run additional processes as read-only "
+                      "followers (--follower)"));
+    }
+    throw Error(cat("verdict store: cannot acquire write lease ", lock_file,
+                    ": ", why));
+  }
 }
 
 void VerdictStore::open_shard(Shard& shard, std::size_t index) {
-  const std::string file = shard_file(path_, index);
-  shard.fd = ::open(file.c_str(), O_RDWR | O_CREAT, 0644);
+  const std::string file = shard_file(path_, index, shards_.size());
+  shard.fd = writable()
+                 ? ::open(file.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644)
+                 : ::open(file.c_str(), O_RDONLY | O_CLOEXEC);
   if (shard.fd < 0) {
     throw Error(cat("verdict store: cannot open ", file, ": ",
-                    std::strerror(errno)));
+                    std::strerror(errno),
+                    writable() ? ""
+                               : " (follower mode: the store must be "
+                                 "created by a writer first)"));
   }
   struct stat st{};
   LOCALD_CHECK(::fstat(shard.fd, &st) == 0,
@@ -127,6 +201,11 @@ void VerdictStore::open_shard(Shard& shard, std::size_t index) {
   std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
 
   if (file_size == 0) {
+    if (!writable()) {
+      throw Error(cat("verdict store: ", file,
+                      " has no header yet (follower mode: wait for the "
+                      "writer to initialize the store)"));
+    }
     FileHeader header{};
     std::memcpy(header.magic, kMagic, sizeof(kMagic));
     header.version = kVersion;
@@ -139,6 +218,11 @@ void VerdictStore::open_shard(Shard& shard, std::size_t index) {
   }
 
   if (file_size < sizeof(FileHeader)) {
+    if (!writable()) {
+      throw Error(cat("verdict store: ", file,
+                      " has no header yet (follower mode: wait for the "
+                      "writer to initialize the store)"));
+    }
     // Crash before even the header landed: start the shard over.
     LOCALD_CHECK(::ftruncate(shard.fd, 0) == 0,
                  cat("verdict store: ftruncate(", file, ")"));
@@ -198,7 +282,7 @@ void VerdictStore::open_shard(Shard& shard, std::size_t index) {
     offset += record_len;
   }
 
-  if (offset < file_size) {
+  if (offset < file_size && writable()) {
     // Torn or unwalkable tail: truncate so new appends start on a clean
     // record boundary.
     dropped_bytes_ += file_size - offset;
@@ -206,6 +290,7 @@ void VerdictStore::open_shard(Shard& shard, std::size_t index) {
     LOCALD_CHECK(::ftruncate(shard.fd, static_cast<off_t>(offset)) == 0,
                  cat("verdict store: ftruncate(", file, ")"));
     ::munmap(mapped, static_cast<std::size_t>(file_size));
+    mapped = nullptr;
     if (offset > sizeof(FileHeader)) {
       mapped = ::mmap(nullptr, static_cast<std::size_t>(offset), PROT_READ,
                       MAP_PRIVATE, shard.fd, 0);
@@ -217,15 +302,72 @@ void VerdictStore::open_shard(Shard& shard, std::size_t index) {
       shard.map_size = static_cast<std::size_t>(offset);
     }
   } else {
+    // Follower: never truncate — the bytes past `offset` may be a write
+    // still in flight; the map covers the whole file and the high-water
+    // mark stays at the last whole record until a tail refresh moves it.
     shard.map = base;
     shard.map_size = static_cast<std::size_t>(file_size);
   }
   shard.size = offset;
-  // Appends go through the fd's own offset; position it at the log's end
-  // (O_APPEND is avoided so a truncated fd and the logical size agree).
-  LOCALD_CHECK(::lseek(shard.fd, static_cast<off_t>(shard.size), SEEK_SET) >=
-                   0,
-               cat("verdict store: lseek(", file, ")"));
+  if (writable()) {
+    // Appends go through the fd's own offset; position it at the log's end
+    // (O_APPEND is avoided so a truncated fd and the logical size agree).
+    LOCALD_CHECK(::lseek(shard.fd, static_cast<off_t>(shard.size),
+                         SEEK_SET) >= 0,
+                 cat("verdict store: lseek(", file, ")"));
+  }
+}
+
+bool VerdictStore::refresh_tail(Shard& shard) const {
+  struct stat st{};
+  if (::fstat(shard.fd, &st) != 0) return false;
+  const std::uint64_t file_size = static_cast<std::uint64_t>(st.st_size);
+  if (file_size <= shard.size) return false;  // nothing new
+  tail_refreshes_.fetch_add(1, std::memory_order_relaxed);
+
+  // Records are append-only and immutable, so a refresh is a fresh private
+  // map of the grown file plus a scan from the old high-water offset. The
+  // old map is replaced (not extended): a MAP_PRIVATE page already faulted
+  // in is not guaranteed to reflect writes made after the map, a fresh one
+  // is.
+  void* mapped = ::mmap(nullptr, static_cast<std::size_t>(file_size),
+                        PROT_READ, MAP_PRIVATE, shard.fd, 0);
+  if (mapped == MAP_FAILED) return false;
+  if (shard.map != nullptr) {
+    ::munmap(const_cast<char*>(shard.map), shard.map_size);
+  }
+  shard.map = static_cast<const char*>(mapped);
+  shard.map_size = static_cast<std::size_t>(file_size);
+
+  const char* base = shard.map;
+  std::uint64_t offset = shard.size;
+  std::uint64_t picked = 0;
+  while (offset < file_size) {
+    if (file_size - offset < sizeof(RecordHeader)) break;
+    RecordHeader rec{};
+    std::memcpy(&rec, base + offset, sizeof(rec));
+    if (rec.algo_len > kMaxKeyBytes || rec.enc_len > kMaxKeyBytes) break;
+    const std::uint64_t record_len =
+        sizeof(RecordHeader) + rec.algo_len + rec.enc_len;
+    if (file_size - offset < record_len) break;
+    if (rec.checksum != record_checksum_raw(base + offset, record_len)) {
+      // Either the writer's write() is still partially visible or the
+      // record is genuinely corrupt; the follower cannot tell, so it holds
+      // the high-water mark here and retries on the next miss. A writer
+      // restart repairs true corruption.
+      break;
+    }
+    const std::string algorithm(base + offset + sizeof(RecordHeader),
+                                rec.algo_len);
+    const std::string encoding(
+        base + offset + sizeof(RecordHeader) + rec.algo_len, rec.enc_len);
+    shard.index.emplace(key_hash(algorithm, encoding), offset);
+    picked += 1;
+    offset += record_len;
+  }
+  shard.size = offset;
+  tail_records_.fetch_add(picked, std::memory_order_relaxed);
+  return picked > 0;
 }
 
 std::optional<bool> VerdictStore::match_record(
@@ -261,16 +403,21 @@ std::optional<bool> VerdictStore::match_record(
 std::optional<bool> VerdictStore::lookup(std::uint64_t fingerprint,
                                          const std::string& algorithm,
                                          const std::string& encoding) const {
-  const Shard& shard =
+  Shard& shard =
       shards_[static_cast<std::size_t>(fingerprint % shards_.size())];
   const std::uint64_t hash = key_hash(algorithm, encoding);
   std::lock_guard<std::mutex> lk(shard.mu);
-  const auto [begin, end] = shard.index.equal_range(hash);
-  for (auto it = begin; it != end; ++it) {
-    if (const auto verdict =
-            match_record(shard, it->second, algorithm, encoding)) {
-      return verdict;
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto [begin, end] = shard.index.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      if (const auto verdict =
+              match_record(shard, it->second, algorithm, encoding)) {
+        return verdict;
+      }
     }
+    // Follower miss: the writer may have appended this class since our
+    // last scan — pick up the grown tail once, then re-check the index.
+    if (writable() || pass == 1 || !refresh_tail(shard)) break;
   }
   return std::nullopt;
 }
@@ -278,6 +425,8 @@ std::optional<bool> VerdictStore::lookup(std::uint64_t fingerprint,
 void VerdictStore::append(std::uint64_t fingerprint,
                           const std::string& algorithm,
                           const std::string& encoding, bool accepted) {
+  LOCALD_ASSERT(writable(),
+                "verdict store: append() on a read-only follower");
   LOCALD_CHECK(algorithm.size() < kMaxKeyBytes && encoding.size() < kMaxKeyBytes,
                "verdict store: key too large");
   Shard& shard =
@@ -300,9 +449,31 @@ void VerdictStore::append(std::uint64_t fingerprint,
   bytes.append(reinterpret_cast<const char*>(&rec), sizeof(rec));
   bytes += algorithm;
   bytes += encoding;
-  write_fully(shard.fd, bytes.data(), bytes.size(),
-              shard_file(path_, static_cast<std::size_t>(
-                                    fingerprint % shards_.size())));
+  const std::string file = shard_file(
+      path_, static_cast<std::size_t>(fingerprint % shards_.size()),
+      shards_.size());
+  try {
+    const long inject = g_fail_append_after.exchange(
+        -1, std::memory_order_relaxed);
+    if (inject >= 0) {
+      write_fully(shard.fd, bytes.data(),
+                  std::min(static_cast<std::size_t>(inject), bytes.size()),
+                  file);
+      throw Error(cat("verdict store: write(", file,
+                      "): injected short write"));
+    }
+    write_fully(shard.fd, bytes.data(), bytes.size(), file);
+  } catch (...) {
+    // A partial append would leave torn bytes mid-file: the next
+    // successful append would land after them and recovery's
+    // declared-length walk would misparse everything that follows. Roll
+    // the file back to the pre-append boundary before the error
+    // propagates; best-effort — if even ftruncate fails here the open-time
+    // recovery scan still drops the torn tail.
+    ::ftruncate(shard.fd, static_cast<off_t>(shard.size));
+    ::lseek(shard.fd, static_cast<off_t>(shard.size), SEEK_SET);
+    throw;
+  }
   shard.index.emplace(hash, shard.size);
   shard.size += bytes.size();
   appended_.fetch_add(1, std::memory_order_relaxed);
@@ -310,6 +481,7 @@ void VerdictStore::append(std::uint64_t fingerprint,
 }
 
 void VerdictStore::sync() {
+  if (!writable()) return;  // followers have nothing of their own to flush
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard.mu);
     if (shard.fd >= 0) {
@@ -328,6 +500,8 @@ VerdictStore::Stats VerdictStore::stats() const {
   s.appended = appended_.load(std::memory_order_relaxed);
   s.appended_bytes = appended_bytes_.load(std::memory_order_relaxed);
   s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+  s.tail_refreshes = tail_refreshes_.load(std::memory_order_relaxed);
+  s.tail_records = tail_records_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -361,6 +535,18 @@ std::vector<std::shared_ptr<void>> VerdictStore::register_metrics() {
       "locald_store_dropped_bytes_total",
       "Torn-tail bytes discarded during crash recovery",
       [this] { return dropped_bytes_; }));
+  handles.push_back(reg.gauge_fn(
+      "locald_store_follower",
+      "1 when this process serves the store as a read-only follower",
+      [this] { return writable() ? 0.0 : 1.0; }));
+  handles.push_back(reg.counter_fn(
+      "locald_store_tail_refreshes_total",
+      "Follower rescans of a shard's grown tail after a lookup miss",
+      [this] { return tail_refreshes_.load(std::memory_order_relaxed); }));
+  handles.push_back(reg.counter_fn(
+      "locald_store_tail_records_total",
+      "Writer-appended records a follower picked up via tail refreshes",
+      [this] { return tail_records_.load(std::memory_order_relaxed); }));
   return handles;
 }
 

@@ -81,6 +81,12 @@ std::string metrics_document(const MetricsSnapshot& m) {
     w.begin_object();
     w.key("path");
     w.value(m.store_path);
+    w.key("role");
+    w.value(m.store_follower ? "follower" : "writer");
+    w.key("tail_refreshes");
+    w.value(m.store.tail_refreshes);
+    w.key("tail_records");
+    w.value(m.store.tail_records);
     w.key("records_loaded");
     w.value(m.store.records_loaded);
     w.key("quarantined");
@@ -215,8 +221,12 @@ void Server::start() {
   if (!options_.store_path.empty()) {
     // Opened (and recovered) before the socket exists: a server that
     // advertises --store either starts warm or fails loudly, never serves
-    // cold by accident.
-    store_.emplace(options_.store_path, options_.store_shards);
+    // cold by accident. In follower mode this is also where a second
+    // writer is rejected — the lease check happens before any socket binds.
+    store_.emplace(options_.store_path, options_.store_shards,
+                   options_.store_follower
+                       ? exec::VerdictStore::Role::follower
+                       : exec::VerdictStore::Role::writer);
     cache_.attach_store(&*store_);
     for (auto& handle : store_->register_metrics()) {
       metric_handles_.push_back(std::move(handle));
@@ -229,7 +239,10 @@ void Server::start() {
     obs::tracing_start();
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  // SOCK_CLOEXEC keeps the listen socket out of any forked/exec'd child
+  // (same audit as the store's shard fds — a child inheriting the socket
+  // would keep the port bound after this process dies).
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   LOCALD_CHECK(listen_fd_ >= 0, cat("socket(): ", std::strerror(errno)));
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -313,7 +326,9 @@ void Server::accept_loop() {
     return r;
   }());
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    // accept4 over accept for SOCK_CLOEXEC: connection fds must not leak
+    // into forked/exec'd children either.
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     {
       std::lock_guard<std::mutex> lk(queue_mu_);
       if (stopping_) {
@@ -609,6 +624,7 @@ MetricsSnapshot Server::metrics() const {
   m.cache = cache_.stats();
   if (store_.has_value()) {
     m.store_attached = true;
+    m.store_follower = !store_->writable();
     m.store_path = store_->path();
     m.store = store_->stats();
   }

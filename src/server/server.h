@@ -76,6 +76,11 @@ struct ServeOptions {
   // empty = in-memory cache only, verdicts die with the process.
   std::string store_path;
   std::size_t store_shards = 16;
+  // Open the store as a read-only follower (`locald serve --follower`):
+  // another process holds the write lease and appends; this one serves
+  // lookups from private mmaps and picks up the grown tail on a miss.
+  // Ignored when store_path is empty.
+  bool store_follower = false;
   // NDJSON access log (`locald serve --access-log FILE`); empty = disabled.
   std::string access_log_path;
   // Span-trace collection over the server's life, written as Chrome trace
@@ -103,6 +108,7 @@ struct MetricsSnapshot {
   exec::VerdictCache::Stats cache;
   // Persistent-store section; meaningful only when `store_attached`.
   bool store_attached = false;
+  bool store_follower = false;  // this process's role on the shared store
   std::string store_path;
   exec::VerdictStore::Stats store;
   // Process-wide canonicalization-engine counters (graph/isomorphism.h):

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -852,6 +853,101 @@ TEST(ServerSocket, TraceOutWritesChromeTraceOnStop) {
   EXPECT_TRUE(saw_request);
   EXPECT_TRUE(saw_run_document);
   std::remove(trace_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process serving: writer + follower over one shared store
+// ---------------------------------------------------------------------------
+
+// A self-cleaning store directory for the shared-store tests.
+struct StoreTempDir {
+  std::string path;
+  StoreTempDir() {
+    std::string tmpl = "/tmp/locald-serve-store-XXXXXX";
+    LOCALD_CHECK(::mkdtemp(tmpl.data()) != nullptr, "mkdtemp failed");
+    path = tmpl;
+  }
+  ~StoreTempDir() {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir != nullptr) {
+      while (dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name != "." && name != "..") {
+          ::unlink((path + "/" + name).c_str());
+        }
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+TEST(ServerSocket, WriterAndFollowerShareOneStoreByteIdentically) {
+  StoreTempDir dir;
+  ServeOptions writer_options = test_options();
+  writer_options.store_path = dir.path;
+  writer_options.store_shards = 4;
+  Server writer{writer_options};
+  writer.start();
+
+  // A second writer on the same directory must fail fast at start() —
+  // before any socket binds — with the lease held by the first.
+  Server conflicted{writer_options};
+  try {
+    conflicted.start();
+    FAIL() << "second writer must be rejected while the lease is held";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("live writer"),
+              std::string::npos);
+  }
+
+  ServeOptions follower_options = writer_options;
+  follower_options.store_follower = true;
+  Server follower{follower_options};
+  follower.start();
+
+  // Warm the store through the writer, then ask the follower the same
+  // question: its answer comes off the shared log via tail refresh and the
+  // bodies must be byte-identical.
+  const std::string wire =
+      post("/v1/run", R"({"scenario": "promise-halting", "seed": 7})");
+  const ClientResponse from_writer = request(writer.port(), wire);
+  ASSERT_EQ(from_writer.status, 200);
+  const ClientResponse from_follower = request(follower.port(), wire);
+  ASSERT_EQ(from_follower.status, 200);
+  EXPECT_EQ(from_follower.body, from_writer.body);
+
+  // Both processes report their role on /v1/metrics; the follower's store
+  // section carries the tail-refresh counters.
+  const JsonValue writer_metrics =
+      parse_json(request(writer.port(), get("/v1/metrics")).body);
+  EXPECT_EQ(writer_metrics.find("store")->find("role")->as_string(),
+            "writer");
+  const JsonValue follower_metrics =
+      parse_json(request(follower.port(), get("/v1/metrics")).body);
+  EXPECT_EQ(follower_metrics.find("store")->find("role")->as_string(),
+            "follower");
+  EXPECT_GE(
+      follower_metrics.find("store")->find("tail_refreshes")->as_integer(),
+      1);
+  EXPECT_GT(follower_metrics.find("cache")->find("store_hits")->as_integer(),
+            0);
+
+  // The role gauge reaches the Prometheus surface too. (Both servers share
+  // this process's registry and the follower registered last — last
+  // registration wins the export — so only its value is asserted here; the
+  // one-process-per-role case is covered by the CI serve smoke.)
+  const std::string follower_prom =
+      request(follower.port(), get("/metrics")).body;
+  EXPECT_NE(follower_prom.find("locald_store_follower 1"),
+            std::string::npos);
+
+  // The follower outliving the writer keeps serving from the shared log.
+  writer.stop();
+  const ClientResponse after = request(follower.port(), wire);
+  ASSERT_EQ(after.status, 200);
+  EXPECT_EQ(after.body, from_writer.body);
+  follower.stop();
 }
 
 }  // namespace
